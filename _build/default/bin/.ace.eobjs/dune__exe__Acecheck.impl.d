@@ -1,0 +1,1 @@
+bin/acecheck.ml: Ace_analysis Ace_core Ace_netlist Arg Cmd Cmdliner Filename Format List Term

@@ -1,0 +1,1 @@
+bin/acedrc.ml: Ace_cif Ace_drc Arg Cmd Cmdliner Format List Printf Term

@@ -1,0 +1,1 @@
+bin/acedrc.mli:

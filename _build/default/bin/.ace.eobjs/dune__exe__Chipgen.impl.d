@@ -1,0 +1,1 @@
+bin/chipgen.ml: Ace_cif Ace_workloads Arg Cmd Cmdliner List Printf Term

@@ -1,0 +1,1 @@
+bin/cifplot.ml: Ace_cif Ace_plot Arg Cmd Cmdliner Printf Term

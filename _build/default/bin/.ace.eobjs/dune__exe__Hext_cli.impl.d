@@ -1,0 +1,1 @@
+bin/hext_cli.ml: Ace_cif Ace_hext Ace_netlist Arg Cmd Cmdliner In_channel Printf Term Unix

@@ -1,0 +1,1 @@
+bin/hext_cli.mli:

@@ -1,0 +1,1 @@
+bin/nmossim.ml: Ace_analysis Ace_core Ace_netlist Arg Array Cmd Cmdliner Fun List Printf String Term

@@ -1,0 +1,1 @@
+bin/wlcmp.ml: Ace_netlist Arg Cmd Cmdliner Printf Term

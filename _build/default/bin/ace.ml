@@ -1,0 +1,83 @@
+(* ace — flat edge-based circuit extraction: CIF in, CMU wirelist out. *)
+
+let read_input = function
+  | "-" -> In_channel.input_all stdin
+  | path ->
+      let ic = open_in_bin path in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      s
+
+let run input output geometry spice name quantum stats =
+  let text = read_input input in
+  match Ace_cif.Parser.parse_string text with
+  | exception Ace_cif.Parser.Error { position; message } ->
+      prerr_endline (Ace_cif.Parser.describe_error ~source:text ~position ~message);
+      exit 2
+  | ast -> (
+      match Ace_cif.Design.of_ast ~quantum ast with
+      | exception Ace_cif.Design.Semantic_error m ->
+          Printf.eprintf "semantic error: %s\n" m;
+          exit 2
+      | design ->
+          let name =
+            match name with
+            | Some n -> n
+            | None -> if input = "-" then "chip" else Filename.basename input
+          in
+          let t0 = Unix.gettimeofday () in
+          let circuit, run_stats =
+            Ace_core.Extractor.extract_with_stats ~emit_geometry:geometry ~name
+              design
+          in
+          let elapsed = Unix.gettimeofday () -. t0 in
+          let oc = match output with None -> stdout | Some p -> open_out p in
+          if spice then output_string oc (Ace_netlist.Spice.to_string circuit)
+          else Ace_netlist.Wirelist.to_channel ~emit_geometry:geometry oc circuit;
+          if output <> None then close_out oc;
+          List.iter
+            (fun w -> Printf.eprintf "warning: %s\n" w)
+            run_stats.Ace_core.Extractor.warnings;
+          if stats then begin
+            let devs = Ace_netlist.Circuit.device_count circuit in
+            Printf.eprintf
+              "%s: %d devices, %d nets, %d boxes, %d scanline stops, peak %d \
+               active, %.3f s (%.0f devices/s, %.0f boxes/s)\n"
+              name devs
+              (Ace_netlist.Circuit.net_count circuit)
+              run_stats.boxes run_stats.stops run_stats.max_active elapsed
+              (float_of_int devs /. elapsed)
+              (float_of_int run_stats.boxes /. elapsed);
+            Format.eprintf "layout: %a@." Ace_cif.Stats.pp
+              (Ace_cif.Stats.of_design design)
+          end)
+
+open Cmdliner
+
+let input =
+  Arg.(value & pos 0 string "-" & info [] ~docv:"CIF" ~doc:"Input CIF file (- for stdin).")
+
+let output =
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the wirelist here instead of stdout.")
+
+let geometry =
+  Arg.(value & flag & info [ "g"; "geometry" ] ~doc:"Output the geometry of each net and device (normally suppressed, as in the paper).")
+
+let spice =
+  Arg.(value & flag & info [ "spice" ] ~doc:"Emit a SPICE deck instead of the CMU wirelist format.")
+
+let part_name =
+  Arg.(value & opt (some string) None & info [ "n"; "name" ] ~docv:"NAME" ~doc:"Wirelist part name (defaults to the file name).")
+
+let quantum =
+  Arg.(value & opt int 125 & info [ "quantum" ] ~docv:"CU" ~doc:"Strip height (centimicrons) for approximating non-manhattan geometry.")
+
+let stats =
+  Arg.(value & flag & info [ "s"; "stats" ] ~doc:"Print run statistics to stderr.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "ace" ~doc:"Flat edge-based NMOS circuit extractor (Gupta, DAC 1983)")
+    Term.(const run $ input $ output $ geometry $ spice $ part_name $ quantum $ stats)
+
+let () = exit (Cmd.eval cmd)

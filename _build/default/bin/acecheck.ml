@@ -1,0 +1,54 @@
+(* acecheck — static electrical checks on a layout or wirelist. *)
+
+let read path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let load path =
+  let text = read path in
+  if Filename.check_suffix path ".cif" then
+    Ace_core.Extractor.extract_cif_string ~name:(Filename.basename path) text
+  else
+    match Ace_netlist.Wirelist.of_string text with
+    | c -> c
+    | exception Ace_netlist.Wirelist.Error _ ->
+        (* fall back to CIF for suffix-less files *)
+        Ace_core.Extractor.extract_cif_string ~name:(Filename.basename path) text
+
+let run input vdd gnd verbose timing =
+  let circuit = load input in
+  let findings = Ace_analysis.Static_check.check ~vdd ~gnd circuit in
+  let errors, warnings, infos = Ace_analysis.Static_check.summarize findings in
+  List.iter
+    (fun (f : Ace_analysis.Static_check.finding) ->
+      if verbose || f.severity <> Ace_analysis.Static_check.Info then
+        Format.printf "%a@." (Ace_analysis.Static_check.pp_finding circuit) f)
+    findings;
+  Format.printf "%s: %d devices, %d nets — %d errors, %d warnings, %d infos@."
+    input
+    (Ace_netlist.Circuit.device_count circuit)
+    (Ace_netlist.Circuit.net_count circuit)
+    errors warnings infos;
+  if timing then begin
+    match Ace_analysis.Sta.analyze ~vdd ~gnd circuit with
+    | Some r -> Format.printf "@.timing: %a" (Ace_analysis.Sta.pp_result circuit) r
+    | None -> Format.printf "@.timing: no gates recognized@."
+  end;
+  if errors > 0 then exit 1
+
+open Cmdliner
+
+let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"A .cif layout or a wirelist.")
+let vdd = Arg.(value & opt string "VDD" & info [ "vdd" ] ~docv:"NAME")
+let gnd = Arg.(value & opt string "GND" & info [ "gnd" ] ~docv:"NAME")
+let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Also print informational findings.")
+let timing = Arg.(value & flag & info [ "timing" ] ~doc:"Run static timing analysis over the recognized gates.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "acecheck" ~doc:"Static checker: ratio checks, malformed transistors, stuck signals")
+    Term.(const run $ input $ vdd $ gnd $ verbose $ timing)
+
+let () = exit (Cmd.eval cmd)

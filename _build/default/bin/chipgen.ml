@@ -1,0 +1,85 @@
+(* chipgen — synthetic benchmark chips as CIF. *)
+
+open Cmdliner
+
+let emit output file =
+  match output with
+  | None -> print_string (Ace_cif.Writer.to_string file)
+  | Some path -> Ace_cif.Writer.to_file path file
+
+let output =
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output CIF file (default stdout).")
+
+let mesh_cmd =
+  let rows = Arg.(value & opt int 16 & info [ "rows" ] ~docv:"N") in
+  let cols = Arg.(value & opt int 16 & info [ "cols" ] ~docv:"N") in
+  Cmd.v (Cmd.info "mesh" ~doc:"rows x cols single-transistor array (testram character)")
+    Term.(
+      const (fun rows cols output ->
+          emit output (Ace_workloads.Arrays.mesh ~rows ~cols ()))
+      $ rows $ cols $ output)
+
+let array_cmd =
+  let cells = Arg.(value & opt int 1024 & info [ "cells" ] ~docv:"N" ~doc:"Power of 4.") in
+  Cmd.v (Cmd.info "array" ~doc:"binary-tree square array (HEXT Table 4-1)")
+    Term.(
+      const (fun cells output ->
+          emit output (Ace_workloads.Arrays.square_array_tree ~cells ()))
+      $ cells $ output)
+
+let chain_cmd =
+  let n = Arg.(value & opt int 8 & info [ "n" ] ~docv:"N") in
+  Cmd.v (Cmd.info "chain" ~doc:"chain of n inverters")
+    Term.(
+      const (fun n output -> emit output (Ace_workloads.Chips.inverter_chain ~n ()))
+      $ n $ output)
+
+let inverter_cmd =
+  Cmd.v (Cmd.info "inverter" ~doc:"the single labeled inverter of ACE Fig. 3-3")
+    Term.(const (fun output -> emit output (Ace_workloads.Chips.single_inverter ())) $ output)
+
+let random_cmd =
+  let cells = Arg.(value & opt int 100 & info [ "cells" ] ~docv:"N") in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED") in
+  Cmd.v (Cmd.info "random" ~doc:"jittered random logic (irregular character)")
+    Term.(
+      const (fun cells seed output ->
+          emit output (Ace_workloads.Chips.random_logic ~cells ~seed ()))
+      $ cells $ seed $ output)
+
+let datapath_cmd =
+  let bits = Arg.(value & opt int 8 & info [ "bits" ] ~docv:"N") in
+  let stages = Arg.(value & opt int 16 & info [ "stages" ] ~docv:"N") in
+  Cmd.v (Cmd.info "datapath" ~doc:"bit-sliced datapath of chained inverters")
+    Term.(
+      const (fun bits stages output ->
+          emit output (Ace_workloads.Chips.datapath ~bits ~stages ()))
+      $ bits $ stages $ output)
+
+let chip_cmd =
+  let chip_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME"
+           ~doc:"One of: cherry dchip schip2 testram psc scheme81 riscb.")
+  in
+  let scale = Arg.(value & opt float 1.0 & info [ "scale" ] ~docv:"S") in
+  let generate name scale output =
+    match
+      List.find_opt
+        (fun (r : Ace_workloads.Chips.recipe) -> r.chip_name = name)
+        Ace_workloads.Chips.paper_suite
+    with
+    | None ->
+        Printf.eprintf "unknown chip %s\n" name;
+        exit 2
+    | Some r -> emit output (Ace_cif.Design.ast (r.build ~scale))
+  in
+  Cmd.v (Cmd.info "chip" ~doc:"a paper-suite benchmark chip")
+    Term.(const generate $ chip_arg $ scale $ output)
+
+let () =
+  exit
+    (Cmd.eval
+       (Cmd.group
+          (Cmd.info "chipgen" ~doc:"Generate synthetic NMOS benchmark chips")
+          [ mesh_cmd; array_cmd; chain_cmd; inverter_cmd; random_cmd;
+            datapath_cmd; chip_cmd ]))

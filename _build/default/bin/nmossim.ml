@@ -1,0 +1,65 @@
+(* nmossim — switch-level simulation of an extracted layout. *)
+
+let parse_assignment s =
+  match String.index_opt s '=' with
+  | Some i ->
+      let name = String.sub s 0 i in
+      let v = String.sub s (i + 1) (String.length s - i - 1) in
+      let level =
+        match v with
+        | "0" -> Ace_analysis.Sim.Low
+        | "1" -> Ace_analysis.Sim.High
+        | "x" | "X" -> Ace_analysis.Sim.Unknown
+        | _ -> failwith (Printf.sprintf "bad level %S (use 0, 1 or X)" v)
+      in
+      (name, level)
+  | None -> failwith (Printf.sprintf "bad assignment %S (use NET=0|1|X)" s)
+
+let run input sets watches vdd gnd =
+  let ic = open_in_bin input in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let circuit = Ace_core.Extractor.extract_cif_string ~name:input text in
+  let sim =
+    match Ace_analysis.Sim.create circuit ~vdd ~gnd with
+    | s -> s
+    | exception Not_found ->
+        Printf.eprintf "error: nets %s/%s not found (label your rails)\n" vdd gnd;
+        exit 2
+  in
+  let inputs = List.map parse_assignment sets in
+  let outputs =
+    if watches = [] then
+      (* default: every named net *)
+      List.filter_map
+        (fun i ->
+          match circuit.Ace_netlist.Circuit.nets.(i).Ace_netlist.Circuit.names with
+          | name :: _ -> Some name
+          | [] -> None)
+        (List.init (Ace_netlist.Circuit.net_count circuit) Fun.id)
+    else watches
+  in
+  match Ace_analysis.Sim.eval sim ~inputs ~outputs with
+  | Some values ->
+      List.iter
+        (fun (name, v) ->
+          Printf.printf "%s = %s\n" name (Ace_analysis.Sim.level_to_string v))
+        values
+  | None ->
+      Printf.printf "circuit did not settle (oscillation)\n";
+      exit 1
+
+open Cmdliner
+
+let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"CIF")
+let sets = Arg.(value & opt_all string [] & info [ "set" ] ~docv:"NET=V" ~doc:"Force an input net (repeatable).")
+let watches = Arg.(value & opt_all string [] & info [ "watch" ] ~docv:"NET" ~doc:"Nets to report (default: all named).")
+let vdd = Arg.(value & opt string "VDD" & info [ "vdd" ] ~docv:"NAME")
+let gnd = Arg.(value & opt string "GND" & info [ "gnd" ] ~docv:"NAME")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "nmossim" ~doc:"Switch-level simulation of an extracted NMOS layout")
+    Term.(const run $ input $ sets $ watches $ vdd $ gnd)
+
+let () = exit (Cmd.eval cmd)

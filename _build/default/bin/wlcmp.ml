@@ -1,0 +1,46 @@
+(* wlcmp — wirelist equivalence comparison. *)
+
+let read path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let run a b with_sizes with_names =
+  let load path =
+    match Ace_netlist.Wirelist.of_string (read path) with
+    | c -> c
+    | exception Ace_netlist.Wirelist.Error m ->
+        Printf.eprintf "%s: %s\n" path m;
+        exit 2
+  in
+  let ca = load a and cb = load b in
+  match Ace_netlist.Compare.compare ~with_sizes ~with_names ca cb with
+  | Ace_netlist.Compare.Equivalent ->
+      Printf.printf "%s and %s are equivalent (%d devices, %d nets)\n" a b
+        (Ace_netlist.Circuit.device_count ca)
+        (Ace_netlist.Circuit.net_count ca)
+  | Ace_netlist.Compare.Distinct why ->
+      Printf.printf "DISTINCT: %s\n" why;
+      exit 1
+  | Ace_netlist.Compare.Inconclusive why ->
+      Printf.printf "INCONCLUSIVE: %s\n" why;
+      exit 3
+
+open Cmdliner
+
+let a = Arg.(required & pos 0 (some file) None & info [] ~docv:"A")
+let b = Arg.(required & pos 1 (some file) None & info [] ~docv:"B")
+
+let with_sizes =
+  Arg.(value & flag & info [ "sizes" ] ~doc:"Require matching transistor L/W.")
+
+let with_names =
+  Arg.(value & flag & info [ "names" ] ~doc:"Require matching net names.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "wlcmp" ~doc:"Compare two wirelists for circuit equivalence")
+    Term.(const run $ a $ b $ with_sizes $ with_names)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/checker_demo.ml: Ace_analysis Ace_cif Ace_core Ace_netlist Ace_tech Ace_workloads Format Layer List Printf

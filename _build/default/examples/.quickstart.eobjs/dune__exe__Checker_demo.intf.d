@@ -1,0 +1,1 @@
+examples/checker_demo.mli:

@@ -1,0 +1,1 @@
+examples/four_inverters.ml: Ace_analysis Ace_cif Ace_core Ace_hext Ace_netlist Ace_workloads Format Printf

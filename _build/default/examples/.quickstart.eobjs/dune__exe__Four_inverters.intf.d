@@ -1,0 +1,1 @@
+examples/four_inverters.mli:

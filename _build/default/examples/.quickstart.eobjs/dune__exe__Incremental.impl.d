@@ -1,0 +1,1 @@
+examples/incremental.ml: Ace_cif Ace_core Ace_geom Ace_hext Ace_netlist Ace_tech Ace_workloads Layer List Printf Unix

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Ace_analysis Ace_cif Ace_core Ace_geom Ace_netlist Ace_plot Ace_workloads Format List Printf

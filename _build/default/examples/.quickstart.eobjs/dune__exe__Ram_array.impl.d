@@ -1,0 +1,1 @@
+examples/ram_array.ml: Ace_cif Ace_core Ace_hext Ace_netlist Ace_workloads Format Printf Unix

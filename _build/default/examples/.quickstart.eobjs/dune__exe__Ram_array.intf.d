@@ -1,0 +1,1 @@
+examples/ram_array.mli:

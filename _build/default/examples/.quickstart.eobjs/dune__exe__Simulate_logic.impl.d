@@ -1,0 +1,1 @@
+examples/simulate_logic.ml: Ace_analysis Ace_cif Ace_core Ace_geom Ace_netlist Ace_tech Ace_workloads Format Gates List Printf Sim

@@ -1,0 +1,1 @@
+examples/simulate_logic.mli:

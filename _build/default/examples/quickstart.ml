@@ -1,0 +1,63 @@
+(* Quickstart: extract the inverter of ACE Figures 3-3/3-4.
+
+   Builds the single-inverter chip, runs the flat edge-based extractor with
+   geometry output enabled, and prints the wirelist — the same artifact the
+   paper shows in Figure 3-4 (a nDep pull-up whose gate is tied to the
+   output, a nEnh pull-down gated by INP, and the four nets VDD / OUT /
+   INP / GND with their constituent CIF geometry). *)
+
+let () =
+  (* 1. generate (or load) a CIF chip *)
+  let file = Ace_workloads.Chips.single_inverter () in
+  print_endline "--- input CIF ---";
+  print_string (Ace_cif.Writer.to_string file);
+
+  (* 1b. the layout itself, one character per λ — compare with the paper's
+     Figure 3-3 (m metal, d diffusion, p poly, X channel, B buried contact,
+     i implant, # cut) *)
+  print_endline "\n--- layout (compare with ACE Figure 3-3) ---";
+  print_string
+    (Ace_plot.Ascii.to_string
+       (Ace_plot.Ascii.render_design
+          (Ace_cif.Design.of_ast file)));
+
+  (* 2. semantic checking wraps the AST into a design *)
+  let design = Ace_cif.Design.of_ast file in
+  Printf.printf "\nchip: %d primitive boxes, bbox %s\n"
+    (Ace_cif.Design.count_boxes design)
+    (match Ace_cif.Design.bbox design with
+    | Some b -> Format.asprintf "%a" Ace_geom.Box.pp b
+    | None -> "(empty)");
+
+  (* 3. extract: lazy front-end + scanline back-end *)
+  let circuit, stats =
+    Ace_core.Extractor.extract_with_stats ~emit_geometry:true
+      ~name:"inverter.cif" design
+  in
+  Printf.printf
+    "extracted with %d scanline stops, peak %d boxes on the scanline\n\n"
+    stats.Ace_core.Extractor.stops stats.max_active;
+
+  (* 4. the wirelist of Figure 3-4 *)
+  print_endline "--- wirelist (compare with ACE Figure 3-4) ---";
+  print_string (Ace_netlist.Wirelist.to_string ~emit_geometry:true circuit);
+
+  (* 5. a taste of the downstream tools the paper lists *)
+  let sim = Ace_analysis.Sim.create circuit ~vdd:"VDD" ~gnd:"GND" in
+  List.iter
+    (fun level ->
+      match
+        Ace_analysis.Sim.eval sim
+          ~inputs:[ ("INP", level) ]
+          ~outputs:[ "OUT" ]
+      with
+      | Some [ (_, out) ] ->
+          Printf.printf "simulate: INP=%s -> OUT=%s\n"
+            (Ace_analysis.Sim.level_to_string level)
+            (Ace_analysis.Sim.level_to_string out)
+      | _ -> print_endline "simulation did not settle")
+    [ Ace_analysis.Sim.Low; Ace_analysis.Sim.High ];
+  let out = Ace_netlist.Circuit.find_net circuit "OUT" in
+  let p = Ace_analysis.Parasitics.net_parasitics circuit out in
+  Printf.printf "post-process: OUT carries %.2f fF of wire + %.2f fF of gate\n"
+    p.Ace_analysis.Parasitics.cap_ff p.Ace_analysis.Parasitics.gate_cap_ff

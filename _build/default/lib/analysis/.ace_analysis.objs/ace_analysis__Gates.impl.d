@@ -1,0 +1,1 @@
+lib/analysis/gates.ml: Ace_netlist Ace_tech Array Circuit Format Hashtbl Int List Nmos String

@@ -1,0 +1,1 @@
+lib/analysis/gates.mli: Ace_netlist Circuit Format

@@ -1,0 +1,1 @@
+lib/analysis/parasitics.ml: Ace_geom Ace_netlist Ace_tech Array Box Circuit Hashtbl Layer List Nmos

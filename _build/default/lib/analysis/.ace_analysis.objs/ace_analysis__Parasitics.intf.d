@@ -1,0 +1,1 @@
+lib/analysis/parasitics.mli: Ace_netlist Ace_tech Circuit Layer Nmos

@@ -1,0 +1,1 @@
+lib/analysis/sim.ml: Ace_netlist Ace_tech Array Circuit Hashtbl List Nmos

@@ -1,0 +1,1 @@
+lib/analysis/sim.mli: Ace_netlist Circuit

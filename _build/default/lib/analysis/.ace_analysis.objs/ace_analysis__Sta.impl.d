@@ -1,0 +1,1 @@
+lib/analysis/sta.ml: Ace_netlist Ace_tech Array Circuit Format Gates Hashtbl List Nmos Parasitics

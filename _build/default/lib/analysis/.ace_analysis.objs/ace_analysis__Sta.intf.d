@@ -1,0 +1,1 @@
+lib/analysis/sta.mli: Ace_netlist Ace_tech Circuit Format Gates

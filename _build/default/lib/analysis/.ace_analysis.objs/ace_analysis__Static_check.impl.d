@@ -1,0 +1,1 @@
+lib/analysis/static_check.ml: Ace_netlist Ace_tech Array Circuit Format Hashtbl List Nmos Queue

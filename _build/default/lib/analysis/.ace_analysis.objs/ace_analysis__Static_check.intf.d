@@ -1,0 +1,1 @@
+lib/analysis/static_check.mli: Ace_netlist Circuit Format

@@ -1,0 +1,131 @@
+open Ace_tech
+open Ace_netlist
+
+type gate =
+  | Inverter of { input : int; output : int }
+  | Nand of { inputs : int list; output : int }
+  | Nor of { inputs : int list; output : int }
+
+type recognition = {
+  gates : gate list;
+  matched_devices : int;
+  total_devices : int;
+}
+
+let gate_output = function
+  | Inverter { output; _ } | Nand { output; _ } | Nor { output; _ } -> output
+
+let pp_gate c ppf gate =
+  let n i = Circuit.net_display_name c i in
+  match gate with
+  | Inverter { input; output } ->
+      Format.fprintf ppf "INV(%s) -> %s" (n input) (n output)
+  | Nand { inputs; output } ->
+      Format.fprintf ppf "NAND(%s) -> %s"
+        (String.concat ", " (List.map n inputs))
+        (n output)
+  | Nor { inputs; output } ->
+      Format.fprintf ppf "NOR(%s) -> %s"
+        (String.concat ", " (List.map n inputs))
+        (n output)
+
+let recognize ?(vdd = "VDD") ?(gnd = "GND") (c : Circuit.t) =
+  let total_devices = Circuit.device_count c in
+  let none = { gates = []; matched_devices = 0; total_devices } in
+  match (Circuit.find_net c vdd, Circuit.find_net c gnd) with
+  | exception Not_found -> none
+  | v, g ->
+      (* channel incidence per net, enhancement devices only *)
+      let n = Circuit.net_count c in
+      let incidence = Array.make n [] in
+      Array.iteri
+        (fun i (d : Circuit.device) ->
+          if d.dtype = Nmos.Enhancement then begin
+            incidence.(d.source) <- (i, d.drain) :: incidence.(d.source);
+            incidence.(d.drain) <- (i, d.source) :: incidence.(d.drain)
+          end)
+        c.Circuit.devices;
+      (* depletion loads: gate tied to the output node, channel to VDD *)
+      let loads = Hashtbl.create 16 in
+      Array.iteri
+        (fun i (d : Circuit.device) ->
+          if d.dtype = Nmos.Depletion then begin
+            let node =
+              if d.source = v && d.drain <> v then Some d.drain
+              else if d.drain = v && d.source <> v then Some d.source
+              else None
+            in
+            match node with
+            | Some out when d.gate = out && not (Hashtbl.mem loads out) ->
+                Hashtbl.replace loads out i
+            | Some _ | None -> ()
+          end)
+        c.Circuit.devices;
+      let gates = ref [] and matched = ref 0 in
+      Hashtbl.iter
+        (fun out load_idx ->
+          (* try a series chain out -> ... -> gnd where every internal net
+             has exactly two channel connections *)
+          let rec chain net prev_dev acc =
+            if net = g then Some (List.rev acc)
+            else
+              match
+                List.filter (fun (d, _) -> Some d <> prev_dev) incidence.(net)
+              with
+              | [ (d, next) ]
+                when net = out || List.length incidence.(net) = 2 ->
+                  chain next (Some d) (d :: acc)
+              | _ -> None
+          in
+          (* try a parallel bank: every device on out goes straight to gnd *)
+          let parallel () =
+            let direct =
+              List.filter (fun (_, other) -> other = g) incidence.(out)
+            in
+            if
+              List.length direct >= 2
+              && List.length direct = List.length incidence.(out)
+            then Some (List.map fst direct)
+            else None
+          in
+          match chain out None [] with
+          | Some [ d ] ->
+              matched := !matched + 2;
+              gates :=
+                Inverter { input = c.Circuit.devices.(d).Circuit.gate; output = out }
+                :: !gates;
+              ignore load_idx
+          | Some (_ :: _ :: _ as devs) ->
+              matched := !matched + 1 + List.length devs;
+              gates :=
+                Nand
+                  {
+                    inputs =
+                      List.map (fun d -> c.Circuit.devices.(d).Circuit.gate) devs;
+                    output = out;
+                  }
+                :: !gates
+          | Some [] | None -> (
+              match parallel () with
+              | Some devs ->
+                  matched := !matched + 1 + List.length devs;
+                  gates :=
+                    Nor
+                      {
+                        inputs =
+                          List.map
+                            (fun d -> c.Circuit.devices.(d).Circuit.gate)
+                            devs;
+                        output = out;
+                      }
+                    :: !gates
+              | None -> ()))
+        loads;
+      {
+        gates =
+          List.sort
+            (fun a b -> Int.compare (gate_output a) (gate_output b))
+            !gates;
+        matched_devices = !matched;
+        total_devices;
+      }

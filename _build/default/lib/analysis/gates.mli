@@ -1,0 +1,31 @@
+open Ace_netlist
+
+(** Gate-level abstraction of extracted NMOS circuits.
+
+    The papers' wirelist consumers include functional verification tools
+    (Ackland & Weste's interactive environment is cited); the first step
+    there is recognizing logic gates in the transistor network.  This
+    module finds the standard static NMOS gate patterns: a depletion load
+    (gate tied to the output) plus an enhancement pull-down network that is
+    a single device (inverter), a series chain (NAND) or a parallel bank
+    (NOR). *)
+
+type gate =
+  | Inverter of { input : int; output : int }
+  | Nand of { inputs : int list; output : int }  (** inputs top-down *)
+  | Nor of { inputs : int list; output : int }
+
+type recognition = {
+  gates : gate list;
+  matched_devices : int;  (** devices explained by the gates *)
+  total_devices : int;
+}
+
+val gate_output : gate -> int
+
+val pp_gate : Circuit.t -> Format.formatter -> gate -> unit
+
+(** [recognize ?vdd ?gnd circuit] — rails by name (defaults VDD/GND).
+    Devices in irregular structures (pass transistors, complex
+    pull-downs) are simply left unmatched. *)
+val recognize : ?vdd:string -> ?gnd:string -> Circuit.t -> recognition

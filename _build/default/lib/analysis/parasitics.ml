@@ -1,0 +1,95 @@
+open Ace_geom
+open Ace_tech
+open Ace_netlist
+
+type net_parasitics = {
+  area_by_layer : (Layer.t * int) list;
+  cap_ff : float;
+  gate_cap_ff : float;
+  res_ohms : float;
+}
+
+(* Area per λ²: geometry is in centimicrons, capacitance densities in
+   fF per λ². *)
+let lambda_area params area = float_of_int area /. float_of_int (params.Nmos.lambda * params.Nmos.lambda)
+
+let device_gate_cap ?(params = Nmos.default) (d : Circuit.device) =
+  lambda_area params (d.length * d.width) *. params.Nmos.cap_gate
+
+let device_resistance ?(r_on_per_square = 10_000.0) (d : Circuit.device) =
+  float_of_int d.length /. float_of_int d.width *. r_on_per_square
+
+let net_parasitics ?(params = Nmos.default) (circuit : Circuit.t) net =
+  let n = circuit.Circuit.nets.(net) in
+  if n.Circuit.geometry = [] then
+    invalid_arg
+      "Parasitics.net_parasitics: net has no geometry (extract with \
+       emit_geometry:true)";
+  let by_layer = Hashtbl.create 4 in
+  List.iter
+    (fun (lyr, bx) ->
+      let a = Box.area bx in
+      match Hashtbl.find_opt by_layer lyr with
+      | Some r -> r := !r + a
+      | None -> Hashtbl.replace by_layer lyr (ref a))
+    n.Circuit.geometry;
+  let area_by_layer =
+    List.filter_map
+      (fun lyr ->
+        match Hashtbl.find_opt by_layer lyr with
+        | Some r -> Some (lyr, !r)
+        | None -> None)
+      Layer.conducting_layers
+  in
+  let cap_ff =
+    List.fold_left
+      (fun acc (lyr, a) -> acc +. (lambda_area params a *. Nmos.cap_area params lyr))
+      0.0 area_by_layer
+  in
+  let gate_cap_ff =
+    Array.fold_left
+      (fun acc (d : Circuit.device) ->
+        if d.gate = net then acc +. device_gate_cap ~params d else acc)
+      0.0 circuit.Circuit.devices
+  in
+  (* resistance: treat each layer's geometry as a wire of its bounding
+     extent — length along the larger dimension, width the smaller; crude
+     but monotone in the right quantities *)
+  let res_ohms =
+    List.fold_left
+      (fun acc (lyr, _) ->
+        let boxes =
+          List.filter_map
+            (fun (l, b) -> if Layer.equal l lyr then Some b else None)
+            n.Circuit.geometry
+        in
+        match Box.hull_list boxes with
+        | None -> acc
+        | Some hull ->
+            let long = max (Box.width hull) (Box.height hull) in
+            let area =
+              List.fold_left (fun a b -> a + Box.area b) 0 boxes
+            in
+            if area = 0 then acc
+            else
+              let mean_width = max 1 (area / max 1 long) in
+              acc
+              +. (float_of_int long /. float_of_int mean_width
+                 *. Nmos.sheet_ohms params lyr))
+      0.0 area_by_layer
+  in
+  { area_by_layer; cap_ff; gate_cap_ff; res_ohms }
+
+let all_nets ?params circuit =
+  Array.init (Circuit.net_count circuit) (fun i ->
+      match net_parasitics ?params circuit i with
+      | p -> p
+      | exception Invalid_argument _ ->
+          { area_by_layer = []; cap_ff = 0.0; gate_cap_ff = 0.0; res_ohms = 0.0 })
+
+let rc_delay_seconds ?(params = Nmos.default) circuit ~driver ~net =
+  let d = circuit.Circuit.devices.(driver) in
+  let r = device_resistance d in
+  let p = net_parasitics ~params circuit net in
+  (* fF × Ω = 1e-15 s *)
+  r *. (p.cap_ff +. p.gate_cap_ff) *. 1e-15

@@ -1,0 +1,39 @@
+open Ace_tech
+open Ace_netlist
+
+(** Capacitance / resistance post-processing.
+
+    ACE deliberately computes no electrical parameters itself: "it was
+    undesirable to embed any fixed notion of a circuit model into the
+    extractor code … it is possible, however, to obtain a list of geometry
+    that constitutes each net and device.  This information is enough for a
+    post-processing program to compute capacitances and resistances."
+    This module is that post-processing program; it consumes circuits
+    extracted with [emit_geometry:true]. *)
+
+type net_parasitics = {
+  area_by_layer : (Layer.t * int) list;  (** centimicrons² per layer *)
+  cap_ff : float;  (** total area capacitance, fF *)
+  gate_cap_ff : float;  (** added gate capacitance of driven gates *)
+  res_ohms : float;  (** crude series-resistance estimate *)
+}
+
+(** Raises [Invalid_argument] when the net carries no geometry (circuit
+    extracted without geometry output). *)
+val net_parasitics : ?params:Nmos.params -> Circuit.t -> int -> net_parasitics
+
+(** Channel on-resistance estimate: (L/W) × sheet-equivalent
+    [r_on_per_square] (default 10 kΩ/□, a typical NMOS figure). *)
+val device_resistance :
+  ?r_on_per_square:float -> Circuit.device -> float
+
+(** Gate capacitance of one device: channel area × gate cap density. *)
+val device_gate_cap : ?params:Nmos.params -> Circuit.device -> float
+
+(** Elmore-flavoured delay estimate for a driver device charging a net:
+    R_device × C_net (seconds, with fF and Ω). *)
+val rc_delay_seconds :
+  ?params:Nmos.params -> Circuit.t -> driver:int -> net:int -> float
+
+(** All nets, index-aligned with the circuit's net array. *)
+val all_nets : ?params:Nmos.params -> Circuit.t -> net_parasitics array

@@ -1,0 +1,131 @@
+open Ace_tech
+open Ace_netlist
+
+type level = Low | High | Unknown
+
+let level_to_string = function
+  | Low -> "0"
+  | High -> "1"
+  | Unknown -> "X"
+
+type t = {
+  circuit : Circuit.t;
+  vdd : int;
+  gnd : int;
+  forced : (int, level) Hashtbl.t;
+  values : level array;
+}
+
+let circuit t = t.circuit
+
+let create circuit ~vdd ~gnd =
+  let v = Circuit.find_net circuit vdd in
+  let g = Circuit.find_net circuit gnd in
+  let values = Array.make (Circuit.net_count circuit) Unknown in
+  values.(v) <- High;
+  values.(g) <- Low;
+  { circuit; vdd = v; gnd = g; forced = Hashtbl.create 8; values }
+
+let set_input t name level =
+  let n = Circuit.find_net t.circuit name in
+  Hashtbl.replace t.forced n level
+
+let release_input t name =
+  let n = Circuit.find_net t.circuit name in
+  Hashtbl.remove t.forced n
+
+(* Combine a driven candidate into a (strength, level) slot. *)
+let combine (s1, v1) (s2, v2) =
+  if s1 > s2 then (s1, v1)
+  else if s2 > s1 then (s2, v2)
+  else if v1 = v2 then (s1, v1)
+  else (s1, Unknown)
+
+(* One settle pass: with gate states frozen, relax conduction to fixpoint;
+   returns the new node values. *)
+let settle t gate_values =
+  let n = Circuit.net_count t.circuit in
+  (* Rails and forced inputs sit at strength 4 — above anything a channel
+     can carry (3), so nothing ever writes into them; stored charge is
+     strength 1. *)
+  let state = Array.make n (1, Unknown) in
+  for i = 0 to n - 1 do
+    state.(i) <- (1, t.values.(i))
+  done;
+  state.(t.vdd) <- (4, High);
+  state.(t.gnd) <- (4, Low);
+  Hashtbl.iter (fun net level -> state.(net) <- (4, level)) t.forced;
+  let conducting (d : Circuit.device) =
+    match d.dtype with
+    | Nmos.Depletion -> `On 2 (* conducts, but only at pull-up strength *)
+    | Nmos.Enhancement -> (
+        match gate_values.(d.gate) with
+        | High -> `On 3
+        | Low -> `Off
+        | Unknown -> `Maybe)
+  in
+  let changed = ref true in
+  let guard = ref 0 in
+  while !changed && !guard < 4 * (n + 1) do
+    changed := false;
+    incr guard;
+    Array.iter
+      (fun (d : Circuit.device) ->
+        let flow max_strength a b =
+          let sa, va = state.(a) in
+          let sb, _ = state.(b) in
+          let s = min sa max_strength in
+          if s > 1 && s >= sb then begin
+            let nv = combine state.(b) (s, va) in
+            if nv <> state.(b) then begin
+              state.(b) <- nv;
+              changed := true
+            end
+          end
+        in
+        match conducting d with
+        | `Off -> ()
+        | `On strength ->
+            flow strength d.source d.drain;
+            flow strength d.drain d.source
+        | `Maybe ->
+            (* an X gate corrupts whatever it could drive *)
+            let corrupt a b =
+              let sa, _ = state.(a) in
+              let s = min sa 3 in
+              if s > 1 then begin
+                let sb, vb = state.(b) in
+                if s >= sb && vb <> Unknown then begin
+                  state.(b) <- (max sb s, Unknown);
+                  changed := true
+                end
+              end
+            in
+            corrupt d.source d.drain;
+            corrupt d.drain d.source)
+      t.circuit.Circuit.devices
+  done;
+  Array.map snd state
+
+let stabilize ?(max_steps = 1000) t =
+  let rec go steps =
+    if steps >= max_steps then false
+    else begin
+      let next = settle t t.values in
+      if next = t.values then true
+      else begin
+        Array.blit next 0 t.values 0 (Array.length next);
+        go (steps + 1)
+      end
+    end
+  in
+  go 0
+
+let value_of_net t n = t.values.(n)
+let value t name = value_of_net t (Circuit.find_net t.circuit name)
+
+let eval t ~inputs ~outputs =
+  List.iter (fun (name, level) -> set_input t name level) inputs;
+  if stabilize t then
+    Some (List.map (fun name -> (name, value t name)) outputs)
+  else None

@@ -1,0 +1,44 @@
+open Ace_netlist
+
+(** Switch-level simulator for extracted NMOS circuits.
+
+    The papers' first consumer of a wirelist is a logic simulator (ACE §1);
+    this is a small Bryant-style switch-level simulator: nodes carry
+    (strength, level) pairs, enhancement transistors conduct when their
+    gate is high, depletion transistors always conduct but only at pull-up
+    strength, and conflicts resolve to X.  Strengths: rail (3) > pull-up
+    (2) > stored charge (1). *)
+
+type level = Low | High | Unknown
+
+val level_to_string : level -> string
+
+type t
+
+(** [create circuit ~vdd ~gnd] — rail nets by name.
+    Raises [Not_found] if a rail name is missing. *)
+val create : Circuit.t -> vdd:string -> gnd:string -> t
+
+val circuit : t -> Circuit.t
+
+(** Force a named net to a level (an input pad).  Raises [Not_found] for
+    unknown names. *)
+val set_input : t -> string -> level -> unit
+
+(** Remove the forcing on a named net. *)
+val release_input : t -> string -> unit
+
+(** Propagate until stable.  Returns [true] if a fixpoint was reached
+    within [max_steps] (default 1000) — [false] means oscillation. *)
+val stabilize : ?max_steps:int -> t -> bool
+
+(** Current level of a net (by name or index). *)
+val value : t -> string -> level
+
+val value_of_net : t -> int -> level
+
+(** Convenience: set inputs, stabilize, read outputs.  Returns [None] on
+    oscillation. *)
+val eval :
+  t -> inputs:(string * level) list -> outputs:string list ->
+  (string * level) list option

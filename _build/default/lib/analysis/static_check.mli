@@ -1,0 +1,44 @@
+open Ace_netlist
+
+(** Static electrical checks on extracted wirelists.
+
+    ACE §1 names the downstream tool: "a static checker performs ratio
+    checks, detects malformed transistors, and checks for signals that are
+    stuck at logical 0 or 1".  This is that checker, operating on the
+    extractor's output. *)
+
+type severity = Error | Warning | Info
+
+type finding = {
+  severity : severity;
+  code : string;  (** stable identifier, e.g. "ratio", "floating-gate" *)
+  message : string;
+  device : int option;  (** index into the circuit's device array *)
+  net : int option;
+}
+
+(** [check circuit] runs all checks.  Power nets are located by name
+    ([vdd] / [gnd], defaults "VDD" / "GND"); rail-dependent checks are
+    skipped with an [Info] finding when a rail is missing.
+
+    Checks performed:
+    - [power-short]: VDD and GND on the same net;
+    - [malformed]: source = drain = gate (floating channel), or a
+      depletion device with no connection to anything driven;
+    - [self-gate]: enhancement device whose gate is its own source/drain;
+    - [ratio]: enhancement pull-down against a depletion load weaker than
+      the Mead–Conway 4:1 requirement;
+    - [undriven]: net with gate connections but no channel path to a rail
+      (stuck at X);
+    - [stuck]: net whose only channel paths come from one rail (stuck at
+      0 or 1) while it gates other devices;
+    - [floating-gate]: gate net with no drivers and no name;
+    - [isolated]: unnamed net touching no devices. *)
+val check : ?vdd:string -> ?gnd:string -> Circuit.t -> finding list
+
+val severity_to_string : severity -> string
+
+val pp_finding : Circuit.t -> Format.formatter -> finding -> unit
+
+(** Counts by severity: (errors, warnings, infos). *)
+val summarize : finding list -> int * int * int

@@ -1,0 +1,1 @@
+lib/baseline/raster.ml: Ace_cif Ace_core Ace_geom Ace_netlist Ace_tech Array Box Bytes Char Hashtbl Layer List Point Printf Union_find

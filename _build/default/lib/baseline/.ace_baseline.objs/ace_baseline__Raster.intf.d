@@ -1,0 +1,1 @@
+lib/baseline/raster.mli: Ace_cif Ace_geom Ace_netlist Ace_tech Box Layer

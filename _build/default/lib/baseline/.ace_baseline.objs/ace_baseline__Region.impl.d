@@ -1,0 +1,1 @@
+lib/baseline/region.ml: Ace_cif Ace_core Ace_geom Ace_netlist Ace_tech Box Hashtbl Int Interval Layer List Point Printf Union_find

@@ -1,0 +1,1 @@
+lib/baseline/region.mli: Ace_cif Ace_geom Ace_netlist Ace_tech Box Layer

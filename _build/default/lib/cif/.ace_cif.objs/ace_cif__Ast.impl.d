@@ -1,0 +1,1 @@
+lib/cif/ast.ml: Ace_geom Format List Point

@@ -1,0 +1,1 @@
+lib/cif/ast.mli: Ace_geom Format Point

@@ -1,0 +1,1 @@
+lib/cif/design.ml: Ace_geom Ace_tech Ast Box Format Hashtbl Int Layer List Point Printf Shapes Transform

@@ -1,0 +1,1 @@
+lib/cif/design.mli: Ace_geom Ace_tech Ast Box Layer Point Transform

@@ -1,0 +1,1 @@
+lib/cif/flatten.ml: Ace_geom Ace_tech Ast Design Layer List Shapes Transform

@@ -1,0 +1,1 @@
+lib/cif/flatten.mli: Ace_geom Ace_tech Box Design Layer

@@ -1,0 +1,1 @@
+lib/cif/parser.ml: Ace_geom Ast Float Format List Point Printf String

@@ -1,0 +1,1 @@
+lib/cif/parser.mli: Ast

@@ -1,0 +1,1 @@
+lib/cif/shapes.ml: Ace_geom Ast Box Float List Point Poly

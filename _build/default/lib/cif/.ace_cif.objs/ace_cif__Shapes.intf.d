@@ -1,0 +1,1 @@
+lib/cif/shapes.mli: Ace_geom Ast Box

@@ -1,0 +1,1 @@
+lib/cif/stats.ml: Ace_geom Ace_tech Array Box Design Flatten Format Hashtbl Layer List Printf String

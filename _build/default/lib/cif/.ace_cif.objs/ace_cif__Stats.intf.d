@@ -1,0 +1,1 @@
+lib/cif/stats.mli: Ace_tech Design Format Layer

@@ -1,0 +1,1 @@
+lib/cif/stream.ml: Ace_geom Ace_tech Array Ast Box Design Hashtbl Layer List Shapes Transform

@@ -1,0 +1,1 @@
+lib/cif/stream.mli: Ace_geom Ace_tech Box Design Layer

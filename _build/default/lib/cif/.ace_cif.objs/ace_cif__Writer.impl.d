@@ -1,0 +1,1 @@
+lib/cif/writer.ml: Ace_geom Ast Buffer List Point Printf

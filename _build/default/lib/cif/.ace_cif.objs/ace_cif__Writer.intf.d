@@ -1,0 +1,1 @@
+lib/cif/writer.mli: Ast Buffer

@@ -1,0 +1,213 @@
+open Ace_geom
+open Ace_tech
+
+exception Semantic_error of string
+
+type label = { name : string; position : Point.t; layer : Layer.t option }
+
+type t = {
+  ast : Ast.file;
+  quantum : int;
+  table : (int, Ast.symbol_def) Hashtbl.t;
+  bbox_memo : (int, Box.t option) Hashtbl.t;
+  count_memo : (int, int) Hashtbl.t;
+  inst_memo : (int, int) Hashtbl.t;
+}
+
+let fail fmt = Format.kasprintf (fun m -> raise (Semantic_error m)) fmt
+let ast t = t.ast
+let quantum t = t.quantum
+let symbol t id = Hashtbl.find t.table id
+let symbol_ids t = List.map (fun (s : Ast.symbol_def) -> s.id) t.ast.symbols
+let resolve_layer = Layer.of_cif_name
+
+let transform_of_ops ops =
+  List.fold_left
+    (fun acc op ->
+      let prim =
+        match op with
+        | Ast.Translate (dx, dy) -> Transform.translation ~dx ~dy
+        | Ast.Mirror_x -> Transform.mirror_x
+        | Ast.Mirror_y -> Transform.mirror_y
+        | Ast.Rotate (a, b) ->
+            (* Snap to the dominant axis; the extractor is manhattan-only. *)
+            if a = 0 && b = 0 then fail "R 0 0 in a call: null direction"
+            else if abs a = abs b then
+              fail "45-degree call rotation R %d %d is not supported" a b
+            else if abs a > abs b then Transform.rotation ~a:(compare a 0) ~b:0
+            else Transform.rotation ~a:0 ~b:(compare b 0)
+      in
+      Transform.then_ acc prim)
+    Transform.identity ops
+
+let check_layers elements =
+  List.iter
+    (function
+      | Ast.Shape { layer; _ } ->
+          if Layer.of_cif_name layer = None then
+            fail "unknown layer name %S (NMOS layers are ND NP NC NM NI NB NG)"
+              layer
+      | Ast.Label { layer = Some name; _ } ->
+          if Layer.of_cif_name name = None then
+            fail "unknown layer name %S in label" name
+      | Ast.Label { layer = None; _ } | Ast.Call _ | Ast.Comment_ext _ -> ())
+    elements
+
+let check_calls table elements ~context =
+  List.iter
+    (function
+      | Ast.Call { symbol; ops } ->
+          if not (Hashtbl.mem table symbol) then
+            fail "%s calls undefined symbol %d" context symbol;
+          (* evaluate eagerly so unsupported rotations surface here *)
+          ignore (transform_of_ops ops)
+      | Ast.Shape _ | Ast.Label _ | Ast.Comment_ext _ -> ())
+    elements
+
+(* Detect recursion with a three-color DFS over the call graph. *)
+let check_acyclic table top_level =
+  let state = Hashtbl.create 16 in
+  let rec visit id =
+    match Hashtbl.find_opt state id with
+    | Some `Done -> ()
+    | Some `Active -> fail "recursive symbol call chain through symbol %d" id
+    | None ->
+        Hashtbl.replace state id `Active;
+        let def : Ast.symbol_def = Hashtbl.find table id in
+        List.iter visit (Ast.called_symbols def.elements);
+        Hashtbl.replace state id `Done
+  in
+  List.iter visit (Ast.called_symbols top_level);
+  Hashtbl.iter (fun id _ -> visit id) table
+
+let of_ast ?(quantum = 125) (file : Ast.file) =
+  if quantum <= 0 then fail "quantum must be positive";
+  let table = Hashtbl.create 64 in
+  List.iter
+    (fun (def : Ast.symbol_def) ->
+      if Hashtbl.mem table def.id then fail "duplicate symbol definition %d" def.id
+      else Hashtbl.add table def.id def)
+    file.symbols;
+  List.iter
+    (fun (def : Ast.symbol_def) ->
+      check_layers def.elements;
+      check_calls table def.elements
+        ~context:(Printf.sprintf "symbol %d" def.id))
+    file.symbols;
+  check_layers file.top_level;
+  check_calls table file.top_level ~context:"top level";
+  check_acyclic table file.top_level;
+  {
+    ast = file;
+    quantum;
+    table;
+    bbox_memo = Hashtbl.create 64;
+    count_memo = Hashtbl.create 64;
+    inst_memo = Hashtbl.create 64;
+  }
+
+let hull_opt a b =
+  match (a, b) with
+  | None, x | x, None -> x
+  | Some a, Some b -> Some (Box.hull a b)
+
+let rec elements_bbox t elements =
+  List.fold_left
+    (fun acc el ->
+      let b =
+        match el with
+        | Ast.Shape { shape; _ } -> Shapes.shape_bbox shape
+        | Ast.Call { symbol; ops } -> (
+            match symbol_bbox t symbol with
+            | None -> None
+            | Some bx -> Some (Transform.apply_box (transform_of_ops ops) bx))
+        | Ast.Label { position; _ } ->
+            (* labels are part of a symbol's spatial extent: a label placed
+               outside the geometry (naming something a sibling provides)
+               must keep its instance's bounding box covering it, or window
+               partitioning could separate the label from the geometry it
+               lands on.  The box is symmetric so it still covers the point
+               after any orthogonal transform. *)
+            Some
+              (Box.make
+                 ~l:(position.Point.x - 1)
+                 ~b:(position.Point.y - 1)
+                 ~r:(position.Point.x + 1)
+                 ~t:(position.Point.y + 1))
+        | Ast.Comment_ext _ -> None
+      in
+      hull_opt acc b)
+    None elements
+
+and symbol_bbox t id =
+  match Hashtbl.find_opt t.bbox_memo id with
+  | Some b -> b
+  | None ->
+      let def = symbol t id in
+      let b = elements_bbox t def.elements in
+      Hashtbl.replace t.bbox_memo id b;
+      b
+
+let bbox t = elements_bbox t t.ast.top_level
+
+let rec elements_box_count t elements =
+  List.fold_left
+    (fun acc el ->
+      acc
+      +
+      match el with
+      | Ast.Shape { shape; _ } ->
+          List.length (Shapes.boxes_of_shape ~quantum:t.quantum shape)
+      | Ast.Call { symbol; _ } -> symbol_box_count t symbol
+      | Ast.Label _ | Ast.Comment_ext _ -> 0)
+    0 elements
+
+and symbol_box_count t id =
+  match Hashtbl.find_opt t.count_memo id with
+  | Some n -> n
+  | None ->
+      let n = elements_box_count t (symbol t id).elements in
+      Hashtbl.replace t.count_memo id n;
+      n
+
+let count_boxes t = elements_box_count t t.ast.top_level
+
+let rec elements_inst_count t elements =
+  List.fold_left
+    (fun acc el ->
+      acc
+      +
+      match el with
+      | Ast.Call { symbol; _ } -> 1 + symbol_inst_count t symbol
+      | Ast.Shape _ | Ast.Label _ | Ast.Comment_ext _ -> 0)
+    0 elements
+
+and symbol_inst_count t id =
+  match Hashtbl.find_opt t.inst_memo id with
+  | Some n -> n
+  | None ->
+      let n = elements_inst_count t (symbol t id).elements in
+      Hashtbl.replace t.inst_memo id n;
+      n
+
+let count_instances t = elements_inst_count t t.ast.top_level
+
+let labels t =
+  let acc = ref [] in
+  let rec walk tr elements =
+    List.iter
+      (fun el ->
+        match el with
+        | Ast.Label { name; position; layer } ->
+            let layer =
+              match layer with None -> None | Some n -> Layer.of_cif_name n
+            in
+            acc := { name; position = Transform.apply tr position; layer } :: !acc
+        | Ast.Call { symbol = callee; ops } ->
+            let inner = (symbol t callee).Ast.elements in
+            walk (Transform.compose tr (transform_of_ops ops)) inner
+        | Ast.Shape _ | Ast.Comment_ext _ -> ())
+      elements
+  in
+  walk Transform.identity t.ast.top_level;
+  List.sort (fun (a : label) b -> Int.compare b.position.y a.position.y) !acc

@@ -1,0 +1,59 @@
+open Ace_geom
+open Ace_tech
+
+(** Semantically-checked CIF designs.
+
+    Wraps a parsed {!Ast.file} with a symbol table and validates it:
+    duplicate or missing symbol definitions, recursive call chains, unknown
+    layer names and non-manhattan call rotations are all reported.  Also
+    computes memoized per-symbol bounding boxes and flattened box counts —
+    the statistics the papers' tables are keyed on — without ever
+    instantiating the full chip. *)
+
+exception Semantic_error of string
+
+(** A net label, resolved to chip coordinates. *)
+type label = { name : string; position : Point.t; layer : Layer.t option }
+
+type t
+
+(** [of_ast ?quantum ast] validates and wraps a parsed file.  [quantum] is
+    the strip height for non-manhattan approximation (default λ/2 = 125
+    centimicrons).  Raises {!Semantic_error}. *)
+val of_ast : ?quantum:int -> Ast.file -> t
+
+val ast : t -> Ast.file
+val quantum : t -> int
+
+(** [symbol t id] raises [Not_found] for undefined ids. *)
+val symbol : t -> int -> Ast.symbol_def
+
+val symbol_ids : t -> int list
+
+(** Conservative bounding box of a symbol's full expansion; [None] when the
+    symbol contains no geometry. *)
+val symbol_bbox : t -> int -> Box.t option
+
+(** Bounding box of the whole chip (top-level elements). *)
+val bbox : t -> Box.t option
+
+(** Number of primitive boxes the fully-instantiated chip decomposes into —
+    the "N" of the papers' tables.  Computed from memoized per-symbol counts
+    in time proportional to the hierarchy, not to N. *)
+val count_boxes : t -> int
+
+(** Number of symbol instantiations in the full expansion. *)
+val count_instances : t -> int
+
+(** Transform of a call-operation list.  Non-manhattan rotations are snapped
+    to the nearest axis (the papers' extractor only handles manhattan
+    orientations); exact 45° raises {!Semantic_error}. *)
+val transform_of_ops : Ast.transform_op list -> Transform.t
+
+(** All labels in the design, fully instantiated and transformed, sorted by
+    decreasing y. *)
+val labels : t -> label list
+
+(** [resolve_layer t name] maps a CIF layer name; unknown names were already
+    rejected by [of_ast], so this never fails on shapes from [t]. *)
+val resolve_layer : string -> Layer.t option

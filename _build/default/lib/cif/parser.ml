@@ -1,0 +1,365 @@
+open Ace_geom
+
+exception Error of { position : int; message : string }
+
+let fail pos fmt =
+  Format.kasprintf (fun message -> raise (Error { position = pos; message })) fmt
+
+type cursor = { src : string; mutable pos : int }
+
+let is_digit c = c >= '0' && c <= '9'
+let is_upper c = c >= 'A' && c <= 'Z'
+
+let peek cur = if cur.pos < String.length cur.src then Some cur.src.[cur.pos] else None
+
+(* Skip CIF blanks: anything that is not a digit, uppercase letter, '-',
+   '(', ')' or ';'.  Parenthesized comments nest and count as blank. *)
+let rec skip_blanks cur =
+  match peek cur with
+  | None -> ()
+  | Some '(' ->
+      let depth = ref 0 in
+      let continue = ref true in
+      while !continue do
+        (match peek cur with
+        | None -> fail cur.pos "unterminated comment"
+        | Some '(' -> incr depth
+        | Some ')' -> if !depth = 1 then continue := false else decr depth
+        | Some _ -> ());
+        cur.pos <- cur.pos + 1
+      done;
+      skip_blanks cur
+  | Some c when is_digit c || is_upper c || c = '-' || c = ';' || c = ')' -> ()
+  | Some _ ->
+      cur.pos <- cur.pos + 1;
+      skip_blanks cur
+
+let read_int cur =
+  skip_blanks cur;
+  let neg =
+    match peek cur with
+    | Some '-' ->
+        cur.pos <- cur.pos + 1;
+        true
+    | _ -> false
+  in
+  let start = cur.pos in
+  while match peek cur with Some c when is_digit c -> true | _ -> false do
+    cur.pos <- cur.pos + 1
+  done;
+  if cur.pos = start then fail cur.pos "expected an integer";
+  let n = int_of_string (String.sub cur.src start (cur.pos - start)) in
+  if neg then -n else n
+
+let try_read_int cur =
+  skip_blanks cur;
+  match peek cur with
+  | Some c when is_digit c || c = '-' -> Some (read_int cur)
+  | Some _ | None -> None
+
+let read_point cur =
+  let x = read_int cur in
+  let y = read_int cur in
+  Point.make x y
+
+let expect_semi cur =
+  skip_blanks cur;
+  match peek cur with
+  | Some ';' -> cur.pos <- cur.pos + 1
+  | Some c -> fail cur.pos "expected ';', found %c" c
+  | None -> fail cur.pos "expected ';', found end of input"
+
+(* Read the rest of the command verbatim (for user extensions). *)
+let read_to_semi cur =
+  let start = cur.pos in
+  while
+    match peek cur with
+    | Some ';' -> false
+    | Some _ -> true
+    | None -> fail cur.pos "unterminated command"
+  do
+    cur.pos <- cur.pos + 1
+  done;
+  let text = String.sub cur.src start (cur.pos - start) in
+  cur.pos <- cur.pos + 1;
+  String.trim text
+
+let read_layer_name cur =
+  skip_blanks cur;
+  let start = cur.pos in
+  while
+    match peek cur with
+    | Some c when is_upper c || is_digit c -> true
+    | Some _ | None -> false
+  do
+    cur.pos <- cur.pos + 1
+  done;
+  if cur.pos = start then fail cur.pos "expected a layer name";
+  String.sub cur.src start (cur.pos - start)
+
+let read_points_until_semi cur =
+  let rec go acc =
+    match try_read_int cur with
+    | None -> List.rev acc
+    | Some x ->
+        let y = read_int cur in
+        go (Point.make x y :: acc)
+  in
+  go []
+
+let read_transform_ops cur =
+  let rec go acc =
+    skip_blanks cur;
+    match peek cur with
+    | Some 'T' ->
+        cur.pos <- cur.pos + 1;
+        let dx = read_int cur in
+        let dy = read_int cur in
+        go (Ast.Translate (dx, dy) :: acc)
+    | Some 'M' ->
+        cur.pos <- cur.pos + 1;
+        skip_blanks cur;
+        (match peek cur with
+        | Some 'X' ->
+            cur.pos <- cur.pos + 1;
+            go (Ast.Mirror_x :: acc)
+        | Some 'Y' ->
+            cur.pos <- cur.pos + 1;
+            go (Ast.Mirror_y :: acc)
+        | _ -> fail cur.pos "expected X or Y after M")
+    | Some 'R' ->
+        cur.pos <- cur.pos + 1;
+        let a = read_int cur in
+        let b = read_int cur in
+        go (Ast.Rotate (a, b) :: acc)
+    | Some _ | None -> List.rev acc
+  in
+  go []
+
+(* A word of uppercase letters (used after a label position for an optional
+   layer name); returns None at ';'. *)
+let try_read_word cur =
+  skip_blanks cur;
+  match peek cur with
+  | Some c when is_upper c -> Some (read_layer_name cur)
+  | Some _ | None -> None
+
+(* Labels in extension 94: a name is any run of non-blank, non-';'
+   characters starting at the first non-blank position. *)
+let read_label_name cur =
+  let rec skip_soft () =
+    match peek cur with
+    | Some c when c = ' ' || c = '\t' || c = '\n' || c = '\r' || c = ',' ->
+        cur.pos <- cur.pos + 1;
+        skip_soft ()
+    | _ -> ()
+  in
+  skip_soft ();
+  let start = cur.pos in
+  while
+    match peek cur with
+    | Some c when c <> ';' && c <> ' ' && c <> '\t' && c <> '\n' && c <> '\r' ->
+        true
+    | Some _ | None -> false
+  do
+    cur.pos <- cur.pos + 1
+  done;
+  if cur.pos = start then fail cur.pos "expected a label name";
+  String.sub cur.src start (cur.pos - start)
+
+type def_state = {
+  def_id : int;
+  scale_num : int;
+  scale_den : int;
+  mutable def_name : string option;
+  mutable def_elements : Ast.element list;  (** reversed *)
+}
+
+let scale st n =
+  match st with
+  | None -> n
+  | Some d ->
+      (* round-half-away-from-zero on the (rare) non-exact case *)
+      let v = n * d.scale_num in
+      if v mod d.scale_den = 0 then v / d.scale_den
+      else
+        let q = float_of_int v /. float_of_int d.scale_den in
+        int_of_float (Float.round q)
+
+let scale_point st (p : Point.t) = Point.make (scale st p.x) (scale st p.y)
+
+let parse_string src =
+  let cur = { src; pos = 0 } in
+  let symbols = ref [] in
+  let top = ref [] in
+  let current_def : def_state option ref = ref None in
+  let current_layer = ref None in
+  let add_element e =
+    match !current_def with
+    | Some d -> d.def_elements <- e :: d.def_elements
+    | None -> top := e :: !top
+  in
+  let add_shape shape =
+    match !current_layer with
+    | None -> fail cur.pos "geometry before any L (layer) command"
+    | Some layer -> add_element (Ast.Shape { layer; shape })
+  in
+  let finished = ref false in
+  while not !finished do
+    skip_blanks cur;
+    match peek cur with
+    | None -> fail cur.pos "missing E (end) command"
+    | Some ';' -> cur.pos <- cur.pos + 1 (* empty command *)
+    | Some 'P' ->
+        cur.pos <- cur.pos + 1;
+        let pts = read_points_until_semi cur in
+        expect_semi cur;
+        let st = !current_def in
+        add_shape (Ast.Polygon (List.map (scale_point st) pts))
+    | Some 'B' ->
+        cur.pos <- cur.pos + 1;
+        let st = !current_def in
+        let length = scale st (read_int cur) in
+        let width = scale st (read_int cur) in
+        let center = scale_point st (read_point cur) in
+        let direction =
+          match try_read_int cur with
+          | None -> None
+          | Some a ->
+              let b = read_int cur in
+              Some (Point.make a b)
+        in
+        expect_semi cur;
+        add_shape (Ast.Box { length; width; center; direction })
+    | Some 'W' ->
+        cur.pos <- cur.pos + 1;
+        let st = !current_def in
+        let width = scale st (read_int cur) in
+        let path = List.map (scale_point st) (read_points_until_semi cur) in
+        expect_semi cur;
+        add_shape (Ast.Wire { width; path })
+    | Some 'R' ->
+        cur.pos <- cur.pos + 1;
+        let st = !current_def in
+        let diameter = scale st (read_int cur) in
+        let center = scale_point st (read_point cur) in
+        expect_semi cur;
+        add_shape (Ast.Round_flash { diameter; center })
+    | Some 'L' ->
+        cur.pos <- cur.pos + 1;
+        let name = read_layer_name cur in
+        expect_semi cur;
+        current_layer := Some name
+    | Some 'D' ->
+        cur.pos <- cur.pos + 1;
+        skip_blanks cur;
+        (match peek cur with
+        | Some 'S' ->
+            cur.pos <- cur.pos + 1;
+            if !current_def <> None then
+              fail cur.pos "nested DS (symbol definitions cannot nest)";
+            let id = read_int cur in
+            let scale_num, scale_den =
+              match try_read_int cur with
+              | None -> (1, 1)
+              | Some a ->
+                  let b = read_int cur in
+                  if a <= 0 || b <= 0 then
+                    fail cur.pos "DS scale factors must be positive";
+                  (a, b)
+            in
+            expect_semi cur;
+            current_def :=
+              Some
+                {
+                  def_id = id;
+                  scale_num;
+                  scale_den;
+                  def_name = None;
+                  def_elements = [];
+                }
+        | Some 'F' ->
+            cur.pos <- cur.pos + 1;
+            expect_semi cur;
+            (match !current_def with
+            | None -> fail cur.pos "DF without matching DS"
+            | Some d ->
+                symbols :=
+                  {
+                    Ast.id = d.def_id;
+                    name = d.def_name;
+                    elements = List.rev d.def_elements;
+                  }
+                  :: !symbols;
+                current_def := None;
+                (* CIF: the current layer does not survive a definition *)
+                current_layer := None)
+        | Some 'D' ->
+            cur.pos <- cur.pos + 1;
+            let n = read_int cur in
+            expect_semi cur;
+            (* Delete definitions >= n.  Rare; honored literally. *)
+            symbols := List.filter (fun (s : Ast.symbol_def) -> s.id < n) !symbols
+        | _ -> fail cur.pos "expected S, F or D after D")
+    | Some 'C' ->
+        cur.pos <- cur.pos + 1;
+        let symbol = read_int cur in
+        let raw_ops = read_transform_ops cur in
+        expect_semi cur;
+        let st = !current_def in
+        let ops =
+          List.map
+            (function
+              | Ast.Translate (dx, dy) ->
+                  Ast.Translate (scale st dx, scale st dy)
+              | (Ast.Mirror_x | Ast.Mirror_y | Ast.Rotate _) as op -> op)
+            raw_ops
+        in
+        add_element (Ast.Call { symbol; ops })
+    | Some 'E' ->
+        cur.pos <- cur.pos + 1;
+        if !current_def <> None then fail cur.pos "E inside a symbol definition";
+        finished := true
+    | Some '9' -> (
+        cur.pos <- cur.pos + 1;
+        match peek cur with
+        | Some '4' ->
+            cur.pos <- cur.pos + 1;
+            let name = read_label_name cur in
+            let st = !current_def in
+            let position = scale_point st (read_point cur) in
+            let layer = try_read_word cur in
+            expect_semi cur;
+            add_element (Ast.Label { name; position; layer })
+        | _ ->
+            (* 9 name; — names the current symbol *)
+            let name = read_label_name cur in
+            expect_semi cur;
+            (match !current_def with
+            | Some d -> d.def_name <- Some name
+            | None -> add_element (Ast.Comment_ext ("9 " ^ name))))
+    | Some c when is_digit c ->
+        let text = read_to_semi cur in
+        add_element (Ast.Comment_ext text)
+    | Some c -> fail cur.pos "unknown command '%c'" c
+  done;
+  { Ast.symbols = List.rev !symbols; top_level = List.rev !top }
+
+let parse_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  parse_string s
+
+let describe_error ~source ~position ~message =
+  let line = ref 1 and col = ref 1 in
+  String.iteri
+    (fun i c ->
+      if i < position then
+        if c = '\n' then (
+          incr line;
+          col := 1)
+        else incr col)
+    source;
+  Printf.sprintf "CIF parse error at line %d, column %d: %s" !line !col message

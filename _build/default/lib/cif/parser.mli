@@ -1,0 +1,22 @@
+
+(** CIF 2.0 parser.
+
+    Accepts the full command set: [P] polygon, [B] box, [W] wire, [R]
+    roundflash, [L] layer, [DS]/[DF] symbol definition with scale factor,
+    [DD] delete, [C] call with transformation list, [E] end, parenthesized
+    (nested) comments, and user extensions — of which [9 name] (symbol
+    name) and [94 name x y \[layer\]] (net label) are interpreted, the rest
+    preserved verbatim.
+
+    The [DS a b] scale factor is applied to all contained distances at parse
+    time; the stateful current layer is resolved onto each shape. *)
+
+exception Error of { position : int; message : string }
+
+(** [parse_string s] parses a complete CIF file.  Raises {!Error}. *)
+val parse_string : string -> Ast.file
+
+val parse_file : string -> Ast.file
+
+(** Human-readable rendering of a parse error against its source. *)
+val describe_error : source:string -> position:int -> message:string -> string

@@ -1,0 +1,57 @@
+open Ace_geom
+open Ace_tech
+
+type t = {
+  boxes : int;
+  boxes_per_layer : (Layer.t * int) list;
+  mean_width : float;
+  mean_height : float;
+  chip_area : int;
+  geometry_area : int;
+  density : float;
+  distinct_tops : int;
+}
+
+let of_design design =
+  let boxes = ref 0 in
+  let per_layer = Array.make Layer.count 0 in
+  let sum_w = ref 0 and sum_h = ref 0 and sum_area = ref 0 in
+  let tops = Hashtbl.create 256 in
+  Flatten.iter design (fun lyr bx ->
+      incr boxes;
+      per_layer.(Layer.index lyr) <- per_layer.(Layer.index lyr) + 1;
+      sum_w := !sum_w + Box.width bx;
+      sum_h := !sum_h + Box.height bx;
+      sum_area := !sum_area + Box.area bx;
+      Hashtbl.replace tops bx.Box.t ());
+  let n = max 1 !boxes in
+  let chip_area =
+    match Design.bbox design with Some b -> Box.area b | None -> 0
+  in
+  {
+    boxes = !boxes;
+    boxes_per_layer =
+      List.filter_map
+        (fun lyr ->
+          let c = per_layer.(Layer.index lyr) in
+          if c > 0 then Some (lyr, c) else None)
+        Layer.all;
+    mean_width = float_of_int !sum_w /. float_of_int n;
+    mean_height = float_of_int !sum_h /. float_of_int n;
+    chip_area;
+    geometry_area = !sum_area;
+    density =
+      (if chip_area > 0 then float_of_int !sum_area /. float_of_int chip_area
+       else 0.0);
+    distinct_tops = Hashtbl.length tops;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "%d boxes (%s), mean %.0fx%.0f cu, density %.2f, %d distinct tops"
+    t.boxes
+    (String.concat ", "
+       (List.map
+          (fun (lyr, c) -> Printf.sprintf "%s %d" (Layer.to_cif_name lyr) c)
+          t.boxes_per_layer))
+    t.mean_width t.mean_height t.density t.distinct_tops

@@ -1,0 +1,24 @@
+open Ace_tech
+
+(** Layout statistics — the quantities the papers' expected-time analysis
+    is built on (Bentley, Haken & Hon, "Statistics on VLSI Designs").
+
+    ACE §4 models an N-box chip as uniformly distributed small squares and
+    derives O(√N) boxes on the scanline and O(√N) scanline stops, hence
+    linear total time.  These statistics let the benchmark check that the
+    synthetic workloads actually satisfy the model. *)
+
+type t = {
+  boxes : int;  (** total primitive boxes (the papers' N) *)
+  boxes_per_layer : (Layer.t * int) list;
+  mean_width : float;  (** centimicrons *)
+  mean_height : float;
+  chip_area : int;  (** bounding-box area, centimicrons² *)
+  geometry_area : int;  (** sum of box areas (overlaps counted twice) *)
+  density : float;  (** geometry_area / chip_area *)
+  distinct_tops : int;  (** number of distinct top-edge y values *)
+}
+
+val of_design : Design.t -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,195 @@
+open Ace_geom
+open Ace_tech
+
+type item =
+  | Item_box of Layer.t * Box.t
+  | Item_call of int * Transform.t
+
+type t = {
+  design : Design.t;
+  mutable keys : int array;  (** heap priorities: top y *)
+  mutable items : item array;
+  mutable size : int;
+  shape_cache : (int, (Layer.t * Box.t) list) Hashtbl.t;
+      (** per-symbol direct (non-call) geometry, symbol-local coordinates *)
+  labels : Design.label list;
+  mutable expansions : int;
+}
+
+let dummy = Item_call (min_int, Transform.identity)
+
+(* --- binary max-heap on (keys, items) --- *)
+
+let swap t i j =
+  let k = t.keys.(i) in
+  t.keys.(i) <- t.keys.(j);
+  t.keys.(j) <- k;
+  let x = t.items.(i) in
+  t.items.(i) <- t.items.(j);
+  t.items.(j) <- x
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if t.keys.(parent) < t.keys.(i) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let largest = ref i in
+  if l < t.size && t.keys.(l) > t.keys.(!largest) then largest := l;
+  if r < t.size && t.keys.(r) > t.keys.(!largest) then largest := r;
+  if !largest <> i then begin
+    swap t i !largest;
+    sift_down t !largest
+  end
+
+let push t key item =
+  if t.size = Array.length t.keys then begin
+    let cap = max 16 (2 * t.size) in
+    let keys = Array.make cap 0 and items = Array.make cap dummy in
+    Array.blit t.keys 0 keys 0 t.size;
+    Array.blit t.items 0 items 0 t.size;
+    t.keys <- keys;
+    t.items <- items
+  end;
+  t.keys.(t.size) <- key;
+  t.items.(t.size) <- item;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let pop t =
+  let item = t.items.(0) in
+  t.size <- t.size - 1;
+  if t.size > 0 then begin
+    t.keys.(0) <- t.keys.(t.size);
+    t.items.(0) <- t.items.(t.size);
+    sift_down t 0
+  end;
+  item
+
+(* --- expansion --- *)
+
+let direct_geometry t sym_id =
+  match Hashtbl.find_opt t.shape_cache sym_id with
+  | Some g -> g
+  | None ->
+      let quantum = Design.quantum t.design in
+      let g =
+        List.concat_map
+          (fun el ->
+            match el with
+            | Ast.Shape { layer; shape } -> (
+                match Design.resolve_layer layer with
+                | None -> []
+                | Some lyr ->
+                    List.map
+                      (fun bx -> (lyr, bx))
+                      (Shapes.boxes_of_shape ~quantum shape))
+            | Ast.Call _ | Ast.Label _ | Ast.Comment_ext _ -> [])
+          (Design.symbol t.design sym_id).Ast.elements
+      in
+      Hashtbl.replace t.shape_cache sym_id g;
+      g
+
+let push_elements t tr elements =
+  List.iter
+    (fun el ->
+      match el with
+      | Ast.Shape _ | Ast.Label _ | Ast.Comment_ext _ -> ()
+      | Ast.Call { symbol; ops } -> (
+          match Design.symbol_bbox t.design symbol with
+          | None -> () (* empty symbol: nothing will ever come out *)
+          | Some bb ->
+              let tr' = Transform.compose tr (Design.transform_of_ops ops) in
+              let placed = Transform.apply_box tr' bb in
+              push t placed.Box.t (Item_call (symbol, tr'))))
+    elements
+
+let push_direct_boxes t tr sym_id =
+  List.iter
+    (fun (lyr, bx) ->
+      let placed = Transform.apply_box tr bx in
+      push t placed.Box.t (Item_box (lyr, placed)))
+    (direct_geometry t sym_id)
+
+let expand_call t sym_id tr =
+  t.expansions <- t.expansions + 1;
+  push_direct_boxes t tr sym_id;
+  push_elements t tr (Design.symbol t.design sym_id).Ast.elements
+
+(* Keep expanding while the heap's max item is an instance, so the top key
+   is an exact box top. *)
+let rec settle t =
+  if t.size > 0 then
+    match t.items.(0) with
+    | Item_box _ -> ()
+    | Item_call (sym, tr) ->
+        ignore (pop t);
+        expand_call t sym tr;
+        settle t
+
+let create design =
+  let quantum = Design.quantum design in
+  let t =
+    {
+      design;
+      keys = Array.make 64 0;
+      items = Array.make 64 dummy;
+      size = 0;
+      shape_cache = Hashtbl.create 64;
+      labels = Design.labels design;
+      expansions = 0;
+    }
+  in
+  (* top level behaves like an anonymous symbol expanded once *)
+  List.iter
+    (fun el ->
+      match el with
+      | Ast.Shape { layer; shape } -> (
+          match Design.resolve_layer layer with
+          | None -> ()
+          | Some lyr ->
+              List.iter
+                (fun bx -> push t bx.Box.t (Item_box (lyr, bx)))
+                (Shapes.boxes_of_shape ~quantum shape))
+      | Ast.Call _ | Ast.Label _ | Ast.Comment_ext _ -> ())
+    (Design.ast design).Ast.top_level;
+  push_elements t Transform.identity (Design.ast design).Ast.top_level;
+  t
+
+let peek_top t =
+  settle t;
+  if t.size = 0 then None else Some t.keys.(0)
+
+let pop_at t y =
+  (* Do not settle below [y]: an instance whose conservative key is already
+     < y cannot contribute a box with top = y, and expanding it now would
+     defeat the front-end's laziness. *)
+  let rec go acc =
+    if t.size = 0 || t.keys.(0) < y then acc
+    else
+      match pop t with
+      | Item_box (lyr, bx) -> go ((lyr, bx) :: acc)
+      | Item_call (sym, tr) ->
+          expand_call t sym tr;
+          go acc
+  in
+  go []
+
+let drain t =
+  let rec go acc last =
+    match peek_top t with
+    | None -> List.rev acc
+    | Some y ->
+        assert (match last with None -> true | Some prev -> y <= prev);
+        let boxes = pop_at t y in
+        go (List.rev_append boxes acc) (Some y)
+  in
+  go [] None
+
+let labels t = t.labels
+let expansions t = t.expansions

@@ -1,0 +1,36 @@
+open Ace_geom
+open Ace_tech
+
+(** ACE's lazy front-end: sorted top-to-bottom geometry without full
+    instantiation.
+
+    A max-heap holds pending items keyed by top-edge y: concrete boxes use
+    their exact top; symbol instances use their (conservative) transformed
+    bounding-box top.  Popping an instance expands it {e one level} and
+    pushes its children back — the paper's "recursively expands only those
+    cells that intersect the current scanline", which keeps resident state
+    proportional to the scanline population rather than to N. *)
+
+type t
+
+val create : Design.t -> t
+
+(** y of the next scanline stop at which new geometry appears; [None] when
+    the stream is exhausted.  Forces just enough expansion to make the
+    answer exact. *)
+val peek_top : t -> int option
+
+(** [pop_at t y] returns every primitive box whose top edge is exactly [y],
+    expanding instances as needed.  Must be called with [y = peek_top t]. *)
+val pop_at : t -> int -> (Layer.t * Box.t) list
+
+(** Convenience: drain the whole stream, checking descending-top order. *)
+val drain : t -> (Layer.t * Box.t) list
+
+(** All labels of the design (eagerly collected — labels are rare), sorted
+    by decreasing y. *)
+val labels : t -> Design.label list
+
+(** Number of one-level expansions performed so far (front-end work
+    metric). *)
+val expansions : t -> int

@@ -1,0 +1,60 @@
+open Ace_geom
+
+let transform_op_to_string = function
+  | Ast.Translate (dx, dy) -> Printf.sprintf "T %d %d" dx dy
+  | Ast.Mirror_x -> "M X"
+  | Ast.Mirror_y -> "M Y"
+  | Ast.Rotate (a, b) -> Printf.sprintf "R %d %d" a b
+
+let add_points buf pts =
+  List.iter (fun (p : Point.t) -> Printf.bprintf buf " %d %d" p.x p.y) pts
+
+let add_shape buf layer shape =
+  Printf.bprintf buf "L %s; " layer;
+  (match shape with
+  | Ast.Box { length; width; center; direction } -> (
+      Printf.bprintf buf "B %d %d %d %d" length width center.x center.y;
+      match direction with
+      | None -> ()
+      | Some d -> Printf.bprintf buf " %d %d" d.x d.y)
+  | Ast.Polygon pts ->
+      Buffer.add_char buf 'P';
+      add_points buf pts
+  | Ast.Wire { width; path } ->
+      Printf.bprintf buf "W %d" width;
+      add_points buf path
+  | Ast.Round_flash { diameter; center } ->
+      Printf.bprintf buf "R %d %d %d" diameter center.x center.y);
+  Buffer.add_string buf ";\n"
+
+let element_to_buffer buf = function
+  | Ast.Shape { layer; shape } -> add_shape buf layer shape
+  | Ast.Call { symbol; ops } ->
+      Printf.bprintf buf "C %d" symbol;
+      List.iter (fun op -> Printf.bprintf buf " %s" (transform_op_to_string op)) ops;
+      Buffer.add_string buf ";\n"
+  | Ast.Label { name; position; layer } -> (
+      Printf.bprintf buf "94 %s %d %d" name position.x position.y;
+      (match layer with None -> () | Some l -> Printf.bprintf buf " %s" l);
+      Buffer.add_string buf ";\n")
+  | Ast.Comment_ext text -> Printf.bprintf buf "%s;\n" text
+
+let to_string (file : Ast.file) =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (def : Ast.symbol_def) ->
+      Printf.bprintf buf "DS %d 1 1;\n" def.id;
+      (match def.name with
+      | Some name -> Printf.bprintf buf "9 %s;\n" name
+      | None -> ());
+      List.iter (element_to_buffer buf) def.elements;
+      Buffer.add_string buf "DF;\n")
+    file.symbols;
+  List.iter (element_to_buffer buf) file.top_level;
+  Buffer.add_string buf "E\n";
+  Buffer.contents buf
+
+let to_file path file =
+  let oc = open_out path in
+  output_string oc (to_string file);
+  close_out oc

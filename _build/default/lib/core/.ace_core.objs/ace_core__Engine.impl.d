@@ -1,0 +1,1 @@
+lib/core/engine.ml: Ace_cif Ace_geom Ace_netlist Ace_tech Array Box Format Hashtbl Int Interval Layer List Point Timing Union_find

@@ -1,0 +1,1 @@
+lib/core/engine.mli: Ace_cif Ace_geom Ace_netlist Ace_tech Box Hashtbl Interval Layer Point Timing Union_find

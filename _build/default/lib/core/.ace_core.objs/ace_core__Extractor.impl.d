@@ -1,0 +1,1 @@
+lib/core/extractor.ml: Ace_cif Ace_geom Ace_netlist Ace_tech Array Box Circuit Engine Hashtbl Int Layer List Nmos Point Poly String Timing Union_find

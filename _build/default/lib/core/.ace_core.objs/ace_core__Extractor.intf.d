@@ -1,0 +1,1 @@
+lib/core/extractor.mli: Ace_cif Ace_geom Ace_netlist Ace_tech Box Circuit Engine Layer Point Timing Union_find

@@ -1,0 +1,1 @@
+lib/core/timing.ml: Array Fun List Unix

@@ -1,0 +1,640 @@
+open Ace_geom
+open Ace_tech
+open Ace_netlist
+
+type source = {
+  peek : unit -> int option;
+  pop : int -> (Layer.t * Box.t) list;
+}
+
+let source_of_stream stream =
+  {
+    peek = (fun () -> Ace_cif.Stream.peek_top stream);
+    pop = (fun y -> Ace_cif.Stream.pop_at stream y);
+  }
+
+let source_of_boxes boxes =
+  let arr = Array.of_list boxes in
+  Array.sort (fun (_, (a : Box.t)) (_, (b : Box.t)) -> Int.compare b.t a.t) arr;
+  let idx = ref 0 in
+  {
+    peek =
+      (fun () ->
+        if !idx < Array.length arr then Some (snd arr.(!idx)).Box.t else None);
+    pop =
+      (fun y ->
+        let acc = ref [] in
+        while !idx < Array.length arr && (snd arr.(!idx)).Box.t = y do
+          acc := arr.(!idx) :: !acc;
+          incr idx
+        done;
+        !acc);
+  }
+
+(* Edge-side codes for contact tie-breaking: the adjacent net lies below
+   (0) / above (1) the channel across a horizontal edge, or left (2) /
+   right (3) across a vertical one.  Together with the edge's minimal
+   position this identifies a unique edge segment, giving every extractor
+   the same deterministic source/drain choice on tied lengths. *)
+let side_below = 0
+let side_above = 1
+let side_left = 2
+let side_right = 3
+
+let edge_key_less (p1, s1) (p2, s2) =
+  let c = Point.compare_yx p1 p2 in
+  c < 0 || (c = 0 && s1 < s2)
+
+type face = West | East | South | North
+
+type boundary_span = {
+  bface : face;
+  bspan : Interval.span;
+  blayer : Layer.t;
+  bnet : int;
+}
+
+type boundary_channel = { cface : face; cspan : Interval.span; cdev : int }
+
+type config = { emit_geometry : bool; window : Box.t option }
+
+let default_config = { emit_geometry = false; window = None }
+
+type device_data = {
+  area : int;
+  implant_area : int;
+  bbox : Box.t;
+  gate : int;
+  contacts : (int * int * Point.t * int) list;
+  channel_geometry : Box.t list;
+  touches_boundary : bool;
+}
+
+type raw = {
+  nets : Union_find.t;
+  net_names : (int * string) list;
+  net_locations : (int, Point.t) Hashtbl.t;
+  net_geometry : (int, (Layer.t * Box.t) list) Hashtbl.t;
+  devices : (int * device_data) list;
+  boundary_nets : boundary_span list;
+  boundary_channels : boundary_channel list;
+  warnings : string list;
+  stops : int;
+  max_active : int;
+  timing : Timing.t;
+}
+
+(* An active box: it spans [al, ar) in x and persists until the scanline
+   reaches [ab]. *)
+type abox = { al : int; ar : int; ab : int }
+
+(* Insert sorted-by-[al] newcomers into a sorted active list — the paper's
+   insertion sort of step 2.a/2.b. *)
+let insert_sorted actives newcomers =
+  let newcomers = List.sort (fun a b -> Int.compare a.al b.al) newcomers in
+  let rec merge a b =
+    match (a, b) with
+    | [], l | l, [] -> l
+    | x :: xs, y :: ys ->
+        if x.al <= y.al then x :: merge xs b else y :: merge a ys
+  in
+  merge actives newcomers
+
+(* Merged x-intervals of an active list (sorted by al). *)
+let intervals_of_active actives =
+  Interval.of_spans (List.map (fun a -> (a.al, a.ar)) actives)
+
+(* Assign ids to the intervals of the current strip by overlap with the
+   previous strip's tagged intervals; fresh id when nothing overlaps. *)
+let assign prev cur ~fresh ~union =
+  let rec drop (c : Interval.span) = function
+    | ((ps : Interval.span), _) :: tl when ps.hi <= c.lo -> drop c tl
+    | l -> l
+  in
+  let rec collect (c : Interval.span) l acc =
+    match l with
+    | ((ps : Interval.span), pe) :: tl when ps.lo < c.hi -> collect c tl (pe :: acc)
+    | _ -> List.rev acc
+  in
+  let rec go prev cur acc =
+    match cur with
+    | [] -> List.rev acc
+    | c :: cs ->
+        let prev = drop c prev in
+        let id =
+          match collect c prev [] with
+          | [] -> fresh c
+          | first :: rest ->
+              List.iter (fun e -> union first e) rest;
+              first
+        in
+        go prev cs ((c, id) :: acc)
+  in
+  go prev cur []
+
+(* Overlap pairs between a tagged list and a plain interval list; calls
+   [f id span overlap_len] for each strict overlap. *)
+let iter_overlaps tagged plain ~f =
+  let rec go tagged plain =
+    match (tagged, plain) with
+    | [], _ | _, [] -> ()
+    | ((ts : Interval.span), id) :: ttl, (ps : Interval.span) :: ptl ->
+        let len = Interval.span_overlap_length ts ps in
+        if len > 0 then f id ps len;
+        if ts.hi < ps.hi then go ttl plain else go tagged ptl
+  in
+  go tagged plain
+
+(* Overlap pairs between two tagged lists. *)
+let iter_tagged_overlaps a b ~f =
+  let rec go a b =
+    match (a, b) with
+    | [], _ | _, [] -> ()
+    | ((sa : Interval.span), ia) :: atl, ((sb : Interval.span), ib) :: btl ->
+        let len = Interval.span_overlap_length sa sb in
+        if len > 0 then f ia ib len (max sa.lo sb.lo);
+        if sa.hi < sb.hi then go atl b else go a btl
+  in
+  go a b
+
+let run config source ~labels =
+  (* In window mode, clipping can lower a box's top below the stop it was
+     popped at, breaking the sorted-by-top invariant.  Re-sort the clipped
+     geometry up front: leaf windows are small, and HEXT's partitioner
+     pre-clips anyway. *)
+  let source =
+    match config.window with
+    | None -> source
+    | Some w ->
+        let rec drain acc =
+          match source.peek () with
+          | None -> acc
+          | Some y ->
+              let boxes =
+                List.filter_map
+                  (fun (lyr, bx) ->
+                    match Box.clip bx ~window:w with
+                    | Some c -> Some (lyr, c)
+                    | None -> None)
+                  (source.pop y)
+              in
+              drain (List.rev_append boxes acc)
+        in
+        source_of_boxes (drain [])
+  in
+  let timing = Timing.create () in
+  let nets = Union_find.create () in
+  let dev_uf = Union_find.create () in
+  let net_names = ref [] in
+  let net_locations = Hashtbl.create 256 in
+  let net_geometry = Hashtbl.create 256 in
+  let warnings = ref [] in
+  let warn fmt = Format.kasprintf (fun m -> warnings := m :: !warnings) fmt in
+  (* per device element accumulators *)
+  let dev_area : (int, int ref) Hashtbl.t = Hashtbl.create 64 in
+  let dev_implant : (int, int ref) Hashtbl.t = Hashtbl.create 64 in
+  let dev_bbox : (int, Box.t ref) Hashtbl.t = Hashtbl.create 64 in
+  let dev_gates = ref [] in
+  let dev_edges = ref [] in
+  let dev_geometry : (int, Box.t list ref) Hashtbl.t = Hashtbl.create 64 in
+  let dev_boundary : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  let boundary_nets = ref [] in
+  let boundary_channels = ref [] in
+  let accumulate tbl key v =
+    match Hashtbl.find_opt tbl key with
+    | Some r -> r := !r + v
+    | None -> Hashtbl.replace tbl key (ref v)
+  in
+  let grow_bbox key bx =
+    match Hashtbl.find_opt dev_bbox key with
+    | Some r -> r := Box.hull !r bx
+    | None -> Hashtbl.replace dev_bbox key (ref bx)
+  in
+  let add_geometry tbl key item =
+    match Hashtbl.find_opt tbl key with
+    | Some r -> r := item :: !r
+    | None -> Hashtbl.replace tbl key (ref [ item ])
+  in
+  let active = Array.make Layer.count [] in
+  let prev_diff = ref []
+  and prev_poly = ref []
+  and prev_metal = ref []
+  and prev_chan = ref [] in
+  let pending_labels = ref labels in
+  let stops = ref 0 and max_active = ref 0 in
+  let clip bx =
+    match config.window with
+    | None -> Some bx
+    | Some w -> Box.clip bx ~window:w
+  in
+  let fresh_net (span : Interval.span) y =
+    let e = Union_find.fresh nets in
+    Hashtbl.replace net_locations e (Point.make span.lo y);
+    e
+  in
+  let union_nets a b = ignore (Union_find.union nets a b) in
+  let fresh_dev (span : Interval.span) y =
+    let e = Union_find.fresh dev_uf in
+    ignore span;
+    ignore y;
+    e
+  in
+  let union_devs a b = ignore (Union_find.union dev_uf a b) in
+
+  let record_boundary_tracks strip_bottom strip_top tracks chan =
+    match config.window with
+    | None -> ()
+    | Some w ->
+        let yspan = { Interval.lo = strip_bottom; hi = strip_top } in
+        let record_track layer tagged =
+          (* The cut layer bridges conductors horizontally within a strip,
+             never vertically, so its interface spans live on the vertical
+             faces only. *)
+          let horizontal_faces = not (Layer.equal layer Layer.Contact) in
+          List.iter
+            (fun ((s : Interval.span), id) ->
+              if s.lo = w.Box.l then
+                boundary_nets :=
+                  { bface = West; bspan = yspan; blayer = layer; bnet = id }
+                  :: !boundary_nets;
+              if s.hi = w.Box.r then
+                boundary_nets :=
+                  { bface = East; bspan = yspan; blayer = layer; bnet = id }
+                  :: !boundary_nets;
+              if horizontal_faces && strip_top = w.Box.t then
+                boundary_nets :=
+                  { bface = North; bspan = s; blayer = layer; bnet = id }
+                  :: !boundary_nets;
+              if horizontal_faces && strip_bottom = w.Box.b then
+                boundary_nets :=
+                  { bface = South; bspan = s; blayer = layer; bnet = id }
+                  :: !boundary_nets)
+            tagged
+        in
+        List.iter (fun (layer, tagged) -> record_track layer tagged) tracks;
+        List.iter
+          (fun ((s : Interval.span), dev) ->
+            let mark face span =
+              Hashtbl.replace dev_boundary dev ();
+              boundary_channels :=
+                { cface = face; cspan = span; cdev = dev } :: !boundary_channels
+            in
+            if s.lo = w.Box.l then mark West yspan;
+            if s.hi = w.Box.r then mark East yspan;
+            if strip_top = w.Box.t then mark North s;
+            if strip_bottom = w.Box.b then mark South s)
+          chan
+  in
+
+  let process_strip ~bottom ~top =
+    let height = top - bottom in
+    (* walking the active lists into merged strip intervals is the paper's
+       "updating the data structures" work; device/net computation below is
+       charged separately *)
+    let diff_raw, poly_raw, metal_raw, cut_raw, buried_raw, implant_raw =
+      Timing.charge timing Timing.List_update (fun () ->
+          let layer_intervals lyr =
+            intervals_of_active active.(Layer.index lyr)
+          in
+          ( layer_intervals Layer.Diffusion,
+            layer_intervals Layer.Poly,
+            layer_intervals Layer.Metal,
+            layer_intervals Layer.Contact,
+            layer_intervals Layer.Buried,
+            layer_intervals Layer.Implant ))
+    in
+    Timing.charge timing Timing.Devices (fun () ->
+        let gate_overlap = Interval.inter diff_raw poly_raw in
+        let channel_all = Interval.diff gate_overlap buried_raw in
+        let buried_contact = Interval.inter gate_overlap buried_raw in
+        let diff_cond = Interval.diff diff_raw channel_all in
+        (* net assignment by vertical overlap with the previous strip *)
+        let new_diff =
+          assign !prev_diff diff_cond
+            ~fresh:(fun s -> fresh_net s bottom)
+            ~union:union_nets
+        in
+        let new_poly =
+          assign !prev_poly poly_raw
+            ~fresh:(fun s -> fresh_net s bottom)
+            ~union:union_nets
+        in
+        let new_metal =
+          assign !prev_metal metal_raw
+            ~fresh:(fun s -> fresh_net s bottom)
+            ~union:union_nets
+        in
+        let new_chan =
+          assign !prev_chan channel_all
+            ~fresh:(fun s -> fresh_dev s bottom)
+            ~union:union_devs
+        in
+        (* channel contributions *)
+        List.iter
+          (fun ((s : Interval.span), dev) ->
+            let len = s.hi - s.lo in
+            accumulate dev_area dev (len * height);
+            let over_implant = Interval.overlap_length [ s ] implant_raw in
+            if over_implant > 0 then accumulate dev_implant dev (over_implant * height);
+            grow_bbox dev (Box.make ~l:s.lo ~b:bottom ~r:s.hi ~t:top);
+            if config.emit_geometry then
+              add_geometry dev_geometry dev (Box.make ~l:s.lo ~b:bottom ~r:s.hi ~t:top))
+          new_chan;
+        (* gate nets: the poly interval covering each channel interval *)
+        iter_tagged_overlaps new_chan new_poly ~f:(fun dev poly_net _len _lo ->
+            dev_gates := (dev, poly_net) :: !dev_gates);
+        (* same-strip source/drain contacts: vertical edges where channel and
+           conducting diffusion abut *)
+        let rec adjacency chans diffs =
+          match (chans, diffs) with
+          | [], _ | _, [] -> ()
+          | ((c : Interval.span), dev) :: ctl, ((d : Interval.span), net) :: dtl ->
+              if d.hi <= c.lo then begin
+                if d.hi = c.lo then
+                  dev_edges :=
+                    (dev, net, height, Point.make c.lo bottom, side_left)
+                    :: !dev_edges;
+                adjacency chans dtl
+              end
+              else begin
+                (* disjoint tracks: here d.lo >= c.hi *)
+                if d.lo = c.hi then
+                  dev_edges :=
+                    (dev, net, height, Point.make c.hi bottom, side_right)
+                    :: !dev_edges;
+                adjacency ctl diffs
+              end
+        in
+        adjacency new_chan new_diff;
+        (* cross-strip source/drain contacts along the strip boundary *)
+        iter_tagged_overlaps new_chan !prev_diff ~f:(fun dev net len lo ->
+            dev_edges :=
+              (dev, net, len, Point.make lo top, side_above) :: !dev_edges);
+        iter_tagged_overlaps !prev_chan new_diff ~f:(fun dev net len lo ->
+            dev_edges :=
+              (dev, net, len, Point.make lo top, side_below) :: !dev_edges);
+        (* contact cuts connect metal/poly/diffusion; buried contacts connect
+           poly and diffusion *)
+        let connect_through vias tracks =
+          List.iter
+            (fun (via : Interval.span) ->
+              let found = ref [] in
+              List.iter
+                (fun tagged ->
+                  iter_overlaps tagged [ via ] ~f:(fun id _ _ -> found := id :: !found))
+                tracks;
+              match !found with
+              | [] | [ _ ] -> ()
+              | first :: rest -> List.iter (fun e -> union_nets first e) rest)
+            vias
+        in
+        connect_through cut_raw [ new_metal; new_poly; new_diff ];
+        connect_through buried_contact [ new_poly; new_diff ];
+        (* net geometry *)
+        if config.emit_geometry then begin
+          let record layer tagged =
+            List.iter
+              (fun ((s : Interval.span), net) ->
+                add_geometry net_geometry net
+                  (layer, Box.make ~l:s.lo ~b:bottom ~r:s.hi ~t:top))
+              tagged
+          in
+          record Layer.Diffusion new_diff;
+          record Layer.Poly new_poly;
+          record Layer.Metal new_metal
+        end;
+        (* labels falling inside this strip *)
+        let rec bind_labels () =
+          match !pending_labels with
+          | (lab : Ace_cif.Design.label) :: rest
+            when lab.position.Point.y >= bottom && lab.position.Point.y < top ->
+              pending_labels := rest;
+              let x = lab.position.Point.x in
+              let find_in tagged =
+                List.find_map
+                  (fun ((s : Interval.span), id) ->
+                    if s.lo <= x && x < s.hi then Some id else None)
+                  tagged
+              in
+              let tracks =
+                match lab.layer with
+                | Some Layer.Metal -> [ new_metal ]
+                | Some Layer.Poly -> [ new_poly ]
+                | Some Layer.Diffusion -> [ new_diff ]
+                | Some (Layer.Contact | Layer.Implant | Layer.Buried | Layer.Glass)
+                | None ->
+                    [ new_metal; new_poly; new_diff ]
+              in
+              (match List.find_map find_in tracks with
+              | Some net -> net_names := (net, lab.name) :: !net_names
+              | None ->
+                  warn "label %S at (%d,%d) touches no conducting geometry" lab.name
+                    lab.position.Point.x lab.position.Point.y);
+              bind_labels ()
+          | (lab : Ace_cif.Design.label) :: rest when lab.position.Point.y >= top ->
+              (* above every strip we will ever process: report once *)
+              pending_labels := rest;
+              warn "label %S at (%d,%d) lies above all geometry" lab.name
+                lab.position.Point.x lab.position.Point.y;
+              bind_labels ()
+          | _ -> ()
+        in
+        bind_labels ();
+        (* The interface must also carry contact-cut bridges: a cut piece
+           abutting the window boundary can merge with a neighbouring
+           window's piece into one interval whose per-strip rule bridges
+           conductors across the seam.  Each boundary cut interval is
+           tagged with the net class it bridges in this strip (all its
+           overlapping conductors are already unioned).  A piece touching
+           no conductor here is NOT represented: a phantom element would
+           persist across this window's (coarser) strips and transitively
+           union neighbour nets that the flat extractor keeps apart.  The
+           only construction such a piece could legitimately bridge — a
+           cut spanning three windows with nothing under its middle third —
+           cannot arise, because guillotine cuts never pass through the
+           interior of a merged cut extent. *)
+        let cut_tagged =
+          if config.window = None then []
+          else
+            List.filter_map
+              (fun (via : Interval.span) ->
+                let found = ref None in
+                List.iter
+                  (fun tagged ->
+                    iter_overlaps tagged [ via ] ~f:(fun id _ _ ->
+                        if !found = None then found := Some id))
+                  [ new_metal; new_poly; new_diff ];
+                match !found with
+                | Some id -> Some (via, id)
+                | None -> None)
+              cut_raw
+        in
+        record_boundary_tracks bottom top
+          [
+            (Layer.Diffusion, new_diff);
+            (Layer.Poly, new_poly);
+            (Layer.Metal, new_metal);
+            (Layer.Contact, cut_tagged);
+          ]
+          new_chan;
+        prev_diff := new_diff;
+        prev_poly := new_poly;
+        prev_metal := new_metal;
+        prev_chan := new_chan)
+  in
+
+  let count_active () =
+    Array.fold_left (fun acc l -> acc + List.length l) 0 active
+  in
+  let rec loop y_top =
+    incr stops;
+    Timing.charge timing Timing.List_update (fun () ->
+        for i = 0 to Layer.count - 1 do
+          active.(i) <- List.filter (fun a -> a.ab < y_top) active.(i)
+        done);
+    let incoming = Timing.charge timing Timing.Front_end (fun () -> source.pop y_top) in
+    Timing.charge timing Timing.List_update (fun () ->
+        let by_layer = Array.make Layer.count [] in
+        List.iter
+          (fun (lyr, bx) ->
+            match clip bx with
+            | None -> ()
+            | Some (bx : Box.t) ->
+                if bx.t = y_top then
+                  let i = Layer.index lyr in
+                  by_layer.(i) <-
+                    { al = bx.l; ar = bx.r; ab = bx.b } :: by_layer.(i))
+          incoming;
+        for i = 0 to Layer.count - 1 do
+          if by_layer.(i) <> [] then
+            active.(i) <- insert_sorted active.(i) by_layer.(i)
+        done);
+    max_active := max !max_active (count_active ());
+    let next_peek = Timing.charge timing Timing.Front_end source.peek in
+    let max_bottom =
+      Array.fold_left
+        (List.fold_left (fun acc a -> match acc with
+           | None -> Some a.ab
+           | Some m -> Some (max m a.ab)))
+        None active
+    in
+    let next_y =
+      match (next_peek, max_bottom) with
+      | None, None -> None
+      | Some y, None | None, Some y -> Some y
+      | Some a, Some b -> Some (max a b)
+    in
+    match next_y with
+    | None -> ()
+    | Some next_y ->
+        process_strip ~bottom:next_y ~top:y_top;
+        loop next_y
+  in
+  (match Timing.charge timing Timing.Front_end source.peek with
+  | None -> ()
+  | Some y0 -> loop y0);
+  List.iter
+    (fun (lab : Ace_cif.Design.label) ->
+      warn "label %S at (%d,%d) lies below all geometry" lab.name
+        lab.position.Point.x lab.position.Point.y)
+    !pending_labels;
+  (* fold per-element device data by device-class root *)
+  let devices =
+    Timing.charge timing Timing.Output (fun () ->
+        let by_root : (int, device_data ref) Hashtbl.t = Hashtbl.create 64 in
+        Hashtbl.iter
+          (fun elem area ->
+            let root = Union_find.find dev_uf elem in
+            let implant =
+              match Hashtbl.find_opt dev_implant elem with
+              | Some r -> !r
+              | None -> 0
+            in
+            let bbox =
+              match Hashtbl.find_opt dev_bbox elem with
+              | Some r -> !r
+              | None -> assert false
+            in
+            let geometry =
+              match Hashtbl.find_opt dev_geometry elem with
+              | Some r -> !r
+              | None -> []
+            in
+            let touches = Hashtbl.mem dev_boundary elem in
+            match Hashtbl.find_opt by_root root with
+            | Some r ->
+                r :=
+                  {
+                    !r with
+                    area = !r.area + !area;
+                    implant_area = !r.implant_area + implant;
+                    bbox = Box.hull !r.bbox bbox;
+                    channel_geometry = geometry @ !r.channel_geometry;
+                    touches_boundary = !r.touches_boundary || touches;
+                  }
+            | None ->
+                Hashtbl.replace by_root root
+                  (ref
+                     {
+                       area = !area;
+                       implant_area = implant;
+                       bbox;
+                       gate = -1;
+                       contacts = [];
+                       channel_geometry = geometry;
+                       touches_boundary = touches;
+                     }))
+          dev_area;
+        List.iter
+          (fun (dev, gate_elem) ->
+            let root = Union_find.find dev_uf dev in
+            match Hashtbl.find_opt by_root root with
+            | Some r -> if !r.gate < 0 then r := { !r with gate = gate_elem }
+            | None -> ())
+          !dev_gates;
+        (* aggregate edge contacts per (device root, net root); keep the
+           minimal edge position for deterministic terminal tie-breaks *)
+        let contact_len : (int * int, (int * (Point.t * int)) ref) Hashtbl.t =
+          Hashtbl.create 64
+        in
+        List.iter
+          (fun (dev, net, len, pos, side) ->
+            let key = (Union_find.find dev_uf dev, Union_find.find nets net) in
+            match Hashtbl.find_opt contact_len key with
+            | Some r ->
+                let total, best = !r in
+                r :=
+                  ( total + len,
+                    if edge_key_less (pos, side) best then (pos, side) else best )
+            | None -> Hashtbl.replace contact_len key (ref (len, (pos, side))))
+          !dev_edges;
+        Hashtbl.iter
+          (fun (dev_root, net_root) r ->
+            let len, (pos, side) = !r in
+            match Hashtbl.find_opt by_root dev_root with
+            | Some d ->
+                d := { !d with contacts = (net_root, len, pos, side) :: !d.contacts }
+            | None -> ())
+          contact_len;
+        Hashtbl.fold (fun root r acc -> (root, !r) :: acc) by_root [])
+  in
+  {
+    nets;
+    net_names = !net_names;
+    net_locations;
+    net_geometry =
+      (let tbl = Hashtbl.create 64 in
+       Hashtbl.iter (fun k r -> Hashtbl.replace tbl k !r) net_geometry;
+       tbl);
+    devices;
+    boundary_nets = !boundary_nets;
+    boundary_channels =
+      (* resolve element ids to the device roots used by [devices] *)
+      List.map
+        (fun bc -> { bc with cdev = Union_find.find dev_uf bc.cdev })
+        !boundary_channels;
+    warnings = List.rev !warnings;
+    stops = !stops;
+    max_active = !max_active;
+    timing;
+  }

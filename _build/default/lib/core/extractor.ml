@@ -1,0 +1,164 @@
+open Ace_geom
+open Ace_tech
+open Ace_netlist
+
+type stats = {
+  boxes : int;
+  stops : int;
+  max_active : int;
+  timing : Timing.t;
+  warnings : string list;
+}
+
+(* The transistor sizing rule of ACE §3: source edge = perimeter along
+   which the source net touches the channel; W = mean(source edge, drain
+   edge); L = area / W. *)
+let channel_terminals ~gate ~area ~contacts =
+  (* longest edges first; ties broken by the edge's geometric position so
+     flat and hierarchical extraction always agree *)
+  let contacts =
+    List.sort
+      (fun (_, la, pa, sa) (_, lb, pb, sb) ->
+        let c = Int.compare lb la in
+        if c <> 0 then c
+        else if Engine.edge_key_less (pa, sa) (pb, sb) then -1
+        else if Engine.edge_key_less (pb, sb) (pa, sa) then 1
+        else 0)
+      contacts
+  in
+  let source, drain, width =
+    match contacts with
+    | (n1, l1, _, _) :: (n2, l2, _, _) :: _ -> (n1, n2, (l1 + l2) / 2)
+    | [ (n1, l1, _, _) ] -> (n1, n1, l1 / 2)
+    | [] ->
+        (* floating channel; keep indices valid, let the checker flag it *)
+        (gate, gate, max 1 (int_of_float (sqrt (float_of_int area))))
+  in
+  let width = max 1 width in
+  let length = max 1 (area / width) in
+  (source, drain, width, length)
+
+let resolve_device nets dense (data : Engine.device_data) =
+  let resolve e = dense.(Union_find.find nets e) in
+  let gate = if data.gate >= 0 then resolve data.gate else 0 in
+  let contacts =
+    List.map (fun (n, l, p, side) -> (resolve n, l, p, side)) data.contacts
+  in
+  let source, drain, width, length =
+    channel_terminals ~gate ~area:data.area ~contacts
+  in
+  let dtype = Nmos.channel_type ~implanted:(2 * data.implant_area >= data.area) in
+  {
+    Circuit.dtype;
+    gate;
+    source;
+    drain;
+    length;
+    width;
+    location = Box.min_corner data.bbox;
+    geometry = List.map (fun bx -> (Layer.Diffusion, bx)) data.channel_geometry;
+  }
+
+let circuit_of_raw ~name ~include_partial (raw : Engine.raw) =
+  let nets = raw.nets in
+  let dense = Union_find.compress nets in
+  let class_count = Union_find.class_count nets in
+  let names = Array.make class_count [] in
+  List.iter
+    (fun (e, n) ->
+      let c = dense.(Union_find.find nets e) in
+      names.(c) <- n :: names.(c))
+    raw.net_names;
+  (* location: the creation point of the earliest (topmost-created) element
+     of each class *)
+  let locations = Array.make class_count None in
+  let first_elem = Array.make class_count max_int in
+  Hashtbl.iter
+    (fun e loc ->
+      let c = dense.(Union_find.find nets e) in
+      if e < first_elem.(c) then begin
+        first_elem.(c) <- e;
+        locations.(c) <- Some loc
+      end)
+    raw.net_locations;
+  let geometry = Array.make class_count [] in
+  Hashtbl.iter
+    (fun e boxes ->
+      let c = dense.(Union_find.find nets e) in
+      geometry.(c) <- boxes @ geometry.(c))
+    raw.net_geometry;
+  (* order nets by descending location y (the figures list top nets first) *)
+  let order = Array.init class_count (fun i -> i) in
+  let loc_of i =
+    match locations.(i) with Some p -> p | None -> Point.origin
+  in
+  Array.sort
+    (fun a b ->
+      let pa = loc_of a and pb = loc_of b in
+      let c = Int.compare pb.Point.y pa.Point.y in
+      if c <> 0 then c else Int.compare pa.Point.x pb.Point.x)
+    order;
+  let position = Array.make class_count 0 in
+  Array.iteri (fun rank c -> position.(c) <- rank) order;
+  let nets_arr =
+    Array.map
+      (fun c ->
+        let coalesce boxes =
+          List.concat_map
+            (fun layer ->
+              let mine =
+                List.filter_map
+                  (fun (l, b) -> if Layer.equal l layer then Some b else None)
+                  boxes
+              in
+              List.map (fun b -> (layer, b)) (Poly.coalesce_columns mine))
+            Layer.conducting_layers
+        in
+        {
+          Circuit.names = List.sort_uniq String.compare names.(c);
+          location = loc_of c;
+          geometry = coalesce geometry.(c);
+        })
+      order
+  in
+  (* dense-with-ordering mapping for terminals *)
+  let dense_ordered = Array.map (fun c -> position.(c)) dense in
+  let devices =
+    raw.devices
+    |> List.filter (fun (_, (d : Engine.device_data)) ->
+           include_partial || not d.touches_boundary)
+    |> List.map (fun (_, d) -> resolve_device nets dense_ordered d)
+    |> List.sort (fun (a : Circuit.device) b ->
+           let c = Int.compare a.location.Point.y b.location.Point.y in
+           if c <> 0 then c else Int.compare a.location.Point.x b.location.Point.x)
+    |> Array.of_list
+  in
+  { Circuit.name; devices; nets = nets_arr }
+
+let extract_with_stats ?(emit_geometry = false) ?(name = "chip") design =
+  let stream = Ace_cif.Stream.create design in
+  let labels = Ace_cif.Stream.labels stream in
+  let source = Engine.source_of_stream stream in
+  let raw = Engine.run { Engine.emit_geometry; window = None } source ~labels in
+  let circuit = circuit_of_raw ~name ~include_partial:true raw in
+  ( circuit,
+    {
+      boxes = Ace_cif.Design.count_boxes design;
+      stops = raw.stops;
+      max_active = raw.max_active;
+      timing = raw.timing;
+      warnings = raw.warnings;
+    } )
+
+let extract ?emit_geometry ?name design =
+  fst (extract_with_stats ?emit_geometry ?name design)
+
+let extract_boxes ?(emit_geometry = false) ?(name = "chip") ?(labels = []) boxes =
+  let source = Engine.source_of_boxes boxes in
+  let raw = Engine.run { Engine.emit_geometry; window = None } source ~labels in
+  circuit_of_raw ~name ~include_partial:true raw
+
+let extract_cif_string ?emit_geometry ?name text =
+  let ast = Ace_cif.Parser.parse_string text in
+  let design = Ace_cif.Design.of_ast ast in
+  extract ?emit_geometry ?name design

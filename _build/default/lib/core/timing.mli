@@ -1,0 +1,35 @@
+(** Phase timing for the extraction pipeline.
+
+    ACE §5 reports a coarse distribution of time over the extraction
+    algorithm (parsing/sorting 40%, list updates 15%, device computation
+    20%, storage/io 10%, miscellaneous 15%).  The engine charges wall time
+    to these phases so the benchmark can regenerate that table. *)
+
+type phase =
+  | Front_end  (** parsing, instantiating, sorting (geometry source) *)
+  | List_update  (** entering new geometry, updating active lists *)
+  | Devices  (** computing devices, nets, connectivity *)
+  | Output  (** storage allocation, output, initialization *)
+
+val all_phases : phase list
+
+val phase_name : phase -> string
+
+type t
+
+val create : unit -> t
+
+(** [charge t phase f] runs [f ()], adding its wall time to [phase]. *)
+val charge : t -> phase -> (unit -> 'a) -> 'a
+
+(** Add externally measured seconds to a phase (e.g. CIF text parsing,
+    which happens before the engine runs). *)
+val add : t -> phase -> float -> unit
+
+(** Seconds accumulated in a phase. *)
+val seconds : t -> phase -> float
+
+val total_seconds : t -> float
+
+(** Percentage table, phase order of {!all_phases}. *)
+val distribution : t -> (phase * float) list

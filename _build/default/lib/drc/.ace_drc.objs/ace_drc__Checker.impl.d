@@ -1,0 +1,1 @@
+lib/drc/checker.ml: Ace_cif Ace_geom Ace_tech Box Format Hashtbl Int Interval Layer List Printf Rules Stdlib

@@ -1,0 +1,1 @@
+lib/drc/checker.mli: Ace_cif Ace_geom Ace_tech Box Format Layer Rules

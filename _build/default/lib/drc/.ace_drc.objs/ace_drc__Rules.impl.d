@@ -1,0 +1,1 @@
+lib/drc/rules.ml: Ace_tech Layer List

@@ -1,0 +1,1 @@
+lib/drc/rules.mli: Ace_tech Layer

@@ -1,0 +1,191 @@
+open Ace_geom
+open Ace_tech
+
+type violation = {
+  rule : string;
+  layer : Layer.t;
+  at : Box.t;
+  detail : string;
+}
+
+let pp_violation ppf v =
+  Format.fprintf ppf "%s on %a at %a: %s" v.rule Layer.pp v.layer Box.pp v.at
+    v.detail
+
+let transpose_box (b : Box.t) = Box.make ~l:b.b ~b:b.l ~r:b.t ~t:b.r
+let transpose_boxes = List.map (fun (lyr, b) -> (lyr, transpose_box b))
+
+(* One directional pass over a box list: all rules expressible on the
+   per-strip x-intervals.  Runs twice, the second time on the transposed
+   layout, so both axes are covered. *)
+let directional_pass rules boxes ~axis =
+  let violations = ref [] in
+  let add rule layer span ~bottom ~top detail =
+    let at = Box.make ~l:span.Interval.lo ~b:bottom ~r:span.Interval.hi ~t:top in
+    violations := { rule; layer; at; detail } :: !violations
+  in
+  let stops =
+    List.concat_map (fun (_, (bx : Box.t)) -> [ bx.t; bx.b ]) boxes
+    |> List.sort_uniq (fun a b -> Int.compare b a)
+  in
+  let spans_of layer ~top ~bottom =
+    Interval.of_spans
+      (List.filter_map
+         (fun (lyr, (bx : Box.t)) ->
+           if Layer.equal lyr layer && bx.t >= top && bx.b <= bottom then
+             Some (bx.l, bx.r)
+           else None)
+         boxes)
+  in
+  let surround = Rules.scaled rules rules.Rules.cut_surround in
+  let overhang = Rules.scaled rules rules.Rules.gate_overhang in
+  let covers intervals (s : Interval.span) =
+    List.exists
+      (fun (i : Interval.span) -> i.lo <= s.lo && s.hi <= i.hi)
+      intervals
+  in
+  let rec strips = function
+    | top :: (bottom :: _ as rest) ->
+        let layer_spans = Hashtbl.create 8 in
+        let spans layer =
+          match Hashtbl.find_opt layer_spans layer with
+          | Some s -> s
+          | None ->
+              let s = spans_of layer ~top ~bottom in
+              Hashtbl.replace layer_spans layer s;
+              s
+        in
+        (* width and spacing per constrained layer *)
+        List.iter
+          (fun layer ->
+            let min_w = Rules.width_of rules layer in
+            let min_s = Rules.spacing_of rules layer in
+            let rec walk = function
+              | [] -> ()
+              | (s : Interval.span) :: tl ->
+                  if min_w > 0 && s.hi - s.lo < min_w then
+                    add "width" layer s ~bottom ~top
+                      (Printf.sprintf "feature %d < minimum %d" (s.hi - s.lo)
+                         min_w);
+                  (match tl with
+                  | (next : Interval.span) :: _
+                    when min_s > 0 && next.lo - s.hi < min_s ->
+                      add "spacing" layer
+                        { Interval.lo = s.hi; hi = next.lo }
+                        ~bottom ~top
+                        (Printf.sprintf "gap %d < minimum %d" (next.lo - s.hi)
+                           min_s)
+                  | _ -> ());
+                  walk tl
+            in
+            walk (spans layer))
+          [ Layer.Diffusion; Layer.Poly; Layer.Metal; Layer.Implant;
+            Layer.Buried ];
+        (* contact cut surround: metal and (poly or diffusion) must extend
+           [surround] beyond the cut in this axis *)
+        List.iter
+          (fun (c : Interval.span) ->
+            let expanded = { Interval.lo = c.lo - surround; hi = c.hi + surround } in
+            if not (covers (spans Layer.Metal) expanded) then
+              add "cut-surround" Layer.Metal c ~bottom ~top
+                "metal does not surround the contact cut";
+            if
+              not
+                (covers (spans Layer.Poly) expanded
+                || covers (spans Layer.Diffusion) expanded)
+            then
+              add "cut-surround" Layer.Contact c ~bottom ~top
+                "neither poly nor diffusion surrounds the contact cut")
+          (spans Layer.Contact);
+        (* gate overhang: where a channel ends without adjacent conducting
+           diffusion, the poly must extend beyond it *)
+        let gate = Interval.inter (spans Layer.Diffusion) (spans Layer.Poly) in
+        let channel = Interval.diff gate (spans Layer.Buried) in
+        let diff_cond = Interval.diff (spans Layer.Diffusion) channel in
+        List.iter
+          (fun (c : Interval.span) ->
+            let poly = spans Layer.Poly in
+            let covering =
+              List.find_opt
+                (fun (p : Interval.span) -> p.lo <= c.lo && c.hi <= p.hi)
+                poly
+            in
+            let diff_abuts x =
+              List.exists
+                (fun (d : Interval.span) -> d.hi = x || d.lo = x)
+                diff_cond
+            in
+            match covering with
+            | None -> ()
+            | Some p ->
+                if (not (diff_abuts c.lo)) && c.lo - p.lo < overhang then
+                  add "gate-overhang" Layer.Poly c ~bottom ~top
+                    "poly does not extend far enough beyond the channel";
+                if (not (diff_abuts c.hi)) && p.hi - c.hi < overhang then
+                  add "gate-overhang" Layer.Poly c ~bottom ~top
+                    "poly does not extend far enough beyond the channel")
+          channel;
+        strips rest
+    | [ _ ] | [] -> ()
+  in
+  strips stops;
+  match axis with
+  | `X -> !violations
+  | `Y -> List.map (fun v -> { v with at = transpose_box v.at }) !violations
+
+(* Merge vertically stacked reports of the same rule/layer/detail so a
+   narrow wire yields one violation, not one per strip. *)
+let coalesce violations =
+  let groups = Hashtbl.create 16 in
+  List.iter
+    (fun v ->
+      let key = (v.rule, v.layer, v.detail) in
+      let prev = try Hashtbl.find groups key with Not_found -> [] in
+      Hashtbl.replace groups key (v.at :: prev))
+    violations;
+  let merge boxes =
+    (* coalesce vertically stacked boxes, then horizontally adjacent ones *)
+    let cols = Ace_geom.Poly.coalesce_columns boxes in
+    List.map transpose_box
+      (Ace_geom.Poly.coalesce_columns (List.map transpose_box cols))
+  in
+  Hashtbl.fold
+    (fun (rule, layer, detail) boxes acc ->
+      List.fold_left
+        (fun acc at -> { rule; layer; at; detail } :: acc)
+        acc (merge boxes))
+    groups []
+  |> List.sort (fun a b ->
+         let c = Stdlib.compare (a.rule, a.layer) (b.rule, b.layer) in
+         if c <> 0 then c else Box.compare a.at b.at)
+
+let check_boxes ?(rules = Rules.mead_conway ()) boxes =
+  let cut_violations =
+    (* cut dimensions are a per-box rule: the paper-era processes used a
+       fixed square contact *)
+    let want = Rules.scaled rules rules.Rules.cut_size in
+    List.filter_map
+      (fun (lyr, bx) ->
+        if
+          Layer.equal lyr Layer.Contact
+          && (Box.width bx <> want || Box.height bx <> want)
+        then
+          Some
+            {
+              rule = "cut-size";
+              layer = Layer.Contact;
+              at = bx;
+              detail =
+                Printf.sprintf "contact cut is %dx%d, must be %dx%d"
+                  (Box.width bx) (Box.height bx) want want;
+            }
+        else None)
+      boxes
+  in
+  coalesce
+    (cut_violations
+    @ directional_pass rules boxes ~axis:`X
+    @ directional_pass rules (transpose_boxes boxes) ~axis:`Y)
+
+let check ?rules design =
+  check_boxes ?rules (Ace_cif.Flatten.flatten design)

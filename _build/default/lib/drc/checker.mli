@@ -1,0 +1,33 @@
+open Ace_geom
+open Ace_tech
+
+(** Scanline design-rule checker.
+
+    The papers place design-rule checking beside extraction in the artwork
+    analysis family (Baker's thesis covers both; Whitney's and Seiler's
+    checkers are cited).  This checker reuses the same strip decomposition
+    as the extractor: per strip it has merged per-layer x-intervals, so
+
+    - {e x-direction} rules (interval too narrow, gap too small, missing
+      x-surround of a cut, missing gate overhang) read off directly, and
+    - {e y-direction} rules come from running the identical pass over the
+      transposed layout.
+
+    Corner-to-corner spacing is not checked (a documented approximation
+    that early checkers shared). *)
+
+type violation = {
+  rule : string;  (** e.g. "width", "spacing", "cut-size" *)
+  layer : Layer.t;
+  at : Box.t;  (** area the violation was seen in *)
+  detail : string;
+}
+
+val pp_violation : Format.formatter -> violation -> unit
+
+(** Check a full design.  Violations are deduplicated per (rule, layer,
+    location) and sorted by position. *)
+val check : ?rules:Rules.t -> Ace_cif.Design.t -> violation list
+
+(** Check a raw box list (tests, windows). *)
+val check_boxes : ?rules:Rules.t -> (Layer.t * Box.t) list -> violation list

@@ -1,0 +1,37 @@
+open Ace_tech
+
+type t = {
+  lambda : int;
+  min_width : (Layer.t * int) list;
+  min_spacing : (Layer.t * int) list;
+  cut_size : int;
+  cut_surround : int;
+  gate_overhang : int;
+}
+
+let mead_conway ?(lambda = 250) () =
+  {
+    lambda;
+    min_width =
+      [
+        (Layer.Diffusion, 2); (Layer.Poly, 2); (Layer.Metal, 3);
+        (Layer.Implant, 2); (Layer.Buried, 2);
+      ];
+    min_spacing =
+      [ (Layer.Diffusion, 3); (Layer.Poly, 2); (Layer.Metal, 3) ];
+    cut_size = 2;
+    cut_surround = 1;
+    gate_overhang = 2;
+  }
+
+let scaled t n = n * t.lambda
+
+let width_of t layer =
+  match List.assoc_opt layer t.min_width with
+  | Some w -> scaled t w
+  | None -> 0
+
+let spacing_of t layer =
+  match List.assoc_opt layer t.min_spacing with
+  | Some s -> scaled t s
+  | None -> 0

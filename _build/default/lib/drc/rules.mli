@@ -1,0 +1,29 @@
+open Ace_tech
+
+(** Mead–Conway λ design rules (the subset an early scanline checker
+    enforced).
+
+    All distances are multiples of λ, scaled to centimicrons via
+    {!scaled}. *)
+
+type t = {
+  lambda : int;  (** centimicrons per λ *)
+  min_width : (Layer.t * int) list;  (** λ units *)
+  min_spacing : (Layer.t * int) list;
+  cut_size : int;  (** contact cuts must be exactly this square (λ) *)
+  cut_surround : int;  (** conducting material around a cut (λ) *)
+  gate_overhang : int;  (** poly extension beyond the channel (λ) *)
+}
+
+(** The Mead–Conway NMOS rules: widths ND 2λ, NP 2λ, NM 3λ, NI/NB 2λ;
+    spacings ND 3λ, NP 2λ, NM 3λ; 2λ×2λ cuts with 1λ surround; 2λ gate
+    overhang. *)
+val mead_conway : ?lambda:int -> unit -> t
+
+(** Width rule of a layer, scaled to centimicrons (0 if unconstrained). *)
+val width_of : t -> Layer.t -> int
+
+(** Spacing rule, scaled (0 if unconstrained). *)
+val spacing_of : t -> Layer.t -> int
+
+val scaled : t -> int -> int

@@ -1,0 +1,1 @@
+lib/geom/box.ml: Format Int List Point Printf

@@ -1,0 +1,1 @@
+lib/geom/box.mli: Format Point

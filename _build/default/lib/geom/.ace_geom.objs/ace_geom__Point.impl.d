@@ -1,0 +1,1 @@
+lib/geom/point.ml: Format Int

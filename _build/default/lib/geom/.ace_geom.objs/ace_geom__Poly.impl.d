@@ -1,0 +1,1 @@
+lib/geom/poly.ml: Box Float Int Interval List Point

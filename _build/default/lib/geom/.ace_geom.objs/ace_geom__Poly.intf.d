@@ -1,0 +1,1 @@
+lib/geom/poly.mli: Box Point

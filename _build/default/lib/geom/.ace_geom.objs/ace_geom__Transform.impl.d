@@ -1,0 +1,1 @@
+lib/geom/transform.ml: Box Format Point Printf

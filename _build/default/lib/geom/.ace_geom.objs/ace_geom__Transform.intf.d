@@ -1,0 +1,1 @@
+lib/geom/transform.mli: Box Format Point

@@ -1,0 +1,85 @@
+type span = { lo : int; hi : int }
+type t = span list
+
+let empty = []
+let is_empty = function [] -> true | _ :: _ -> false
+
+let of_spans pairs =
+  let spans =
+    List.filter_map
+      (fun (lo, hi) -> if lo < hi then Some { lo; hi } else None)
+      pairs
+  in
+  let sorted = List.sort (fun a b -> Int.compare a.lo b.lo) spans in
+  (* Merge overlapping or abutting spans left to right. *)
+  let rec merge acc = function
+    | [] -> List.rev acc
+    | s :: rest -> (
+        match acc with
+        | prev :: acc' when s.lo <= prev.hi ->
+            merge ({ prev with hi = max prev.hi s.hi } :: acc') rest
+        | _ -> merge (s :: acc) rest)
+  in
+  merge [] sorted
+
+let to_spans t = List.map (fun s -> (s.lo, s.hi)) t
+let cardinal = List.length
+let total_length t = List.fold_left (fun acc s -> acc + s.hi - s.lo) 0 t
+let mem t x = List.exists (fun s -> s.lo <= x && x < s.hi) t
+
+let union a b = of_spans (to_spans a @ to_spans b)
+
+let rec inter a b =
+  match (a, b) with
+  | [], _ | _, [] -> []
+  | x :: a', y :: b' ->
+      let lo = max x.lo y.lo and hi = min x.hi y.hi in
+      let rest = if x.hi < y.hi then inter a' b else inter a b' in
+      if lo < hi then { lo; hi } :: rest else rest
+
+let rec diff a b =
+  match (a, b) with
+  | [], _ -> []
+  | _, [] -> a
+  | x :: a', y :: b' ->
+      if y.hi <= x.lo then diff a b'
+      else if x.hi <= y.lo then x :: diff a' b
+      else
+        (* x and y overlap *)
+        let head = if x.lo < y.lo then [ { lo = x.lo; hi = y.lo } ] else [] in
+        if y.hi < x.hi then head @ diff ({ lo = y.hi; hi = x.hi } :: a') b'
+        else head @ diff a' b
+
+let equal a b =
+  List.length a = List.length b
+  && List.for_all2 (fun x y -> x.lo = y.lo && x.hi = y.hi) a b
+
+let spans_overlap x y = max x.lo y.lo < min x.hi y.hi
+let span_overlap_length x y = max 0 (min x.hi y.hi - max x.lo y.lo)
+
+let overlap_length a b =
+  let rec go acc a b =
+    match (a, b) with
+    | [], _ | _, [] -> acc
+    | x :: a', y :: b' ->
+        let acc = acc + span_overlap_length x y in
+        if x.hi < y.hi then go acc a' b else go acc a b'
+  in
+  go 0 a b
+
+let overlapping_pairs a b =
+  let rec go i j a b acc =
+    match (a, b) with
+    | [], _ | _, [] -> List.rev acc
+    | x :: a', y :: b' ->
+        let acc = if spans_overlap x y then (i, j) :: acc else acc in
+        if x.hi < y.hi then go (i + 1) j a' b acc else go i (j + 1) a b' acc
+  in
+  go 0 0 a b []
+
+let pp ppf t =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       (fun ppf s -> Format.fprintf ppf "[%d,%d)" s.lo s.hi))
+    t

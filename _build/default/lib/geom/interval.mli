@@ -1,0 +1,57 @@
+(** One-dimensional interval sets.
+
+    An interval set is a canonical list of half-open intervals [\[lo, hi)],
+    sorted by [lo], pairwise disjoint and non-abutting.  These are the
+    per-layer cross-sections the scanline back-end manipulates: within one
+    horizontal strip the mask state of a layer is exactly such a set.
+
+    All operations are linear in the number of intervals. *)
+
+type span = { lo : int; hi : int }
+
+type t = span list
+
+(** Canonical empty set. *)
+val empty : t
+
+val is_empty : t -> bool
+
+(** [of_spans l] normalizes an arbitrary list of (lo, hi) pairs: drops
+    empty spans, sorts, and merges overlapping or abutting ones. *)
+val of_spans : (int * int) list -> t
+
+val to_spans : t -> (int * int) list
+
+(** Number of intervals. *)
+val cardinal : t -> int
+
+(** Sum of interval lengths. *)
+val total_length : t -> int
+
+val mem : t -> int -> bool
+
+(** [union a b], [inter a b], [diff a b] are set operations producing
+    canonical results. *)
+val union : t -> t -> t
+
+val inter : t -> t -> t
+
+val diff : t -> t -> t
+
+val equal : t -> t -> bool
+
+(** [overlap_length a b] = total length of [inter a b] without building it. *)
+val overlap_length : t -> t -> int
+
+(** [overlapping_pairs a b] enumerates the index pairs (i, j) such that the
+    i-th interval of [a] strictly overlaps the j-th interval of [b], in
+    order.  Used to union nets across a strip boundary. *)
+val overlapping_pairs : t -> t -> (int * int) list
+
+(** [spans_overlap x y] holds when the two spans share positive length. *)
+val spans_overlap : span -> span -> bool
+
+(** [span_overlap_length x y] is the (non-negative) shared length. *)
+val span_overlap_length : span -> span -> int
+
+val pp : Format.formatter -> t -> unit

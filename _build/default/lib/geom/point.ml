@@ -1,0 +1,17 @@
+type t = { x : int; y : int }
+
+let make x y = { x; y }
+let origin = { x = 0; y = 0 }
+let add a b = { x = a.x + b.x; y = a.y + b.y }
+let sub a b = { x = a.x - b.x; y = a.y - b.y }
+let equal a b = a.x = b.x && a.y = b.y
+
+let compare a b =
+  let c = Int.compare a.x b.x in
+  if c <> 0 then c else Int.compare a.y b.y
+
+let compare_yx a b =
+  let c = Int.compare a.y b.y in
+  if c <> 0 then c else Int.compare a.x b.x
+
+let pp ppf p = Format.fprintf ppf "(%d,%d)" p.x p.y

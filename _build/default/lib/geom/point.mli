@@ -1,0 +1,23 @@
+(** Integer lattice points.
+
+    All ACE geometry lives on an integer grid (CIF centimicrons).  A point is
+    an immutable pair of coordinates. *)
+
+type t = { x : int; y : int }
+
+val make : int -> int -> t
+
+val origin : t
+
+val add : t -> t -> t
+
+val sub : t -> t -> t
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+(** Lexicographic by [y] then [x]; useful for canonical orderings. *)
+val compare_yx : t -> t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/hext/content.ml: Ace_cif Ace_geom Ace_tech Box Hashtbl Int Interval Layer List Point Stdlib Transform

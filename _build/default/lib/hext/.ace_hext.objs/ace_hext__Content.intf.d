@@ -1,0 +1,1 @@
+lib/hext/content.mli: Ace_cif Ace_geom Ace_tech Box Layer Transform

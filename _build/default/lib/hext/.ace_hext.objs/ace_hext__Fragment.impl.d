@@ -1,0 +1,1 @@
+lib/hext/fragment.ml: Ace_cif Ace_core Ace_geom Ace_netlist Ace_tech Array Box Circuit Format Hashtbl Hier Int Interval Layer List Nmos Point Printf String Sys Union_find

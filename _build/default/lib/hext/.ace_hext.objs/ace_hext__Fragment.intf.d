@@ -1,0 +1,1 @@
+lib/hext/fragment.mli: Ace_cif Ace_core Ace_geom Ace_netlist Ace_tech Box Hier Interval Layer Point

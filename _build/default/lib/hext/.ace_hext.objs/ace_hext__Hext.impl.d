@@ -1,0 +1,1 @@
+lib/hext/hext.ml: Ace_cif Ace_geom Ace_netlist Circuit Content Fragment Hashtbl Hier List Point Unix

@@ -1,0 +1,1 @@
+lib/hext/hext.mli: Ace_cif Ace_netlist Circuit Hier

@@ -1,0 +1,268 @@
+open Ace_geom
+open Ace_tech
+
+type item =
+  | Geometry of Layer.t * Box.t
+  | Label of Ace_cif.Design.label
+  | Instance of int * Transform.t
+
+type window = { area : Box.t; items : item list }
+
+let instance_bbox design sym tr =
+  match Ace_cif.Design.symbol_bbox design sym with
+  | None -> None
+  | Some bb -> Some (Transform.apply_box tr bb)
+
+let of_design design =
+  match Ace_cif.Design.bbox design with
+  | None -> None
+  | Some area ->
+      let quantum = Ace_cif.Design.quantum design in
+      let items =
+        List.concat_map
+          (fun el ->
+            match el with
+            | Ace_cif.Ast.Shape { layer; shape } -> (
+                match Ace_cif.Design.resolve_layer layer with
+                | None -> []
+                | Some lyr ->
+                    List.map
+                      (fun bx -> Geometry (lyr, bx))
+                      (Ace_cif.Shapes.boxes_of_shape ~quantum shape))
+            | Ace_cif.Ast.Call { symbol; ops } ->
+                [ Instance (symbol, Ace_cif.Design.transform_of_ops ops) ]
+            | Ace_cif.Ast.Label { name; position; layer } ->
+                [
+                  Label
+                    {
+                      Ace_cif.Design.name;
+                      position;
+                      layer =
+                        (match layer with
+                        | None -> None
+                        | Some l -> Ace_cif.Design.resolve_layer l);
+                    };
+                ]
+            | Ace_cif.Ast.Comment_ext _ -> [])
+          (Ace_cif.Design.ast design).Ace_cif.Ast.top_level
+      in
+      Some { area; items }
+
+(* ------------------------------------------------------------------ *)
+(* Canonical form: origin-normalized, sorted                            *)
+(* ------------------------------------------------------------------ *)
+
+type canonical = { c_width : int; c_height : int; c_items : item list }
+
+let translate_item ~dx ~dy = function
+  | Geometry (lyr, bx) -> Geometry (lyr, Box.translate bx ~dx ~dy)
+  | Label lab ->
+      Label
+        {
+          lab with
+          Ace_cif.Design.position =
+            Point.add lab.Ace_cif.Design.position (Point.make dx dy);
+        }
+  | Instance (sym, tr) ->
+      Instance (sym, Transform.compose (Transform.translation ~dx ~dy) tr)
+
+let canonicalize w =
+  let dx = -w.area.Box.l and dy = -w.area.Box.b in
+  let items = List.map (translate_item ~dx ~dy) w.items in
+  {
+    c_width = Box.width w.area;
+    c_height = Box.height w.area;
+    c_items = List.sort Stdlib.compare items;
+  }
+
+let canonical_equal (a : canonical) b = a = b
+let canonical_hash (c : canonical) = Hashtbl.hash_param 100 1000 c
+
+let has_instances w =
+  List.exists (function Instance _ -> true | Geometry _ | Label _ -> false) w.items
+
+let box_count w =
+  List.fold_left
+    (fun acc -> function Geometry _ -> acc + 1 | Label _ | Instance _ -> acc)
+    0 w.items
+
+(* ------------------------------------------------------------------ *)
+(* Cut selection                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type cut = Vertical of int | Horizontal of int
+
+(* A vertical cut at x is invalid if an instance bbox or a contact-cut box
+   strictly straddles it; a horizontal cut only minds instances.  Blocked
+   zones are merged into interval sets so validity checks are a membership
+   test rather than a scan (keeps cut selection O(k log k)). *)
+let choose_cut design w =
+  let xs_blocked = ref []
+  and ys_blocked = ref []
+  and cut_spans = ref []
+  and xs = ref []
+  and ys = ref [] in
+  let candidate_box (bx : Box.t) =
+    xs := bx.l :: bx.r :: !xs;
+    ys := bx.b :: bx.t :: !ys
+  in
+  List.iter
+    (fun item ->
+      match item with
+      | Instance (sym, tr) -> (
+          match instance_bbox design sym tr with
+          | None -> ()
+          | Some bb ->
+              candidate_box bb;
+              (* strictly-inside zone: x invalid iff l < x < r *)
+              xs_blocked := (bb.Box.l + 1, bb.Box.r) :: !xs_blocked;
+              ys_blocked := (bb.Box.b + 1, bb.Box.t) :: !ys_blocked)
+      | Geometry (Layer.Contact, bx) ->
+          candidate_box bx;
+          cut_spans := (bx.Box.l, bx.Box.r) :: !cut_spans
+      | Geometry
+          ( ( Layer.Diffusion | Layer.Poly | Layer.Metal | Layer.Implant
+            | Layer.Buried | Layer.Glass ),
+            bx ) ->
+          candidate_box bx
+      | Label _ -> ())
+    w.items;
+  (* Abutting contact cuts merge into one bridging interval inside a strip,
+     so a vertical line through the interior of the *merged* x-extent of
+     the cut layer could split a bridge the flat extractor sees.  Merging
+     all cut spans regardless of y is conservative (it may reject some
+     workable cuts) but never unsound. *)
+  List.iter
+    (fun (s : Interval.span) -> xs_blocked := (s.lo + 1, s.hi) :: !xs_blocked)
+    (Interval.of_spans !cut_spans);
+  let xs_blocked = Interval.of_spans !xs_blocked
+  and ys_blocked = Interval.of_spans !ys_blocked in
+  let midx = (w.area.Box.l + w.area.Box.r) / 2
+  and midy = (w.area.Box.b + w.area.Box.t) / 2 in
+  (* two-pointer sweep: candidates and blocked spans are both sorted *)
+  let best_of candidates ~blocked ~lo ~hi ~mid =
+    let rec go best cands blocked =
+      match cands with
+      | [] -> best
+      | v :: rest -> (
+          match blocked with
+          | (s : Interval.span) :: btl when s.hi <= v -> go best cands btl
+          | (s : Interval.span) :: _ when s.lo <= v -> go best rest blocked
+          | _ ->
+              let best =
+                if v <= lo || v >= hi then best
+                else
+                  match best with
+                  | Some b when abs (b - mid) <= abs (v - mid) -> best
+                  | Some _ | None -> Some v
+              in
+              go best rest blocked)
+    in
+    go None (List.sort_uniq Int.compare candidates) blocked
+  in
+  let bx =
+    best_of !xs ~blocked:xs_blocked ~lo:w.area.Box.l ~hi:w.area.Box.r ~mid:midx
+  and by =
+    best_of !ys ~blocked:ys_blocked ~lo:w.area.Box.b ~hi:w.area.Box.t ~mid:midy
+  in
+  (* normalized distance to the middle decides between the orientations *)
+  let score_x x =
+    float_of_int (abs (x - midx)) /. float_of_int (max 1 (Box.width w.area))
+  and score_y y =
+    float_of_int (abs (y - midy)) /. float_of_int (max 1 (Box.height w.area))
+  in
+  match (bx, by) with
+  | None, None -> None
+  | Some x, None -> Some (Vertical x)
+  | None, Some y -> Some (Horizontal y)
+  | Some x, Some y ->
+      if score_x x <= score_y y then Some (Vertical x) else Some (Horizontal y)
+
+let split design w cut =
+  let low_area, high_area =
+    match cut with
+    | Vertical x ->
+        ( Box.make ~l:w.area.Box.l ~b:w.area.Box.b ~r:x ~t:w.area.Box.t,
+          Box.make ~l:x ~b:w.area.Box.b ~r:w.area.Box.r ~t:w.area.Box.t )
+    | Horizontal y ->
+        ( Box.make ~l:w.area.Box.l ~b:w.area.Box.b ~r:w.area.Box.r ~t:y,
+          Box.make ~l:w.area.Box.l ~b:y ~r:w.area.Box.r ~t:w.area.Box.t )
+  in
+  let low = ref [] and high = ref [] in
+  List.iter
+    (fun item ->
+      match item with
+      | Geometry (lyr, bx) ->
+          (match Box.clip bx ~window:low_area with
+          | Some c -> low := Geometry (lyr, c) :: !low
+          | None -> ());
+          (match Box.clip bx ~window:high_area with
+          | Some c -> high := Geometry (lyr, c) :: !high
+          | None -> ())
+      | Label lab ->
+          if Box.contains_point low_area lab.Ace_cif.Design.position then
+            low := item :: !low
+          else high := item :: !high
+      | Instance (sym, tr) -> (
+          (* valid cuts never straddle an instance: the whole bbox lies on
+             one side *)
+          match instance_bbox design sym tr with
+          | None -> () (* empty symbol contributes nothing *)
+          | Some bb -> (
+              match cut with
+              | Vertical x ->
+                  if bb.Box.r <= x then low := item :: !low
+                  else high := item :: !high
+              | Horizontal y ->
+                  if bb.Box.t <= y then low := item :: !low
+                  else high := item :: !high)))
+    w.items;
+  ({ area = low_area; items = !low }, { area = high_area; items = !high })
+
+let expand_instances design w =
+  let quantum = Ace_cif.Design.quantum design in
+  let items =
+    List.concat_map
+      (fun item ->
+        match item with
+        | Geometry _ | Label _ -> [ item ]
+        | Instance (sym, tr) ->
+            List.concat_map
+              (fun el ->
+                match el with
+                | Ace_cif.Ast.Shape { layer; shape } -> (
+                    match Ace_cif.Design.resolve_layer layer with
+                    | None -> []
+                    | Some lyr ->
+                        List.filter_map
+                          (fun bx ->
+                            match
+                              Box.clip (Transform.apply_box tr bx) ~window:w.area
+                            with
+                            | Some c -> Some (Geometry (lyr, c))
+                            | None -> None)
+                          (Ace_cif.Shapes.boxes_of_shape ~quantum shape))
+                | Ace_cif.Ast.Call { symbol; ops } ->
+                    [
+                      Instance
+                        ( symbol,
+                          Transform.compose tr
+                            (Ace_cif.Design.transform_of_ops ops) );
+                    ]
+                | Ace_cif.Ast.Label { name; position; layer } ->
+                    [
+                      Label
+                        {
+                          Ace_cif.Design.name;
+                          position = Transform.apply tr position;
+                          layer =
+                            (match layer with
+                            | None -> None
+                            | Some l -> Ace_cif.Design.resolve_layer l);
+                        };
+                    ]
+                | Ace_cif.Ast.Comment_ext _ -> [])
+              (Ace_cif.Design.symbol design sym).Ace_cif.Ast.elements)
+      w.items
+  in
+  { w with items }

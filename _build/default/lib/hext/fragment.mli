@@ -1,0 +1,68 @@
+open Ace_geom
+open Ace_tech
+open Ace_netlist
+
+(** Extracted window fragments and the compose routine (HEXT §3 back-end).
+
+    A fragment is the circuit of one (origin-normalized) window: a
+    {!Ace_netlist.Hier.part} holding its completed transistors and child
+    references, plus the compose-facing summary — the {e interface}
+    (conducting-layer boundary crossings with their local net ids) and the
+    {e partial transistors} whose channels touch the boundary.
+
+    [compose] merges two abutting fragments: it unifies nets across
+    touching boundary spans, knits partial-transistor pieces (summing
+    channel area and edge contacts, adding the source/drain contact that
+    lies exactly on the seam), completes partials that no longer touch any
+    open face, and builds the composed part — which stores only {e
+    references} to its children plus net equivalences, never a copy
+    (paper: "the resulting new window … simply stores pointers").  Its
+    cost is proportional to the two interfaces, not to the children's
+    contents — the property behind HEXT's O(√N) ideal-array behaviour. *)
+
+type partial = {
+  p_area : int;
+  p_implant : int;
+  p_bbox : Box.t;  (** fragment-local *)
+  p_gate : int;  (** local net *)
+  p_contacts : (int * int * Point.t * int) list;
+      (** (local net, edge length, minimal edge position in fragment
+          coordinates, edge side) — used for deterministic terminal
+          tie-breaks *)
+  p_spans : (Ace_core.Engine.face * Interval.span) list;
+      (** open boundary crossings, fragment-local *)
+}
+
+type iface_span = {
+  face : Ace_core.Engine.face;
+  span : Interval.span;
+  layer : Layer.t;
+  net : int;  (** local net *)
+}
+
+type t = {
+  id : int;
+  width : int;
+  height : int;
+  part : Hier.part;
+  iface : iface_span list;
+  partials : partial list;
+}
+
+(** Build a leaf fragment by running the scanline engine over a window's
+    geometry (window mode).  [next_id] names the part ("W<id>"). *)
+val leaf :
+  next_id:int ->
+  window:Box.t ->
+  boxes:(Layer.t * Box.t) list ->
+  labels:Ace_cif.Design.label list ->
+  t
+
+(** [compose ~next_id a b ~offset] — [b] placed at [offset] from [a]'s
+    origin; requires a guillotine adjacency: either [offset = (a.width, 0)]
+    with equal heights, or [offset = (0, a.height)] with equal widths. *)
+val compose : next_id:int -> t -> t -> offset:Point.t -> t
+
+(** Wrap the root fragment, force-completing any partials still open at
+    the chip boundary; returns the top part. *)
+val finalize : next_id:int -> t -> Hier.part

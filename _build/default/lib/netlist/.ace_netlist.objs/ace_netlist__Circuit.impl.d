@@ -1,0 +1,1 @@
+lib/netlist/circuit.ml: Ace_geom Ace_tech Array Box Format Layer List Nmos Point Printf

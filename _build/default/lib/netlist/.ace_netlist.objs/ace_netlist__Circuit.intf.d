@@ -1,0 +1,1 @@
+lib/netlist/circuit.mli: Ace_geom Ace_tech Box Format Layer Nmos Point

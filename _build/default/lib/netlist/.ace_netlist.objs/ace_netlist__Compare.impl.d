@@ -1,0 +1,1 @@
+lib/netlist/compare.ml: Ace_tech Array Circuit Hashtbl Int List Printf

@@ -1,0 +1,1 @@
+lib/netlist/hier.ml: Ace_geom Ace_tech Array Buffer Circuit Format Hashtbl List Nmos Point Printf Sexp String Union_find

@@ -1,0 +1,1 @@
+lib/netlist/hier.mli: Ace_geom Ace_tech Circuit Nmos Point

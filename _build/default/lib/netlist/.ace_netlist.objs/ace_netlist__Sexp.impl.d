@@ -1,0 +1,1 @@
+lib/netlist/sexp.ml: Buffer List String

@@ -1,0 +1,1 @@
+lib/netlist/sexp.mli: Buffer

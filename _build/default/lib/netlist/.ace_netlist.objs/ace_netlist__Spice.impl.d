@@ -1,0 +1,1 @@
+lib/netlist/spice.ml: Ace_tech Array Buffer Circuit Hier List Nmos Printf String

@@ -1,0 +1,1 @@
+lib/netlist/spice.mli: Circuit Hier

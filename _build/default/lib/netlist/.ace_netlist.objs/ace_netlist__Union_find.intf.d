@@ -1,0 +1,1 @@
+lib/netlist/union_find.mli:

@@ -1,0 +1,1 @@
+lib/netlist/wirelist.ml: Ace_geom Ace_tech Array Box Buffer Circuit Format Hashtbl Int Layer List Nmos Option Point Printf Sexp String

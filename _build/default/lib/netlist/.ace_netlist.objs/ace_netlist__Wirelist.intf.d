@@ -1,0 +1,1 @@
+lib/netlist/wirelist.mli: Ace_geom Ace_tech Box Circuit Layer

@@ -1,0 +1,82 @@
+open Ace_geom
+open Ace_tech
+
+type device = {
+  dtype : Nmos.device_type;
+  gate : int;
+  source : int;
+  drain : int;
+  length : int;
+  width : int;
+  location : Point.t;
+  geometry : (Layer.t * Box.t) list;
+}
+
+type net = {
+  names : string list;
+  location : Point.t;
+  geometry : (Layer.t * Box.t) list;
+}
+
+type t = { name : string; devices : device array; nets : net array }
+
+let device_count t = Array.length t.devices
+let net_count t = Array.length t.nets
+
+let connected_net_indices t =
+  let used = Array.make (net_count t) false in
+  Array.iter
+    (fun d ->
+      used.(d.gate) <- true;
+      used.(d.source) <- true;
+      used.(d.drain) <- true)
+    t.devices;
+  Array.iteri (fun i n -> if n.names <> [] then used.(i) <- true) t.nets;
+  let acc = ref [] in
+  for i = net_count t - 1 downto 0 do
+    if used.(i) then acc := i :: !acc
+  done;
+  !acc
+
+let find_net t name =
+  let found = ref (-1) in
+  Array.iteri
+    (fun i n -> if !found < 0 && List.mem name n.names then found := i)
+    t.nets;
+  if !found < 0 then raise Not_found else !found
+
+let net_display_name t i =
+  match t.nets.(i).names with
+  | [] -> Printf.sprintf "N%d" i
+  | name :: _ -> name
+
+let validate t =
+  let problems = ref [] in
+  let problem fmt = Format.kasprintf (fun m -> problems := m :: !problems) fmt in
+  let n = net_count t in
+  Array.iteri
+    (fun i d ->
+      let check_terminal what idx =
+        if idx < 0 || idx >= n then
+          problem "device %d: %s net index %d out of range" i what idx
+      in
+      check_terminal "gate" d.gate;
+      check_terminal "source" d.source;
+      check_terminal "drain" d.drain;
+      if d.length <= 0 then problem "device %d: non-positive length %d" i d.length;
+      if d.width <= 0 then problem "device %d: non-positive width %d" i d.width)
+    t.devices;
+  List.rev !problems
+
+let device_type_counts t =
+  Array.fold_left
+    (fun (e, d) dev ->
+      match dev.dtype with
+      | Nmos.Enhancement -> (e + 1, d)
+      | Nmos.Depletion -> (e, d + 1))
+    (0, 0) t.devices
+
+let pp_summary ppf t =
+  let e, d = device_type_counts t in
+  Format.fprintf ppf "%s: %d devices (%d enh, %d dep), %d nets" t.name
+    (device_count t) e d (net_count t)

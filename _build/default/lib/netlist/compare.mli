@@ -1,0 +1,33 @@
+(** Wirelist comparison by iterative color refinement.
+
+    The papers motivate extraction with "if a circuit's schematic diagram is
+    available … it can be compared to the extracted circuit: if the two are
+    equivalent, the layout corresponds to the original circuit".  This module
+    is that comparator, and is also how the test-suite proves that ACE, the
+    baseline extractors and HEXT agree on the same layout.
+
+    Algorithm (Gemini-style partition refinement): nets and devices receive
+    initial structural colors, then colors are rehashed from neighbour
+    colors until the partition stabilizes; two circuits are declared
+    equivalent when their final color multisets match; when refinement
+    individuates every vertex the induced mapping is additionally verified
+    edge-by-edge (exact).  On highly automorphic graphs — the papers'
+    regular arrays — the multiset identity alone decides, which is sound up
+    to hash collisions. *)
+
+type verdict =
+  | Equivalent
+  | Distinct of string  (** human-readable first difference *)
+  | Inconclusive of string
+      (** refinement could not separate enough vertices to build a mapping *)
+
+(** [compare ?with_sizes ?with_names a b].  [with_sizes] (default false)
+    includes device L/W in the initial colors; [with_names] (default false)
+    requires net names to correspond. *)
+val compare :
+  ?with_sizes:bool -> ?with_names:bool -> Circuit.t -> Circuit.t -> verdict
+
+val verdict_to_string : verdict -> string
+
+(** Convenience: [Equivalent] as a boolean. *)
+val equivalent : ?with_sizes:bool -> ?with_names:bool -> Circuit.t -> Circuit.t -> bool

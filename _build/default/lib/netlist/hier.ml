@@ -1,0 +1,391 @@
+open Ace_geom
+open Ace_tech
+
+type hdevice = {
+  dtype : Nmos.device_type;
+  gate : int;
+  source : int;
+  drain : int;
+  length : int;
+  width : int;
+  location : Point.t;
+}
+
+type instance = {
+  part_name : string;
+  inst_name : string;
+  offset : Point.t;
+  net_map : (int * int) list;
+}
+
+type part = {
+  part_name : string;
+  net_count : int;
+  exports : int list;
+  net_names : (int * string) list;
+  devices : hdevice list;
+  instances : instance list;
+}
+
+type t = { parts : part list; top : string }
+
+exception Error of string
+
+let fail fmt = Format.kasprintf (fun m -> raise (Error m)) fmt
+
+let part t name =
+  match List.find_opt (fun p -> p.part_name = name) t.parts with
+  | Some p -> p
+  | None -> fail "unknown part %S" name
+
+let validate t =
+  let problems = ref [] in
+  let problem fmt = Format.kasprintf (fun m -> problems := m :: !problems) fmt in
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun p ->
+      if Hashtbl.mem seen p.part_name then
+        problem "duplicate part %S" p.part_name;
+      let check_net what n =
+        if n < 0 || n >= p.net_count then
+          problem "part %S: %s net %d out of range [0,%d)" p.part_name what n
+            p.net_count
+      in
+      List.iter (check_net "export") p.exports;
+      List.iter (fun (n, _) -> check_net "named" n) p.net_names;
+      List.iter
+        (fun d ->
+          check_net "gate" d.gate;
+          check_net "source" d.source;
+          check_net "drain" d.drain)
+        p.devices;
+      List.iter
+        (fun (inst : instance) ->
+          match Hashtbl.find_opt seen inst.part_name with
+          | None ->
+              problem "part %S instantiates %S before its definition"
+                p.part_name inst.part_name
+          | Some (child : part) ->
+              List.iter
+                (fun (inner, outer) ->
+                  if inner < 0 || inner >= child.net_count then
+                    problem "part %S: binding of %S net %d out of range"
+                      p.part_name inst.part_name inner;
+                  check_net "binding target" outer)
+                inst.net_map)
+        p.instances;
+      Hashtbl.replace seen p.part_name p)
+    t.parts;
+  if not (Hashtbl.mem seen t.top) then problem "top part %S undefined" t.top;
+  List.rev !problems
+
+let flat_device_count t =
+  let memo = Hashtbl.create 16 in
+  List.iter
+    (fun p ->
+      let n =
+        List.length p.devices
+        + List.fold_left
+            (fun acc (inst : instance) ->
+              acc + try Hashtbl.find memo inst.part_name with Not_found -> 0)
+            0 p.instances
+      in
+      Hashtbl.replace memo p.part_name n)
+    t.parts;
+  try Hashtbl.find memo t.top with Not_found -> 0
+
+let flatten t =
+  (match validate t with
+  | [] -> ()
+  | p :: _ -> fail "invalid hierarchy: %s" p);
+  let uf = Union_find.create () in
+  let devices = ref [] in
+  let names : (int, string list) Hashtbl.t = Hashtbl.create 64 in
+  let locations : (int, Point.t) Hashtbl.t = Hashtbl.create 64 in
+  let rec instantiate part_def (offset : Point.t) =
+    (* fresh global nets for this activation's local nets *)
+    let map = Array.init part_def.net_count (fun _ -> Union_find.fresh uf) in
+    List.iter
+      (fun (n, name) ->
+        let g = map.(n) in
+        let existing = try Hashtbl.find names g with Not_found -> [] in
+        Hashtbl.replace names g (name :: existing))
+      part_def.net_names;
+    List.iter
+      (fun d ->
+        let location = Point.add d.location offset in
+        List.iter
+          (fun net ->
+            if not (Hashtbl.mem locations map.(net)) then
+              Hashtbl.replace locations map.(net) location)
+          [ d.gate; d.source; d.drain ];
+        devices :=
+          ( d.dtype,
+            map.(d.gate),
+            map.(d.source),
+            map.(d.drain),
+            d.length,
+            d.width,
+            location )
+          :: !devices)
+      part_def.devices;
+    List.iter
+      (fun (inst : instance) ->
+        let child = part t inst.part_name in
+        let child_map = instantiate child (Point.add offset inst.offset) in
+        List.iter
+          (fun (inner, outer) ->
+            ignore (Union_find.union uf child_map.(inner) map.(outer)))
+          inst.net_map)
+      part_def.instances;
+    map
+  in
+  ignore (instantiate (part t t.top) Point.origin);
+  let dense = Union_find.compress uf in
+  let class_count = Union_find.class_count uf in
+  let net_names = Array.make class_count [] in
+  let net_locations = Array.make class_count Point.origin in
+  Hashtbl.iter
+    (fun g ns -> net_names.(dense.(g)) <- ns @ net_names.(dense.(g)))
+    names;
+  Hashtbl.iter (fun g loc -> net_locations.(dense.(g)) <- loc) locations;
+  let nets =
+    Array.init class_count (fun i ->
+        {
+          Circuit.names = List.sort_uniq String.compare net_names.(i);
+          location = net_locations.(i);
+          geometry = [];
+        })
+  in
+  let devices =
+    Array.of_list
+      (List.rev_map
+         (fun (dtype, g, s, d, length, width, location) ->
+           {
+             Circuit.dtype;
+             gate = dense.(g);
+             source = dense.(s);
+             drain = dense.(d);
+             length;
+             width;
+             location;
+             geometry = [];
+           })
+         !devices)
+  in
+  { Circuit.name = t.top; devices; nets }
+
+(* ------------------------------------------------------------------ *)
+(* Figure 2-2 dialect                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let net_id i = Printf.sprintf "N%d" i
+
+let to_string t =
+  let buf = Buffer.create 4096 in
+  let pr fmt = Printf.bprintf buf fmt in
+  pr "(DefPart nEnh (Exports G S D))\n";
+  pr "(DefPart nDepl (Exports G S D))\n";
+  List.iter
+    (fun p ->
+      pr "(DefPart %s\n" p.part_name;
+      pr " (Exports";
+      List.iter (fun n -> pr " %s" (net_id n)) p.exports;
+      pr ")\n";
+      List.iter
+        (fun (n, name) -> pr " (NetName %s %s)\n" (net_id n) name)
+        p.net_names;
+      List.iteri
+        (fun i d ->
+          pr " (Part %s (Name D%d) (Loc %d %d) (T G %s) (T S %s) (T D %s)"
+            (match d.dtype with
+            | Nmos.Enhancement -> "nEnh"
+            | Nmos.Depletion -> "nDepl")
+            i d.location.Point.x d.location.Point.y (net_id d.gate)
+            (net_id d.source) (net_id d.drain);
+          pr " (Channel (Length %d) (Width %d)))\n" d.length d.width)
+        p.devices;
+      List.iter
+        (fun (inst : instance) ->
+          pr " (Part %s (Name %s) (LocOffset %d %d))\n" inst.part_name
+            inst.inst_name inst.offset.Point.x inst.offset.Point.y;
+          List.iter
+            (fun (inner, outer) ->
+              pr " (Net %s/%s %s)\n" inst.inst_name (net_id inner)
+                (net_id outer))
+            inst.net_map)
+        p.instances;
+      pr " (Local";
+      let exported = p.exports in
+      for n = 0 to p.net_count - 1 do
+        if not (List.mem n exported) then pr " %s" (net_id n)
+      done;
+      pr ")\n";
+      pr " (NetCount %d))\n" p.net_count)
+    t.parts;
+  pr "(Part %s (Name Top))\n" t.top;
+  Buffer.contents buf
+
+let parse_net_ref atom =
+  if String.length atom >= 2 && atom.[0] = 'N' then
+    match int_of_string_opt (String.sub atom 1 (String.length atom - 1)) with
+    | Some n -> n
+    | None -> fail "bad net id %S" atom
+  else fail "bad net id %S" atom
+
+let of_string text =
+  let sexps =
+    try Sexp.parse_string text
+    with Sexp.Parse_error m -> fail "s-expression error: %s" m
+  in
+  let atom = function
+    | Sexp.Atom a -> a
+    | s -> fail "expected atom, got %s" (Sexp.to_string s)
+  in
+  let int_atom s =
+    match int_of_string_opt (atom s) with
+    | Some n -> n
+    | None -> fail "expected integer, got %s" (Sexp.to_string s)
+  in
+  let parts = ref [] and top = ref None in
+  let parse_defpart name body =
+    let exports = ref []
+    and net_names = ref []
+    and devices = ref []
+    and instances = ref []
+    and net_count = ref 0
+    and pending_nets = ref [] in
+    let clause head items =
+      match (head, items) with
+      | "Exports", nets -> exports := List.map (fun s -> parse_net_ref (atom s)) nets
+      | "NetName", [ n; nm ] ->
+          net_names := (parse_net_ref (atom n), atom nm) :: !net_names
+      | "NetCount", [ n ] -> net_count := int_atom n
+      | "Local", _ -> ()
+      | "Part", Sexp.Atom ptype :: rest -> (
+          let find_clause what =
+            List.find_map
+              (function
+                | Sexp.List (Sexp.Atom h :: items) when h = what -> Some items
+                | _ -> None)
+              rest
+          in
+          let name_of =
+            match find_clause "Name" with
+            | Some [ n ] -> atom n
+            | _ -> fail "Part without Name"
+          in
+          match ptype with
+          | "nEnh" | "nDepl" ->
+              let terminals =
+                List.filter_map
+                  (function
+                    | Sexp.List [ Sexp.Atom "T"; Sexp.Atom role; Sexp.Atom n ] ->
+                        Some (role, parse_net_ref n)
+                    | _ -> None)
+                  rest
+              in
+              let terminal role =
+                match List.assoc_opt role terminals with
+                | Some n -> n
+                | None -> fail "device %s missing terminal %s" name_of role
+              in
+              let loc =
+                match find_clause "Loc" with
+                | Some [ x; y ] -> Point.make (int_atom x) (int_atom y)
+                | _ -> Point.origin
+              in
+              let channel =
+                match find_clause "Channel" with
+                | Some c -> c
+                | None -> fail "device %s missing Channel" name_of
+              in
+              let dim what =
+                match
+                  List.find_map
+                    (function
+                      | Sexp.List [ Sexp.Atom h; v ] when h = what -> Some v
+                      | _ -> None)
+                    channel
+                with
+                | Some v -> int_atom v
+                | None -> fail "device %s channel missing %s" name_of what
+              in
+              devices :=
+                {
+                  dtype =
+                    (if ptype = "nEnh" then Nmos.Enhancement else Nmos.Depletion);
+                  gate = terminal "G";
+                  source = terminal "S";
+                  drain = terminal "D";
+                  length = dim "Length";
+                  width = dim "Width";
+                  location = loc;
+                }
+                :: !devices
+          | child_part ->
+              let offset =
+                match find_clause "LocOffset" with
+                | Some [ x; y ] -> Point.make (int_atom x) (int_atom y)
+                | _ -> Point.origin
+              in
+              instances :=
+                {
+                  part_name = child_part;
+                  inst_name = name_of;
+                  offset;
+                  net_map = [];
+                }
+                :: !instances)
+      | "Net", [ Sexp.Atom qualified; Sexp.Atom outer ] -> (
+          match String.index_opt qualified '/' with
+          | Some slash ->
+              let inst = String.sub qualified 0 slash in
+              let inner =
+                parse_net_ref
+                  (String.sub qualified (slash + 1)
+                     (String.length qualified - slash - 1))
+              in
+              pending_nets := (inst, inner, parse_net_ref outer) :: !pending_nets
+          | None -> fail "unqualified Net equivalence %s" qualified)
+      | other, _ -> fail "unknown clause %S in DefPart %s" other name
+    in
+    List.iter
+      (function
+        | Sexp.List (Sexp.Atom head :: items) -> clause head items
+        | other -> fail "unexpected item %s" (Sexp.to_string other))
+      body;
+    let instances =
+      List.rev_map
+        (fun (inst : instance) ->
+          {
+            inst with
+            net_map =
+              List.rev
+                (List.filter_map
+                   (fun (i, inner, outer) ->
+                     if i = inst.inst_name then Some (inner, outer) else None)
+                   !pending_nets);
+          })
+        !instances
+    in
+    {
+      part_name = name;
+      net_count = !net_count;
+      exports = !exports;
+      net_names = List.rev !net_names;
+      devices = List.rev !devices;
+      instances;
+    }
+  in
+  List.iter
+    (function
+      | Sexp.List [ Sexp.Atom "DefPart"; Sexp.Atom ("nEnh" | "nDepl"); _ ] -> ()
+      | Sexp.List (Sexp.Atom "DefPart" :: Sexp.Atom name :: body) ->
+          parts := parse_defpart name body :: !parts
+      | Sexp.List (Sexp.Atom "Part" :: Sexp.Atom name :: _) -> top := Some name
+      | other -> fail "unexpected top-level form %s" (Sexp.to_string other))
+    sexps;
+  match !top with
+  | None -> fail "missing top-level (Part <name> (Name Top))"
+  | Some top -> { parts = List.rev !parts; top }

@@ -1,0 +1,67 @@
+open Ace_geom
+open Ace_tech
+
+(** Hierarchical wirelists — HEXT's output model (paper Figure 2-2).
+
+    A hierarchy is a list of parts in dependency order (leaves first).  Each
+    part owns [net_count] local nets (indices [0 .. net_count-1]), a subset
+    of which are exported; it contains primitive transistors and instances
+    of earlier parts.  An instance binds child nets to parent nets through
+    [net_map] — the figure's [(Net P1/N3 N16)] equivalences — and places the
+    child at [offset] ([LocOffset]).
+
+    Composite parts store only references to their children (the paper:
+    "the resulting new window does not copy the contents of its component
+    windows, but simply stores pointers to them"); {!flatten} instantiates
+    the whole tree into a flat {!Circuit.t}. *)
+
+type hdevice = {
+  dtype : Nmos.device_type;
+  gate : int;
+  source : int;
+  drain : int;
+  length : int;
+  width : int;
+  location : Point.t;
+}
+
+type instance = {
+  part_name : string;
+  inst_name : string;
+  offset : Point.t;
+  net_map : (int * int) list;  (** (child-local net, parent-local net) *)
+}
+
+type part = {
+  part_name : string;
+  net_count : int;
+  exports : int list;
+  net_names : (int * string) list;
+  devices : hdevice list;
+  instances : instance list;
+}
+
+type t = { parts : part list; top : string }
+
+exception Error of string
+
+(** Find a part by name; raises {!Error}. *)
+val part : t -> string -> part
+
+(** Structural checks: top exists, instances reference earlier parts only,
+    net indices in range, net maps bind exported child nets.  Returns
+    problems (empty = valid). *)
+val validate : t -> string list
+
+(** Total device count of the full expansion (without expanding). *)
+val flat_device_count : t -> int
+
+(** Expand the hierarchy into a flat circuit.  Instance offsets accumulate
+    into device locations; net names propagate through bindings. *)
+val flatten : t -> Circuit.t
+
+(** Render in the Figure 2-2 dialect. *)
+val to_string : t -> string
+
+(** Parse the Figure 2-2 dialect back.  Raises {!Error}. *)
+val of_string : string -> t

@@ -1,0 +1,108 @@
+type t = Atom of string | Str of string | List of t list
+
+exception Parse_error of string
+
+let parse_string src =
+  let n = String.length src in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some src.[!pos] else None in
+  let advance () = incr pos in
+  let is_space c = c = ' ' || c = '\t' || c = '\n' || c = '\r' in
+  let rec skip_space () =
+    match peek () with
+    | Some c when is_space c ->
+        advance ();
+        skip_space ()
+    | _ -> ()
+  in
+  let read_string () =
+    advance ();
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> raise (Parse_error "unterminated string")
+      | Some '"' -> advance ()
+      | Some '\\' ->
+          advance ();
+          (match peek () with
+          | Some c ->
+              Buffer.add_char buf c;
+              advance ()
+          | None -> raise (Parse_error "dangling escape"));
+          go ()
+      | Some c ->
+          Buffer.add_char buf c;
+          advance ();
+          go ()
+    in
+    go ();
+    Str (Buffer.contents buf)
+  in
+  let read_atom () =
+    let start = !pos in
+    let rec go () =
+      match peek () with
+      | Some c when (not (is_space c)) && c <> '(' && c <> ')' && c <> '"' ->
+          advance ();
+          go ()
+      | _ -> ()
+    in
+    go ();
+    Atom (String.sub src start (!pos - start))
+  in
+  let rec read_sexp () =
+    skip_space ();
+    match peek () with
+    | None -> raise (Parse_error "unexpected end of input")
+    | Some '(' ->
+        advance ();
+        let items = ref [] in
+        let rec loop () =
+          skip_space ();
+          match peek () with
+          | None -> raise (Parse_error "unterminated list")
+          | Some ')' -> advance ()
+          | Some _ ->
+              items := read_sexp () :: !items;
+              loop ()
+        in
+        loop ();
+        List (List.rev !items)
+    | Some '"' -> read_string ()
+    | Some ')' -> raise (Parse_error "unexpected ')'")
+    | Some _ -> read_atom ()
+  in
+  let result = ref [] in
+  let rec top () =
+    skip_space ();
+    if !pos < n then begin
+      result := read_sexp () :: !result;
+      top ()
+    end
+  in
+  top ();
+  List.rev !result
+
+let rec to_buffer buf = function
+  | Atom a -> Buffer.add_string buf a
+  | Str s ->
+      Buffer.add_char buf '"';
+      String.iter
+        (fun c ->
+          if c = '"' || c = '\\' then Buffer.add_char buf '\\';
+          Buffer.add_char buf c)
+        s;
+      Buffer.add_char buf '"'
+  | List items ->
+      Buffer.add_char buf '(';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buf ' ';
+          to_buffer buf item)
+        items;
+      Buffer.add_char buf ')'
+
+let to_string sexp =
+  let buf = Buffer.create 256 in
+  to_buffer buf sexp;
+  Buffer.contents buf

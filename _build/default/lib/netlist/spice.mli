@@ -1,0 +1,19 @@
+(** SPICE deck generation from extracted circuits.
+
+    The papers feed wirelists to "circuit simulators [that] help check for
+    timing errors, overloading, and performance characteristics"; SPICE is
+    that simulator.  This emits a level-1 NMOS deck: one [M] card per
+    transistor with L/W in microns, [.MODEL] cards for the enhancement and
+    depletion devices, and the GND net mapped to node 0. *)
+
+(** [to_string ?gnd circuit] — [gnd] (default "GND") becomes node 0.
+    Net names are sanitized to SPICE-safe identifiers; anonymous nets use
+    their index. *)
+val to_string : ?gnd:string -> Circuit.t -> string
+
+val to_file : ?gnd:string -> string -> Circuit.t -> unit
+
+(** Hierarchical deck: one [.SUBCKT] per part (pins = its exported nets),
+    [X] cards for part instances, [M] cards for transistors; the top part's
+    contents appear at the deck's top level. *)
+val of_hier : Hier.t -> string

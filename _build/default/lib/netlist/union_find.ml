@@ -1,0 +1,72 @@
+type t = {
+  mutable parent : int array;
+  mutable rank : int array;
+  mutable size : int;
+  mutable classes : int;
+}
+
+let create () =
+  { parent = Array.make 64 0; rank = Array.make 64 0; size = 0; classes = 0 }
+
+let fresh t =
+  if t.size = Array.length t.parent then begin
+    let cap = 2 * t.size in
+    let parent = Array.make cap 0 and rank = Array.make cap 0 in
+    Array.blit t.parent 0 parent 0 t.size;
+    Array.blit t.rank 0 rank 0 t.size;
+    t.parent <- parent;
+    t.rank <- rank
+  end;
+  let id = t.size in
+  t.parent.(id) <- id;
+  t.size <- t.size + 1;
+  t.classes <- t.classes + 1;
+  id
+
+let count t = t.size
+
+let rec find t x =
+  let p = t.parent.(x) in
+  if p = x then x
+  else begin
+    let root = find t p in
+    t.parent.(x) <- root;
+    root
+  end
+
+let same t a b = find t a = find t b
+
+let union t a b =
+  let ra = find t a and rb = find t b in
+  if ra = rb then ra
+  else begin
+    t.classes <- t.classes - 1;
+    if t.rank.(ra) < t.rank.(rb) then begin
+      t.parent.(ra) <- rb;
+      rb
+    end
+    else if t.rank.(ra) > t.rank.(rb) then begin
+      t.parent.(rb) <- ra;
+      ra
+    end
+    else begin
+      t.parent.(rb) <- ra;
+      t.rank.(ra) <- t.rank.(ra) + 1;
+      ra
+    end
+  end
+
+let class_count t = t.classes
+
+let compress t =
+  let mapping = Array.make t.size (-1) in
+  let next = ref 0 in
+  for x = 0 to t.size - 1 do
+    let r = find t x in
+    if mapping.(r) = -1 then begin
+      mapping.(r) <- !next;
+      incr next
+    end;
+    if x <> r then mapping.(x) <- mapping.(r)
+  done;
+  mapping

@@ -1,0 +1,31 @@
+(** Growable disjoint-set forest (union by rank, path compression).
+
+    The extractor creates a net for every piece of geometry that enters the
+    active list independently, and merges nets as the scanline discovers
+    connections — exactly the classic union-find workload.  Elements are
+    dense integers handed out by {!fresh}. *)
+
+type t
+
+val create : unit -> t
+
+(** Allocate a new singleton element; ids are consecutive from 0. *)
+val fresh : t -> int
+
+(** Number of elements allocated. *)
+val count : t -> int
+
+(** Representative of the element's class. *)
+val find : t -> int -> int
+
+val same : t -> int -> int -> bool
+
+(** Merge two classes; returns the surviving representative. *)
+val union : t -> int -> int -> int
+
+(** Number of distinct classes. *)
+val class_count : t -> int
+
+(** [compress t] returns an array mapping every element to a dense class
+    index in [0, class_count); representatives map to their own class. *)
+val compress : t -> int array

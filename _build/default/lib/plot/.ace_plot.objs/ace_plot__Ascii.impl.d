@@ -1,0 +1,1 @@
+lib/plot/ascii.ml: Ace_cif Ace_geom Ace_tech Array Box Layer List String

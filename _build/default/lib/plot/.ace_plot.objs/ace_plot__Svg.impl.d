@@ -1,0 +1,1 @@
+lib/plot/svg.ml: Ace_cif Ace_geom Ace_tech Box Buffer Layer List Point Printf

@@ -1,0 +1,1 @@
+lib/plot/svg.mli: Ace_cif Ace_geom Ace_tech Box Layer

@@ -1,0 +1,81 @@
+open Ace_geom
+open Ace_tech
+
+let layer_color = function
+  | Layer.Diffusion -> ("#2e8b57", 0.55)
+  | Layer.Poly -> ("#cc2222", 0.55)
+  | Layer.Metal -> ("#3355cc", 0.40)
+  | Layer.Contact -> ("#111111", 0.90)
+  | Layer.Implant -> ("#ccaa00", 0.35)
+  | Layer.Buried -> ("#8b5a2b", 0.55)
+  | Layer.Glass -> ("#888888", 0.30)
+
+(* painting order: big background layers first, cuts last *)
+let paint_order =
+  [ Layer.Implant; Layer.Glass; Layer.Diffusion; Layer.Poly; Layer.Metal;
+    Layer.Buried; Layer.Contact ]
+
+let render_boxes ?(scale = 4.0) ?(labels = []) ?(lambda = 250) boxes =
+  let margin = 2 * lambda in
+  let bbox =
+    match Box.hull_list (List.map snd boxes) with
+    | Some b -> b
+    | None -> Box.make ~l:0 ~b:0 ~r:lambda ~t:lambda
+  in
+  let px v = scale *. float_of_int v /. float_of_int lambda in
+  let width = px (Box.width bbox + (2 * margin)) in
+  let height = px (Box.height bbox + (2 * margin)) in
+  (* SVG y grows downward: flip around the bbox top *)
+  let x_of v = px (v - bbox.Box.l + margin) in
+  let y_of v = px (bbox.Box.t + margin - v) in
+  let buf = Buffer.create 4096 in
+  Printf.bprintf buf
+    "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%.1f\" height=\"%.1f\" \
+     viewBox=\"0 0 %.1f %.1f\">\n"
+    width height width height;
+  Printf.bprintf buf
+    "<rect width=\"100%%\" height=\"100%%\" fill=\"#f8f8f4\"/>\n";
+  List.iter
+    (fun layer ->
+      let color, opacity = layer_color layer in
+      let mine =
+        List.filter_map
+          (fun (lyr, bx) -> if Layer.equal lyr layer then Some bx else None)
+          boxes
+      in
+      if mine <> [] then begin
+        Printf.bprintf buf "<g fill=\"%s\" fill-opacity=\"%.2f\">\n" color
+          opacity;
+        List.iter
+          (fun (bx : Box.t) ->
+            Printf.bprintf buf
+              "<rect x=\"%.1f\" y=\"%.1f\" width=\"%.1f\" height=\"%.1f\"/>\n"
+              (x_of bx.l) (y_of bx.t)
+              (px (Box.width bx))
+              (px (Box.height bx)))
+          mine;
+        Buffer.add_string buf "</g>\n"
+      end)
+    paint_order;
+  List.iter
+    (fun (lab : Ace_cif.Design.label) ->
+      Printf.bprintf buf
+        "<text x=\"%.1f\" y=\"%.1f\" font-size=\"%.1f\" \
+         font-family=\"monospace\" fill=\"#000\">%s</text>\n"
+        (x_of lab.position.Point.x)
+        (y_of lab.position.Point.y)
+        (2.0 *. scale) lab.name)
+    labels;
+  Buffer.add_string buf "</svg>\n";
+  Buffer.contents buf
+
+let render ?scale design =
+  render_boxes ?scale
+    ~labels:(Ace_cif.Design.labels design)
+    ~lambda:250
+    (Ace_cif.Flatten.flatten design)
+
+let to_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc

@@ -1,0 +1,28 @@
+open Ace_geom
+open Ace_tech
+
+(** SVG rendering of layouts.
+
+    The Berkeley comparator in ACE Table 5-2 was literally called
+    "cifplot" — plotting was the other half of 1980s artwork analysis.
+    This renderer draws each mask layer as translucent rectangles in the
+    conventional NMOS colors (diffusion green, poly red, metal blue,
+    implant yellow, buried brown, cuts black) with labels as text. *)
+
+(** Hex fill and opacity of a layer. *)
+val layer_color : Layer.t -> string * float
+
+(** [render design] — the full chip as an SVG document string.  [scale]
+    is output pixels per λ (default 4); layers are painted in
+    back-to-front order so cuts stay visible. *)
+val render : ?scale:float -> Ace_cif.Design.t -> string
+
+(** Render a raw box list with optional labels. *)
+val render_boxes :
+  ?scale:float ->
+  ?labels:Ace_cif.Design.label list ->
+  ?lambda:int ->
+  (Layer.t * Box.t) list ->
+  string
+
+val to_file : string -> string -> unit

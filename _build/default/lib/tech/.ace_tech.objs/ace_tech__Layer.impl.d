@@ -1,0 +1,1 @@
+lib/tech/layer.ml: Format Int

@@ -1,0 +1,1 @@
+lib/tech/layer.mli: Format

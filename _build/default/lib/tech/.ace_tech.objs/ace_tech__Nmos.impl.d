@@ -1,0 +1,1 @@
+lib/tech/nmos.ml: Format Layer

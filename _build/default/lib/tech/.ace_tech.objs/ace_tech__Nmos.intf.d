@@ -1,0 +1,1 @@
+lib/tech/nmos.mli: Format Layer

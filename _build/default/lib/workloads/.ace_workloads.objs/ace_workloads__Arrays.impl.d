@@ -1,0 +1,1 @@
+lib/workloads/arrays.ml: Builder Cells List

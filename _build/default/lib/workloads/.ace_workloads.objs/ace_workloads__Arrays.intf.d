@@ -1,0 +1,1 @@
+lib/workloads/arrays.mli: Ace_cif

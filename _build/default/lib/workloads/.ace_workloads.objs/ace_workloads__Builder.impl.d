@@ -1,0 +1,1 @@
+lib/workloads/builder.ml: Ace_cif Ace_geom Ace_tech Layer List Option Point

@@ -1,0 +1,1 @@
+lib/workloads/builder.mli: Ace_cif Ace_tech Layer

@@ -1,0 +1,1 @@
+lib/workloads/cells.ml: Ace_tech Builder Layer

@@ -1,0 +1,1 @@
+lib/workloads/cells.mli: Ace_cif Builder

@@ -1,0 +1,1 @@
+lib/workloads/chips.ml: Ace_cif Ace_tech Arrays Builder Cells Layer List

@@ -1,0 +1,1 @@
+lib/workloads/chips.mli: Ace_cif

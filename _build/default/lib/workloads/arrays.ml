@@ -1,0 +1,46 @@
+let is_power_of_4 n =
+  let rec go n = n = 1 || (n mod 4 = 0 && go (n / 4)) in
+  n >= 1 && go n
+
+let square_array_tree ?lambda ~cells () =
+  if not (is_power_of_4 cells) then
+    invalid_arg "Arrays.square_array_tree: cells must be a power of 4";
+  let b = Builder.create ?lambda () in
+  let pitch = Cells.array_cell_pitch in
+  let cell = Builder.symbol b ~name:"cell" (Cells.array_cell b) in
+  (* alternate horizontal and vertical pairing; after 2k levels the symbol
+     is a 2^k × 2^k block *)
+  let rec build sym level width height =
+    if width * height >= cells then sym
+    else if level mod 2 = 0 then
+      let s =
+        Builder.symbol b
+          [ Builder.call b sym ~dx:0 ~dy:0;
+            Builder.call b sym ~dx:(width * pitch) ~dy:0 ]
+      in
+      build s (level + 1) (2 * width) height
+    else
+      let s =
+        Builder.symbol b
+          [ Builder.call b sym ~dx:0 ~dy:0;
+            Builder.call b sym ~dx:0 ~dy:(height * pitch) ]
+      in
+      build s (level + 1) width (2 * height)
+  in
+  let top = build cell 0 1 1 in
+  Builder.file b [ Builder.call b top ~dx:0 ~dy:0 ]
+
+let mesh ?lambda ~rows ~cols () =
+  if rows <= 0 || cols <= 0 then invalid_arg "Arrays.mesh: non-positive size";
+  let b = Builder.create ?lambda () in
+  let pitch = Cells.array_cell_pitch in
+  let cell = Builder.symbol b ~name:"cell" (Cells.array_cell b) in
+  let row =
+    Builder.symbol b ~name:"row"
+      (List.init cols (fun i -> Builder.call b cell ~dx:(i * pitch) ~dy:0))
+  in
+  let array =
+    Builder.symbol b ~name:"array"
+      (List.init rows (fun j -> Builder.call b row ~dx:0 ~dy:(j * pitch)))
+  in
+  Builder.file b [ Builder.call b array ~dx:0 ~dy:0 ]

@@ -1,0 +1,16 @@
+(** Regular arrays — the workloads of HEXT §4 and ACE's testram analogue.
+
+    [square_array_tree] builds the exact structure HEXT Table 4-1 measures:
+    N identical single-transistor cells arranged as a complete binary tree
+    of symbol pairings (alternating horizontal and vertical), so a
+    hierarchical extractor needs only one leaf extraction plus log N
+    (memoized) compose steps.
+
+    [mesh] is the same cell array with a conventional cell/row/array
+    hierarchy — the testram-style RAM core. *)
+
+(** [square_array_tree ~lambda ~cells] — [cells] must be a power of 4. *)
+val square_array_tree : ?lambda:int -> cells:int -> unit -> Ace_cif.Ast.file
+
+(** [mesh ~rows ~cols] — rows × cols single-transistor cells. *)
+val mesh : ?lambda:int -> rows:int -> cols:int -> unit -> Ace_cif.Ast.file

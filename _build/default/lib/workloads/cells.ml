@@ -1,0 +1,124 @@
+open Ace_tech
+
+let cell_width = 14
+let cell_height = 26
+
+(* Shared pull-up / rail skeleton of the static gates: 4λ metal rails, the
+   diffusion column from the output node up to VDD, the implanted depletion
+   pull-up (L/W = 8/2 = 4) with its gate tied to the output through a
+   buried contact, and a padded VDD contact.  The layouts obey the
+   Mead–Conway rules checked by [Ace_drc]: 2λ poly/diffusion, 3λ metal, 2λ
+   gate overhang, 2λ×2λ cuts with 1λ surround.  The pull-down region
+   (y < 12) is cell-specific. *)
+let pull_up b =
+  [
+    (* rails *)
+    Builder.box b Layer.Metal ~l:0 ~b:22 ~r:cell_width ~t_:cell_height;
+    Builder.box b Layer.Metal ~l:0 ~b:0 ~r:cell_width ~t_:4;
+    (* diffusion column: output node at y 7..14, channel 14..22, drain to
+       the VDD contact pad above *)
+    Builder.box b Layer.Diffusion ~l:6 ~b:7 ~r:8 ~t_:25;
+    Builder.box b Layer.Diffusion ~l:5 ~b:22 ~r:9 ~t_:26;
+    (* depletion pull-up *)
+    Builder.box b Layer.Poly ~l:4 ~b:12 ~r:10 ~t_:22;
+    Builder.box b Layer.Buried ~l:5 ~b:12 ~r:9 ~t_:14;
+    Builder.box b Layer.Implant ~l:3 ~b:13 ~r:11 ~t_:23;
+    (* VDD contact, 1λ surround in metal and diffusion *)
+    Builder.box b Layer.Contact ~l:6 ~b:23 ~r:8 ~t_:25;
+  ]
+
+(* Padded GND contact for the pull-down diffusion. *)
+let gnd_contact b =
+  [
+    Builder.box b Layer.Diffusion ~l:5 ~b:0 ~r:9 ~t_:4;
+    Builder.box b Layer.Contact ~l:6 ~b:1 ~r:8 ~t_:3;
+  ]
+
+let std_labels b =
+  [
+    Builder.label b "VDD" ~x:1 ~y:24 ~layer:Layer.Metal ();
+    Builder.label b "GND" ~x:1 ~y:1 ~layer:Layer.Metal ();
+    Builder.label b "OUT" ~x:7 ~y:13 ~layer:Layer.Diffusion ();
+  ]
+
+let inverter ?(labels = false) b =
+  pull_up b
+  @ [
+      (* pull-down: diffusion from output node to GND, poly input across;
+         the input stops at x = 10 so the chained-cell output leg keeps 2λ
+         poly spacing *)
+      Builder.box b Layer.Diffusion ~l:6 ~b:0 ~r:8 ~t_:7;
+      Builder.box b Layer.Poly ~l:0 ~b:4 ~r:10 ~t_:6;
+    ]
+  @ gnd_contact b
+  @
+  if labels then
+    std_labels b @ [ Builder.label b "INP" ~x:1 ~y:5 ~layer:Layer.Poly () ]
+  else []
+
+let nand2 ?(labels = false) b =
+  pull_up b
+  @ [
+      (* two series pull-downs stacked on one diffusion column *)
+      Builder.box b Layer.Diffusion ~l:6 ~b:0 ~r:8 ~t_:8;
+      Builder.box b Layer.Poly ~l:0 ~b:4 ~r:10 ~t_:6 (* A, low *);
+      Builder.box b Layer.Poly ~l:0 ~b:8 ~r:10 ~t_:10 (* B, high *);
+    ]
+  @ gnd_contact b
+  @
+  if labels then
+    std_labels b
+    @ [
+        Builder.label b "A" ~x:1 ~y:5 ~layer:Layer.Poly ();
+        Builder.label b "B" ~x:1 ~y:9 ~layer:Layer.Poly ();
+      ]
+  else []
+
+let nor2 ?(labels = false) b =
+  pull_up b
+  @ [
+      (* two parallel pull-downs: the main column and a second leg joined
+         at the output spur and at a wide GND tie *)
+      Builder.box b Layer.Diffusion ~l:6 ~b:0 ~r:8 ~t_:7;
+      Builder.box b Layer.Diffusion ~l:6 ~b:7 ~r:17 ~t_:9 (* output spur *);
+      Builder.box b Layer.Diffusion ~l:15 ~b:0 ~r:17 ~t_:7 (* leg 2 *);
+      Builder.box b Layer.Diffusion ~l:5 ~b:0 ~r:18 ~t_:4 (* gnd tie *);
+      Builder.box b Layer.Poly ~l:0 ~b:4 ~r:10 ~t_:6 (* A over leg 1 *);
+      Builder.box b Layer.Poly ~l:13 ~b:4 ~r:20 ~t_:6 (* B over leg 2 *);
+    ]
+  @ gnd_contact b
+  @
+  if labels then
+    std_labels b
+    @ [
+        Builder.label b "A" ~x:1 ~y:5 ~layer:Layer.Poly ();
+        Builder.label b "B" ~x:19 ~y:5 ~layer:Layer.Poly ();
+      ]
+  else []
+
+let pass_gate b =
+  [
+    (* horizontal data diffusion with a vertical poly control line *)
+    Builder.box b Layer.Diffusion ~l:0 ~b:12 ~r:8 ~t_:14;
+    Builder.box b Layer.Poly ~l:3 ~b:8 ~r:5 ~t_:18;
+  ]
+
+let output_to_next_input b =
+  [
+    (* east from the pull-up poly to the cell edge, then south to input
+       height: the leg abuts the next cell's input poly at the seam, so
+       chained cells connect without overlapping frames; 2λ wide and 2λ
+       clear of this cell's own input *)
+    Builder.box b Layer.Poly ~l:10 ~b:12 ~r:cell_width ~t_:14;
+    Builder.box b Layer.Poly ~l:12 ~b:4 ~r:cell_width ~t_:14;
+  ]
+
+let array_cell_pitch = 8
+
+let array_cell b =
+  [
+    (* bit line: vertical diffusion, edge to edge *)
+    Builder.box b Layer.Diffusion ~l:3 ~b:0 ~r:5 ~t_:array_cell_pitch;
+    (* word line: horizontal poly, edge to edge *)
+    Builder.box b Layer.Poly ~l:0 ~b:3 ~r:array_cell_pitch ~t_:5;
+  ]

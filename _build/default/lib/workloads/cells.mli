@@ -1,0 +1,48 @@
+(** NMOS leaf cells (λ-unit layouts).
+
+    The inverter mirrors the structure of ACE Figure 3-3: a depletion
+    pull-up with its gate tied to the output through a buried contact, and
+    an enhancement pull-down gated by the poly input, between metal VDD and
+    GND rails.  All cells share the same 14λ × 26λ frame with the rails at
+    fixed heights so they tile horizontally. *)
+
+(** Cell frame dimensions in λ. *)
+val cell_width : int
+
+val cell_height : int
+
+(** The shared skeleton of the static gates: metal rails, the output
+    diffusion column and the depletion pull-up (L/W = 4) with buried
+    contact.  The pull-down region (y < 12) is left to the caller.  All
+    cells obey the Mead–Conway rules enforced by [Ace_drc.Checker]. *)
+val pull_up : Builder.t -> Ace_cif.Ast.element list
+
+(** Padded GND contact for the pull-down diffusion column. *)
+val gnd_contact : Builder.t -> Ace_cif.Ast.element list
+
+(** Elements of an inverter cell.  [labels] adds VDD/GND/INP/OUT labels
+    (wanted for single-cell demos, not for tiled arrays). *)
+val inverter : ?labels:bool -> Builder.t -> Ace_cif.Ast.element list
+
+(** Two-input NAND: two series enhancement pull-downs. *)
+val nand2 : ?labels:bool -> Builder.t -> Ace_cif.Ast.element list
+
+(** Two-input NOR: two parallel pull-downs side by side (cell is
+    [cell_width + 6] λ wide). *)
+val nor2 : ?labels:bool -> Builder.t -> Ace_cif.Ast.element list
+
+(** Pass transistor driven by a vertical poly control line; 8λ × 26λ,
+    in series with the data diffusion at rail height. *)
+val pass_gate : Builder.t -> Ace_cif.Ast.element list
+
+(** Poly connector joining a cell's output to the input of the cell one
+    frame to its right (both placed at the same y): lay these in the left
+    cell's frame. *)
+val output_to_next_input : Builder.t -> Ace_cif.Ast.element list
+
+(** The single-transistor array cell of HEXT Table 4-1: a poly word line
+    crossing a diffusion bit line, both running edge to edge so adjacent
+    cells connect.  [pitch] λ square. *)
+val array_cell : Builder.t -> Ace_cif.Ast.element list
+
+val array_cell_pitch : int

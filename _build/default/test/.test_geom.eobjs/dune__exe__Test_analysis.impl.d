@@ -1,0 +1,1 @@
+test/test_analysis.ml: Ace_analysis Ace_cif Ace_core Ace_geom Ace_netlist Ace_tech Ace_workloads Alcotest Array Circuit Gates List Parasitics Printf Sim Sta Static_check Tutil

@@ -1,0 +1,1 @@
+test/test_cif.ml: Ace_cif Ace_core Ace_geom Ace_hext Ace_netlist Ace_tech Alcotest Array Box Filename Layer List Point Stdlib String Sys Tutil

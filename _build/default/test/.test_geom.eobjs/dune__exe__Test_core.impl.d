@@ -1,0 +1,1 @@
+test/test_core.ml: Ace_baseline Ace_cif Ace_core Ace_geom Ace_netlist Ace_tech Ace_workloads Alcotest Array Box Circuit Int Interval Layer List Nmos Point QCheck2 Tutil

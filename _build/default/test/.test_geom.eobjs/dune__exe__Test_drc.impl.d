@@ -1,0 +1,1 @@
+test/test_drc.ml: Ace_cif Ace_drc Ace_geom Ace_tech Ace_workloads Alcotest Box Checker Format Layer List Printf QCheck2 Stdlib String Tutil

@@ -1,0 +1,1 @@
+test/test_geom.ml: Ace_geom Alcotest Box Interval List Option Point Poly QCheck2 Transform Tutil

@@ -1,0 +1,1 @@
+test/test_hext.ml: Ace_baseline Ace_cif Ace_core Ace_geom Ace_hext Ace_netlist Ace_tech Ace_workloads Alcotest Box Circuit Compare Hier Layer List Option Point Tutil

@@ -1,0 +1,1 @@
+test/test_netlist.ml: Ace_geom Ace_netlist Ace_tech Alcotest Array Box Circuit Compare Hier Layer List Nmos Point Printf QCheck2 Sexp Spice String Tutil Union_find Wirelist

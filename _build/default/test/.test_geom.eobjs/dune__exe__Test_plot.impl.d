@@ -1,0 +1,1 @@
+test/test_plot.ml: Ace_cif Ace_geom Ace_plot Ace_tech Ace_workloads Alcotest Box Layer List Point String

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Ace_analysis Ace_cif Ace_core Ace_netlist Ace_tech Ace_workloads Alcotest Array Circuit List Printf Tutil

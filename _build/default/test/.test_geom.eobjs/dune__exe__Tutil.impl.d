@@ -1,0 +1,1 @@
+test/tutil.ml: Ace_cif Ace_geom Ace_netlist Ace_tech Array Box Format Layer List Nmos Point Printf QCheck2 QCheck_alcotest String

@@ -1,0 +1,247 @@
+open Ace_geom
+open Ace_tech
+open Ace_drc
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let lam = 250
+let box ~l ~b ~r ~t = Box.make ~l:(l * lam) ~b:(b * lam) ~r:(r * lam) ~t:(t * lam)
+
+let violations_of boxes = Checker.check_boxes boxes
+let count rule vs = List.length (List.filter (fun v -> v.Checker.rule = rule) vs)
+
+(* ------------------------------------------------------------------ *)
+(* Clean layouts                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_clean_cells () =
+  List.iter
+    (fun (name, file) ->
+      let d = Ace_cif.Design.of_ast file in
+      let vs = Checker.check d in
+      Alcotest.check Alcotest.int
+        (Printf.sprintf "%s is DRC-clean (%s)" name
+           (String.concat "; "
+              (List.map (Format.asprintf "%a" Checker.pp_violation) vs)))
+        0 (List.length vs))
+    [
+      ("inverter", Ace_workloads.Chips.single_inverter ());
+      ("chain4", Ace_workloads.Chips.inverter_chain ~n:4 ());
+      ("four inverters", Ace_workloads.Chips.four_inverters ());
+      ("mesh 4x4", Ace_workloads.Arrays.mesh ~rows:4 ~cols:4 ());
+      ("datapath 2x3", Ace_workloads.Chips.datapath ~bits:2 ~stages:3 ());
+    ]
+
+let test_clean_gates () =
+  List.iter
+    (fun (name, cell) ->
+      let b = Ace_workloads.Builder.create () in
+      let sym = Ace_workloads.Builder.symbol b (cell b) in
+      let file =
+        Ace_workloads.Builder.file b
+          [ Ace_workloads.Builder.call b sym ~dx:0 ~dy:0 ]
+      in
+      check name true (Checker.check (Ace_cif.Design.of_ast file) = []))
+    [
+      ("nand2", Ace_workloads.Cells.nand2 ~labels:false);
+      ("nor2", Ace_workloads.Cells.nor2 ~labels:false);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Planted violations                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_width_vertical () =
+  let vs = violations_of [ (Layer.Metal, box ~l:0 ~b:0 ~r:1 ~t:20) ] in
+  check_int "one width violation" 1 (count "width" vs)
+
+let test_width_horizontal () =
+  (* caught by the transposed pass *)
+  let vs = violations_of [ (Layer.Metal, box ~l:0 ~b:0 ~r:20 ~t:1) ] in
+  check_int "one width violation" 1 (count "width" vs)
+
+let test_width_ok () =
+  check_int "3-lambda metal is fine" 0
+    (count "width" (violations_of [ (Layer.Metal, box ~l:0 ~b:0 ~r:3 ~t:20) ]))
+
+let test_spacing () =
+  let vs =
+    violations_of
+      [
+        (Layer.Poly, box ~l:0 ~b:0 ~r:2 ~t:10);
+        (Layer.Poly, box ~l:3 ~b:0 ~r:5 ~t:10) (* 1 lambda gap, need 2 *);
+      ]
+  in
+  check_int "spacing flagged" 1 (count "spacing" vs);
+  let ok =
+    violations_of
+      [
+        (Layer.Poly, box ~l:0 ~b:0 ~r:2 ~t:10);
+        (Layer.Poly, box ~l:4 ~b:0 ~r:6 ~t:10);
+      ]
+  in
+  check_int "2-lambda gap is fine" 0 (count "spacing" ok)
+
+let test_spacing_vertical () =
+  let vs =
+    violations_of
+      [
+        (Layer.Metal, box ~l:0 ~b:0 ~r:10 ~t:3);
+        (Layer.Metal, box ~l:0 ~b:4 ~r:10 ~t:7) (* 1 lambda vertical gap *);
+      ]
+  in
+  check "vertical spacing flagged" true (count "spacing" vs >= 1)
+
+let test_notch () =
+  (* a U whose inner notch is too narrow *)
+  let vs =
+    violations_of
+      [
+        (Layer.Metal, box ~l:0 ~b:0 ~r:3 ~t:10);
+        (Layer.Metal, box ~l:4 ~b:0 ~r:7 ~t:10);
+        (Layer.Metal, box ~l:0 ~b:0 ~r:7 ~t:3);
+      ]
+  in
+  check "notch flagged as spacing" true (count "spacing" vs >= 1)
+
+let test_cut_size () =
+  let vs =
+    violations_of
+      [
+        (Layer.Metal, box ~l:0 ~b:0 ~r:6 ~t:6);
+        (Layer.Diffusion, box ~l:0 ~b:0 ~r:6 ~t:6);
+        (Layer.Contact, box ~l:1 ~b:1 ~r:4 ~t:3) (* 3x2, must be 2x2 *);
+      ]
+  in
+  check_int "cut size flagged" 1 (count "cut-size" vs)
+
+let test_cut_surround () =
+  (* metal flush with the cut on the left: no 1-lambda surround *)
+  let vs =
+    violations_of
+      [
+        (Layer.Metal, box ~l:2 ~b:0 ~r:6 ~t:6);
+        (Layer.Diffusion, box ~l:0 ~b:0 ~r:6 ~t:6);
+        (Layer.Contact, box ~l:2 ~b:2 ~r:4 ~t:4);
+      ]
+  in
+  check "surround flagged" true (count "cut-surround" vs >= 1);
+  let ok =
+    violations_of
+      [
+        (Layer.Metal, box ~l:0 ~b:0 ~r:6 ~t:6);
+        (Layer.Diffusion, box ~l:0 ~b:0 ~r:6 ~t:6);
+        (Layer.Contact, box ~l:2 ~b:2 ~r:4 ~t:4);
+      ]
+  in
+  check_int "proper surround passes" 0 (count "cut-surround" ok)
+
+let test_gate_overhang () =
+  (* poly ends flush with the channel edge *)
+  let vs =
+    violations_of
+      [
+        (Layer.Diffusion, box ~l:0 ~b:0 ~r:12 ~t:2);
+        (Layer.Poly, box ~l:4 ~b:0 ~r:6 ~t:2) (* no overhang at all *);
+      ]
+  in
+  check "overhang flagged" true (count "gate-overhang" vs >= 1);
+  let ok =
+    violations_of
+      [
+        (Layer.Diffusion, box ~l:0 ~b:0 ~r:12 ~t:2);
+        (Layer.Poly, box ~l:4 ~b:(-2) ~r:6 ~t:4);
+      ]
+  in
+  check_int "2-lambda overhang passes" 0 (count "gate-overhang" ok)
+
+let test_coalescing () =
+  (* a long thin wire is one violation, not one per strip *)
+  let vs =
+    violations_of
+      [
+        (Layer.Metal, box ~l:0 ~b:0 ~r:1 ~t:10);
+        (Layer.Metal, box ~l:5 ~b:2 ~r:9 ~t:8) (* forces strip boundaries *);
+      ]
+  in
+  check_int "one coalesced width violation" 1 (count "width" vs)
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let scale_layout layout =
+  List.map
+    (fun (lyr, (b : Box.t)) ->
+      (lyr, Box.make ~l:(lam * b.l) ~b:(lam * b.b) ~r:(lam * b.r) ~t:(lam * b.t)))
+    layout
+
+let prop_translation_invariant =
+  Tutil.qtest ~count:100 "violation count is translation invariant"
+    QCheck2.Gen.(
+      triple (Tutil.gen_layout ()) (int_range (-20) 20) (int_range (-20) 20))
+    (fun (layout, dx, dy) ->
+      let layout = scale_layout layout in
+      let moved =
+        List.map
+          (fun (l, b) -> (l, Box.translate b ~dx:(lam * dx) ~dy:(lam * dy)))
+          layout
+      in
+      List.length (violations_of layout) = List.length (violations_of moved))
+
+let prop_transpose_symmetric =
+  (* the x- and y-direction passes overlap, so box areas are not
+     transpose-stable; the classes of violations found must be.  This
+     catches direction-blindness bugs (a rule checked on one axis only). *)
+  Tutil.qtest ~count:100 "violation classes are transpose invariant"
+    (Tutil.gen_layout ())
+    (fun layout ->
+      let layout = scale_layout layout in
+      let transposed =
+        List.map
+          (fun (l, (b : Box.t)) ->
+            (l, Box.make ~l:b.b ~b:b.l ~r:b.t ~t:b.r))
+          layout
+      in
+      let signature vs =
+        List.sort_uniq Stdlib.compare
+          (List.map (fun v -> (v.Checker.rule, v.Checker.layer)) vs)
+      in
+      signature (violations_of layout) = signature (violations_of transposed))
+
+let prop_monotone =
+  Tutil.qtest ~count:100 "adding far-away geometry never removes violations"
+    (Tutil.gen_layout ())
+    (fun layout ->
+      let layout = scale_layout layout in
+      let clean_far =
+        (Layer.Metal, Box.make ~l:1000000 ~b:1000000 ~r:1001000 ~t:1001000)
+      in
+      List.length (violations_of (clean_far :: layout))
+      >= List.length (violations_of layout))
+
+let () =
+  Alcotest.run "drc"
+    [
+      ( "clean",
+        [
+          Alcotest.test_case "workload cells" `Quick test_clean_cells;
+          Alcotest.test_case "nand/nor" `Quick test_clean_gates;
+        ] );
+      ( "planted",
+        [
+          Alcotest.test_case "width vertical" `Quick test_width_vertical;
+          Alcotest.test_case "width horizontal" `Quick test_width_horizontal;
+          Alcotest.test_case "width ok" `Quick test_width_ok;
+          Alcotest.test_case "spacing" `Quick test_spacing;
+          Alcotest.test_case "vertical spacing" `Quick test_spacing_vertical;
+          Alcotest.test_case "notch" `Quick test_notch;
+          Alcotest.test_case "cut size" `Quick test_cut_size;
+          Alcotest.test_case "cut surround" `Quick test_cut_surround;
+          Alcotest.test_case "gate overhang" `Quick test_gate_overhang;
+          Alcotest.test_case "coalescing" `Quick test_coalescing;
+        ] );
+      ( "properties",
+        [ prop_translation_invariant; prop_transpose_symmetric; prop_monotone ] );
+    ]

@@ -1,0 +1,353 @@
+open Ace_geom
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Box                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_box_basics () =
+  let b = Box.make ~l:0 ~b:1 ~r:4 ~t:5 in
+  check_int "width" 4 (Box.width b);
+  check_int "height" 4 (Box.height b);
+  check_int "area" 16 (Box.area b);
+  check "contains corner" true (Box.contains_point b (Point.make 0 1));
+  check "excludes top-right" false (Box.contains_point b (Point.make 4 5))
+
+let test_box_degenerate () =
+  Alcotest.check_raises "zero width" (Invalid_argument "Box.make: degenerate box l=1 b=0 r=1 t=2")
+    (fun () -> ignore (Box.make ~l:1 ~b:0 ~r:1 ~t:2))
+
+let test_box_overlap_vs_touch () =
+  let a = Box.make ~l:0 ~b:0 ~r:4 ~t:4 in
+  let edge = Box.make ~l:4 ~b:0 ~r:8 ~t:4 in
+  let corner = Box.make ~l:4 ~b:4 ~r:8 ~t:8 in
+  let inside = Box.make ~l:1 ~b:1 ~r:3 ~t:3 in
+  check "edge abutment does not overlap" false (Box.overlaps a edge);
+  check "edge abutment touches" true (Box.touches a edge);
+  check "corner contact does not touch" false (Box.touches a corner);
+  check "containment overlaps" true (Box.overlaps a inside)
+
+let test_box_intersection () =
+  let a = Box.make ~l:0 ~b:0 ~r:10 ~t:10 in
+  let b = Box.make ~l:5 ~b:5 ~r:15 ~t:15 in
+  (match Box.intersection a b with
+  | Some i ->
+      check_int "ix l" 5 i.Box.l;
+      check_int "ix area" 25 (Box.area i)
+  | None -> Alcotest.fail "expected intersection");
+  check "disjoint" true
+    (Box.intersection a (Box.make ~l:20 ~b:20 ~r:25 ~t:25) = None);
+  check "edge contact has no area" true
+    (Box.intersection a (Box.make ~l:10 ~b:0 ~r:12 ~t:4) = None)
+
+let test_box_hull_clip () =
+  let a = Box.make ~l:0 ~b:0 ~r:2 ~t:2 and b = Box.make ~l:5 ~b:7 ~r:6 ~t:9 in
+  let h = Box.hull a b in
+  check_int "hull r" 6 h.Box.r;
+  check_int "hull t" 9 h.Box.t;
+  check "hull_list empty" true (Box.hull_list [] = None);
+  match Box.clip (Box.make ~l:(-5) ~b:(-5) ~r:1 ~t:1) ~window:a with
+  | Some c -> check_int "clip area" 1 (Box.area c)
+  | None -> Alcotest.fail "clip dropped overlapping box"
+
+(* ------------------------------------------------------------------ *)
+(* Interval                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let spans = Alcotest.(list (pair int int))
+
+let test_interval_normalize () =
+  Alcotest.check spans "merge overlapping and abutting"
+    [ (0, 7); (9, 12) ]
+    (Interval.to_spans (Interval.of_spans [ (3, 5); (0, 3); (4, 7); (9, 12) ]));
+  Alcotest.check spans "drop empties" []
+    (Interval.to_spans (Interval.of_spans [ (3, 3); (5, 4) ]))
+
+let test_interval_ops () =
+  let a = Interval.of_spans [ (0, 10); (20, 30) ] in
+  let b = Interval.of_spans [ (5, 25) ] in
+  Alcotest.check spans "union" [ (0, 30) ] (Interval.to_spans (Interval.union a b));
+  Alcotest.check spans "inter" [ (5, 10); (20, 25) ]
+    (Interval.to_spans (Interval.inter a b));
+  Alcotest.check spans "diff" [ (0, 5); (25, 30) ]
+    (Interval.to_spans (Interval.diff a b));
+  check_int "overlap_length" 10 (Interval.overlap_length a b);
+  check_int "total" 20 (Interval.total_length a)
+
+let test_interval_mem () =
+  let a = Interval.of_spans [ (0, 4); (8, 10) ] in
+  check "mem 0" true (Interval.mem a 0);
+  check "mem 3" true (Interval.mem a 3);
+  check "mem 4 (half-open)" false (Interval.mem a 4);
+  check "mem 9" true (Interval.mem a 9)
+
+let test_overlapping_pairs () =
+  let a = Interval.of_spans [ (0, 4); (6, 10) ] in
+  let b = Interval.of_spans [ (3, 7); (9, 12) ] in
+  Alcotest.(check (list (pair int int)))
+    "pairs"
+    [ (0, 0); (1, 0); (1, 1) ]
+    (Interval.overlapping_pairs a b)
+
+let gen_spans =
+  QCheck2.Gen.(
+    list_size (int_range 0 12)
+      (let* lo = int_range (-30) 30 in
+       let* len = int_range 0 10 in
+       return (lo, lo + len)))
+
+let prop_interval_model =
+  (* compare set operations against a naive membership model *)
+  Tutil.qtest "interval ops agree with membership model"
+    QCheck2.Gen.(pair gen_spans gen_spans)
+    (fun (sa, sb) ->
+      let a = Interval.of_spans sa and b = Interval.of_spans sb in
+      let mem_raw spans x = List.exists (fun (lo, hi) -> lo <= x && x < hi) spans in
+      let ok = ref true in
+      for x = -35 to 45 do
+        let ma = mem_raw sa x and mb = mem_raw sb x in
+        if Interval.mem (Interval.union a b) x <> (ma || mb) then ok := false;
+        if Interval.mem (Interval.inter a b) x <> (ma && mb) then ok := false;
+        if Interval.mem (Interval.diff a b) x <> (ma && not mb) then ok := false
+      done;
+      !ok)
+
+let prop_interval_canonical =
+  Tutil.qtest "of_spans yields sorted disjoint non-abutting spans" gen_spans
+    (fun raw ->
+      let t = Interval.of_spans raw in
+      let rec ok = function
+        | (a : Interval.span) :: (b : Interval.span) :: rest ->
+            a.lo < a.hi && a.hi < b.lo && ok (b :: rest)
+        | [ (a : Interval.span) ] -> a.lo < a.hi
+        | [] -> true
+      in
+      ok t)
+
+let prop_interval_algebra =
+  Tutil.qtest "union/inter algebra laws"
+    QCheck2.Gen.(triple gen_spans gen_spans gen_spans)
+    (fun (sa, sb, sc) ->
+      let a = Interval.of_spans sa
+      and b = Interval.of_spans sb
+      and c = Interval.of_spans sc in
+      Interval.equal (Interval.union a b) (Interval.union b a)
+      && Interval.equal (Interval.inter a b) (Interval.inter b a)
+      && Interval.equal
+           (Interval.union a (Interval.union b c))
+           (Interval.union (Interval.union a b) c)
+      && Interval.equal (Interval.union a a) a
+      && Interval.equal (Interval.inter a a) a
+      && Interval.equal (Interval.diff a a) Interval.empty
+      && Interval.equal (Interval.diff a Interval.empty) a
+      && Interval.equal (Interval.inter a Interval.empty) Interval.empty)
+
+let prop_overlap_length =
+  Tutil.qtest "overlap_length equals length of intersection"
+    QCheck2.Gen.(pair gen_spans gen_spans)
+    (fun (sa, sb) ->
+      let a = Interval.of_spans sa and b = Interval.of_spans sb in
+      Interval.overlap_length a b = Interval.total_length (Interval.inter a b))
+
+(* ------------------------------------------------------------------ *)
+(* Transform                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let gen_transform =
+  QCheck2.Gen.(
+    let prim =
+      oneof
+        [
+          return Transform.mirror_x;
+          return Transform.mirror_y;
+          return (Transform.rotation ~a:0 ~b:1);
+          return (Transform.rotation ~a:(-1) ~b:0);
+          return (Transform.rotation ~a:0 ~b:(-1));
+          (let* dx = int_range (-20) 20 in
+           let* dy = int_range (-20) 20 in
+           return (Transform.translation ~dx ~dy));
+        ]
+    in
+    let* ops = list_size (int_range 0 5) prim in
+    return (List.fold_left Transform.then_ Transform.identity ops))
+
+let gen_point =
+  QCheck2.Gen.(
+    let* x = int_range (-30) 30 in
+    let* y = int_range (-30) 30 in
+    return (Point.make x y))
+
+let prop_transform_inverse =
+  Tutil.qtest "inverse composes to identity"
+    QCheck2.Gen.(pair gen_transform gen_point)
+    (fun (t, p) ->
+      Point.equal p (Transform.apply (Transform.inverse t) (Transform.apply t p)))
+
+let prop_transform_compose =
+  Tutil.qtest "compose applies inner first"
+    QCheck2.Gen.(triple gen_transform gen_transform gen_point)
+    (fun (o, i, p) ->
+      Point.equal
+        (Transform.apply (Transform.compose o i) p)
+        (Transform.apply o (Transform.apply i p)))
+
+let prop_transform_box =
+  Tutil.qtest "box transform preserves area"
+    QCheck2.Gen.(pair gen_transform (Tutil.gen_box ()))
+    (fun (t, bx) -> Box.area (Transform.apply_box t bx) = Box.area bx)
+
+let test_rotation_cases () =
+  let r90 = Transform.rotation ~a:0 ~b:1 in
+  check "r90 maps +x to +y" true
+    (Point.equal (Transform.apply r90 (Point.make 1 0)) (Point.make 0 1));
+  Alcotest.check_raises "diagonal rotation rejected"
+    (Invalid_argument "Transform.rotation: non-manhattan direction (1,1)")
+    (fun () -> ignore (Transform.rotation ~a:1 ~b:1))
+
+(* ------------------------------------------------------------------ *)
+(* Poly                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_rect_polygon () =
+  let poly =
+    [ Point.make 0 0; Point.make 10 0; Point.make 10 6; Point.make 0 6 ]
+  in
+  let boxes = Poly.boxes_of_polygon ~quantum:2 poly in
+  check_int "one box" 1 (List.length boxes);
+  check_int "area" 60 (Poly.total_area boxes)
+
+let test_l_shape () =
+  (* an L: 10x10 minus the 6x6 upper-right corner *)
+  let poly =
+    [
+      Point.make 0 0; Point.make 10 0; Point.make 10 4; Point.make 4 4;
+      Point.make 4 10; Point.make 0 10;
+    ]
+  in
+  let boxes = Poly.boxes_of_polygon ~quantum:2 poly in
+  check_int "area" 64 (Poly.total_area boxes);
+  check "coalesced into two boxes" true (List.length boxes = 2)
+
+let test_degenerate_polygon () =
+  check "too few points" true (Poly.boxes_of_polygon ~quantum:2 [ Point.make 0 0 ] = []);
+  check "zero area" true
+    (Poly.boxes_of_polygon ~quantum:2
+       [ Point.make 0 0; Point.make 5 0; Point.make 9 0 ]
+    = [])
+
+let test_triangle_approx () =
+  let poly = [ Point.make 0 0; Point.make 16 0; Point.make 0 16 ] in
+  let boxes = Poly.boxes_of_polygon ~quantum:2 poly in
+  let area = Poly.total_area boxes in
+  (* half of 256 = 128; the strip approximation must stay close *)
+  check "triangle area within 15%" true (abs (area - 128) < 20);
+  check "boxes stay inside hull" true
+    (List.for_all
+       (fun (b : Box.t) -> b.l >= 0 && b.b >= 0 && b.r <= 16 && b.t <= 16)
+       boxes)
+
+let test_wire () =
+  let path = [ Point.make 0 0; Point.make 10 0; Point.make 10 8 ] in
+  let boxes = Poly.boxes_of_wire ~quantum:2 ~width:2 path in
+  check_int "two segments" 2 (List.length boxes);
+  (* CIF wires extend half a width beyond endpoints *)
+  let hull = Option.get (Box.hull_list boxes) in
+  check_int "hull l" (-1) hull.Box.l;
+  check_int "hull t" 9 hull.Box.t
+
+let test_wire_single_point () =
+  let boxes = Poly.boxes_of_wire ~quantum:1 ~width:4 [ Point.make 5 5 ] in
+  check_int "square" 1 (List.length boxes);
+  check_int "area" 16 (Poly.total_area boxes)
+
+let test_round_flash () =
+  let boxes =
+    Poly.boxes_of_round_flash ~quantum:2 ~diameter:12 ~center:(Point.make 0 0)
+  in
+  let area = Poly.total_area boxes in
+  (* inscribed approximation: below the disc area (~113), above half *)
+  check "flash area plausible" true (area > 60 && area <= 120);
+  check "flash inside bounding square" true
+    (List.for_all
+       (fun (b : Box.t) -> b.l >= -6 && b.r <= 6 && b.b >= -6 && b.t <= 6)
+       boxes)
+
+let prop_manhattan_area =
+  (* histogram skylines (rectilinear simple polygons) decompose exactly *)
+  Tutil.qtest "manhattan polygon decomposition preserves area"
+    QCheck2.Gen.(
+      let* bars =
+        list_size (int_range 1 6) (pair (int_range 1 5) (int_range 1 8))
+      in
+      return bars)
+    (fun bars ->
+      (* skyline over bars of (width, height), strictly above the baseline *)
+      let rim, _ =
+        List.fold_left
+          (fun (pts, x) (w, h) ->
+            (Point.make (x + w) h :: Point.make x h :: pts, x + w))
+          ([], 0) bars
+      in
+      let total_w = List.fold_left (fun a (w, _) -> a + w) 0 bars in
+      let poly = Point.make 0 0 :: List.rev (Point.make total_w 0 :: rim) in
+      let expected = List.fold_left (fun a (w, h) -> a + (w * h)) 0 bars in
+      let boxes = Poly.boxes_of_polygon ~quantum:1 poly in
+      Poly.total_area boxes = expected)
+
+let prop_coalesce_preserves_area =
+  Tutil.qtest "coalesce_columns preserves area"
+    QCheck2.Gen.(list_size (int_range 0 10) (Tutil.gen_box ()))
+    (fun boxes ->
+      (* stack disjoint copies: shift each box to its own y band *)
+      let disjoint =
+        List.mapi
+          (fun i (b : Box.t) ->
+            Box.make ~l:b.l ~b:(b.b + (i * 100)) ~r:b.r ~t:(b.t + (i * 100)))
+          boxes
+      in
+      Poly.total_area (Poly.coalesce_columns disjoint) = Poly.total_area disjoint)
+
+let () =
+  Alcotest.run "geom"
+    [
+      ( "box",
+        [
+          Alcotest.test_case "basics" `Quick test_box_basics;
+          Alcotest.test_case "degenerate" `Quick test_box_degenerate;
+          Alcotest.test_case "overlap vs touch" `Quick test_box_overlap_vs_touch;
+          Alcotest.test_case "intersection" `Quick test_box_intersection;
+          Alcotest.test_case "hull and clip" `Quick test_box_hull_clip;
+        ] );
+      ( "interval",
+        [
+          Alcotest.test_case "normalize" `Quick test_interval_normalize;
+          Alcotest.test_case "set ops" `Quick test_interval_ops;
+          Alcotest.test_case "mem" `Quick test_interval_mem;
+          Alcotest.test_case "overlapping pairs" `Quick test_overlapping_pairs;
+          prop_interval_model;
+          prop_interval_canonical;
+          prop_interval_algebra;
+          prop_overlap_length;
+        ] );
+      ( "transform",
+        [
+          Alcotest.test_case "rotation cases" `Quick test_rotation_cases;
+          prop_transform_inverse;
+          prop_transform_compose;
+          prop_transform_box;
+        ] );
+      ( "poly",
+        [
+          Alcotest.test_case "rectangle" `Quick test_rect_polygon;
+          Alcotest.test_case "L shape" `Quick test_l_shape;
+          Alcotest.test_case "degenerate" `Quick test_degenerate_polygon;
+          Alcotest.test_case "triangle approximation" `Quick test_triangle_approx;
+          Alcotest.test_case "wire" `Quick test_wire;
+          Alcotest.test_case "wire single point" `Quick test_wire_single_point;
+          Alcotest.test_case "round flash" `Quick test_round_flash;
+          prop_manhattan_area;
+          prop_coalesce_preserves_area;
+        ] );
+    ]

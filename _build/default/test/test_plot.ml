@@ -1,0 +1,134 @@
+open Ace_geom
+open Ace_tech
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let count_substring hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i acc =
+    if i + nn > nh then acc
+    else if String.sub hay i nn = needle then go (i + 1) (acc + 1)
+    else go (i + 1) acc
+  in
+  go 0 0
+
+(* ------------------------------------------------------------------ *)
+(* SVG                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_svg_structure () =
+  let svg =
+    Ace_plot.Svg.render_boxes
+      [
+        (Layer.Metal, Box.make ~l:0 ~b:0 ~r:1000 ~t:250);
+        (Layer.Poly, Box.make ~l:0 ~b:500 ~r:1000 ~t:750);
+      ]
+  in
+  check "well-formed open" true (contains svg "<svg xmlns");
+  check "well-formed close" true (contains svg "</svg>");
+  check_int "one rect per box plus background" 3 (count_substring svg "<rect");
+  let metal_color, _ = Ace_plot.Svg.layer_color Layer.Metal in
+  check "metal color present" true (contains svg metal_color)
+
+let test_svg_labels () =
+  let svg =
+    Ace_plot.Svg.render_boxes
+      ~labels:
+        [ { Ace_cif.Design.name = "CLK"; position = Point.make 100 100; layer = None } ]
+      [ (Layer.Metal, Box.make ~l:0 ~b:0 ~r:1000 ~t:250) ]
+  in
+  check "label text" true (contains svg ">CLK</text>")
+
+let test_svg_design () =
+  let d = Ace_cif.Design.of_ast (Ace_workloads.Chips.single_inverter ()) in
+  let svg = Ace_plot.Svg.render d in
+  check "labels drawn" true (contains svg ">VDD</text>");
+  let boxes =
+    Ace_cif.Design.count_boxes
+      (Ace_cif.Design.of_ast (Ace_workloads.Chips.single_inverter ()))
+  in
+  check_int "one rect per box plus background" (boxes + 1)
+    (count_substring svg "<rect")
+
+let test_svg_empty () =
+  let svg = Ace_plot.Svg.render_boxes [] in
+  check "still a document" true (contains svg "</svg>")
+
+(* ------------------------------------------------------------------ *)
+(* ASCII                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_ascii_dimensions () =
+  let rows =
+    Ace_plot.Ascii.render ~grid:250
+      [ (Layer.Metal, Box.make ~l:0 ~b:0 ~r:1000 ~t:500) ]
+  in
+  check_int "two rows" 2 (List.length rows);
+  check_int "four columns" 4 (String.length (List.hd rows));
+  check "all metal" true (List.for_all (fun r -> r = "mmmm") rows)
+
+let test_ascii_priority () =
+  (* a transistor crossing shows as X, cut as #, buried as B *)
+  let rows =
+    Ace_plot.Ascii.render ~grid:250
+      [
+        (Layer.Diffusion, Box.make ~l:0 ~b:0 ~r:750 ~t:250);
+        (Layer.Poly, Box.make ~l:250 ~b:0 ~r:500 ~t:250);
+      ]
+  in
+  check "channel marked" true (List.hd rows = "dXd");
+  let rows2 =
+    Ace_plot.Ascii.render ~grid:250
+      [
+        (Layer.Diffusion, Box.make ~l:0 ~b:0 ~r:250 ~t:250);
+        (Layer.Poly, Box.make ~l:0 ~b:0 ~r:250 ~t:250);
+        (Layer.Buried, Box.make ~l:0 ~b:0 ~r:250 ~t:250);
+      ]
+  in
+  check "buried contact marked" true (List.hd rows2 = "B")
+
+let test_ascii_orientation () =
+  (* the top of the chip is the first row *)
+  let rows =
+    Ace_plot.Ascii.render ~grid:250
+      [
+        (Layer.Metal, Box.make ~l:0 ~b:250 ~r:250 ~t:500);
+        (Layer.Poly, Box.make ~l:0 ~b:0 ~r:250 ~t:250);
+      ]
+  in
+  check "metal on top" true (rows = [ "m"; "p" ])
+
+let test_ascii_inverter_figure () =
+  (* the quickstart's Figure 3-3 rendering: check the signature rows *)
+  let d = Ace_cif.Design.of_ast (Ace_workloads.Chips.single_inverter ()) in
+  let rows = Ace_plot.Ascii.render_design d in
+  check_int "26 rows for a 26-lambda cell" 26 (List.length rows);
+  check "depletion channel row" true (List.mem "   ippXXppi   " rows);
+  check "buried contact row" true (List.mem "   ippBBppi   " rows);
+  check "enhancement row" true (List.mem "ppppppXXpp    " rows);
+  check "rail with cut" true (List.mem "mmmmmm##mmmmmm" rows)
+
+let () =
+  Alcotest.run "plot"
+    [
+      ( "svg",
+        [
+          Alcotest.test_case "structure" `Quick test_svg_structure;
+          Alcotest.test_case "labels" `Quick test_svg_labels;
+          Alcotest.test_case "design" `Quick test_svg_design;
+          Alcotest.test_case "empty" `Quick test_svg_empty;
+        ] );
+      ( "ascii",
+        [
+          Alcotest.test_case "dimensions" `Quick test_ascii_dimensions;
+          Alcotest.test_case "priority" `Quick test_ascii_priority;
+          Alcotest.test_case "orientation" `Quick test_ascii_orientation;
+          Alcotest.test_case "inverter figure" `Quick test_ascii_inverter_figure;
+        ] );
+    ]

@@ -1,56 +1,44 @@
 (* ace — flat edge-based circuit extraction: CIF in, CMU wirelist out. *)
 
-let read_input = function
-  | "-" -> In_channel.input_all stdin
-  | path ->
-      let ic = open_in_bin path in
-      let s = really_input_string ic (in_channel_length ic) in
-      close_in ic;
-      s
-
-let run input output geometry spice name quantum stats =
-  let text = read_input input in
-  match Ace_cif.Parser.parse_string text with
-  | exception Ace_cif.Parser.Error { position; message } ->
-      prerr_endline (Ace_cif.Parser.describe_error ~source:text ~position ~message);
+let run input output geometry spice name quantum stats strict max_errors
+    diag_format =
+  let loaded = Cli_common.load ~strict ~max_errors ~quantum input in
+  match loaded.Cli_common.design with
+  | None ->
+      Cli_common.report ~format:diag_format ~source:loaded.source loaded.diags;
       exit 2
-  | ast -> (
-      match Ace_cif.Design.of_ast ~quantum ast with
-      | exception Ace_cif.Design.Semantic_error m ->
-          Printf.eprintf "semantic error: %s\n" m;
-          exit 2
-      | design ->
-          let name =
-            match name with
-            | Some n -> n
-            | None -> if input = "-" then "chip" else Filename.basename input
-          in
-          let t0 = Unix.gettimeofday () in
-          let circuit, run_stats =
-            Ace_core.Extractor.extract_with_stats ~emit_geometry:geometry ~name
-              design
-          in
-          let elapsed = Unix.gettimeofday () -. t0 in
-          let oc = match output with None -> stdout | Some p -> open_out p in
-          if spice then output_string oc (Ace_netlist.Spice.to_string circuit)
-          else Ace_netlist.Wirelist.to_channel ~emit_geometry:geometry oc circuit;
-          if output <> None then close_out oc;
-          List.iter
-            (fun w -> Printf.eprintf "warning: %s\n" w)
-            run_stats.Ace_core.Extractor.warnings;
-          if stats then begin
-            let devs = Ace_netlist.Circuit.device_count circuit in
-            Printf.eprintf
-              "%s: %d devices, %d nets, %d boxes, %d scanline stops, peak %d \
-               active, %.3f s (%.0f devices/s, %.0f boxes/s)\n"
-              name devs
-              (Ace_netlist.Circuit.net_count circuit)
-              run_stats.boxes run_stats.stops run_stats.max_active elapsed
-              (float_of_int devs /. elapsed)
-              (float_of_int run_stats.boxes /. elapsed);
-            Format.eprintf "layout: %a@." Ace_cif.Stats.pp
-              (Ace_cif.Stats.of_design design)
-          end)
+  | Some design ->
+      let name =
+        match name with
+        | Some n -> n
+        | None -> if input = "-" then "chip" else Filename.basename input
+      in
+      let t0 = Unix.gettimeofday () in
+      let circuit, run_stats =
+        Ace_core.Extractor.extract_with_stats ~emit_geometry:geometry ~name
+          design
+      in
+      let elapsed = Unix.gettimeofday () -. t0 in
+      let oc = match output with None -> stdout | Some p -> open_out p in
+      if spice then output_string oc (Ace_netlist.Spice.to_string circuit)
+      else Ace_netlist.Wirelist.to_channel ~emit_geometry:geometry oc circuit;
+      if output <> None then close_out oc;
+      let diags = loaded.diags @ run_stats.Ace_core.Extractor.warnings in
+      Cli_common.report ~format:diag_format ~source:loaded.source diags;
+      if stats then begin
+        let devs = Ace_netlist.Circuit.device_count circuit in
+        Printf.eprintf
+          "%s: %d devices, %d nets, %d boxes, %d scanline stops, peak %d \
+           active, %.3f s (%.0f devices/s, %.0f boxes/s)\n"
+          name devs
+          (Ace_netlist.Circuit.net_count circuit)
+          run_stats.boxes run_stats.stops run_stats.max_active elapsed
+          (float_of_int devs /. elapsed)
+          (float_of_int run_stats.boxes /. elapsed);
+        Format.eprintf "layout: %a@." Ace_cif.Stats.pp
+          (Ace_cif.Stats.of_design design)
+      end;
+      exit (Cli_common.exit_code ~diags ~usable:true)
 
 open Cmdliner
 
@@ -78,6 +66,9 @@ let stats =
 let cmd =
   Cmd.v
     (Cmd.info "ace" ~doc:"Flat edge-based NMOS circuit extractor (Gupta, DAC 1983)")
-    Term.(const run $ input $ output $ geometry $ spice $ part_name $ quantum $ stats)
+    Term.(
+      const run $ input $ output $ geometry $ spice $ part_name $ quantum
+      $ stats $ Cli_common.strict_t $ Cli_common.max_errors_t
+      $ Cli_common.diag_format_t)
 
 let () = exit (Cmd.eval cmd)

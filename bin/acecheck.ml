@@ -1,46 +1,56 @@
 (* acecheck — static electrical checks on a layout or wirelist. *)
 
-let read path =
-  let ic = open_in_bin path in
-  let s = really_input_string ic (in_channel_length ic) in
-  close_in ic;
-  s
+(* Returns the circuit (None = unrecoverable) plus front-end diagnostics. *)
+let load ~strict ~max_errors path =
+  match Cli_common.read_input path with
+  | Error d -> (None, "", [ d ])
+  | Ok text ->
+      let from_cif () =
+        match Cli_common.load_text ~strict ~max_errors text with
+        | None, diags -> (None, text, diags)
+        | Some design, diags ->
+            let name = Filename.basename path in
+            (Some (Ace_core.Extractor.extract ~name design), text, diags)
+      in
+      if Filename.check_suffix path ".cif" then from_cif ()
+      else (
+        match Ace_netlist.Wirelist.of_string text with
+        | c -> (Some c, text, [])
+        | exception Ace_netlist.Wirelist.Error _ ->
+            (* fall back to CIF for suffix-less files *)
+            from_cif ())
 
-let load path =
-  let text = read path in
-  if Filename.check_suffix path ".cif" then
-    Ace_core.Extractor.extract_cif_string ~name:(Filename.basename path) text
-  else
-    match Ace_netlist.Wirelist.of_string text with
-    | c -> c
-    | exception Ace_netlist.Wirelist.Error _ ->
-        (* fall back to CIF for suffix-less files *)
-        Ace_core.Extractor.extract_cif_string ~name:(Filename.basename path) text
-
-let run input vdd gnd verbose timing =
-  let circuit = load input in
-  let findings = Ace_analysis.Static_check.check ~vdd ~gnd circuit in
-  let errors, warnings, infos = Ace_analysis.Static_check.summarize findings in
-  List.iter
-    (fun (f : Ace_analysis.Static_check.finding) ->
-      if verbose || f.severity <> Ace_analysis.Static_check.Info then
-        Format.printf "%a@." (Ace_analysis.Static_check.pp_finding circuit) f)
-    findings;
-  Format.printf "%s: %d devices, %d nets — %d errors, %d warnings, %d infos@."
-    input
-    (Ace_netlist.Circuit.device_count circuit)
-    (Ace_netlist.Circuit.net_count circuit)
-    errors warnings infos;
-  if timing then begin
-    match Ace_analysis.Sta.analyze ~vdd ~gnd circuit with
-    | Some r -> Format.printf "@.timing: %a" (Ace_analysis.Sta.pp_result circuit) r
-    | None -> Format.printf "@.timing: no gates recognized@."
-  end;
-  if errors > 0 then exit 1
+let run input vdd gnd verbose timing strict max_errors diag_format =
+  let circuit, source, diags = load ~strict ~max_errors input in
+  Cli_common.report ~format:diag_format ~source diags;
+  match circuit with
+  | None -> exit 2
+  | Some circuit ->
+      let findings = Ace_analysis.Static_check.check ~vdd ~gnd circuit in
+      let errors, warnings, infos =
+        Ace_analysis.Static_check.summarize findings
+      in
+      List.iter
+        (fun (f : Ace_analysis.Static_check.finding) ->
+          if verbose || f.severity <> Ace_analysis.Static_check.Info then
+            Format.printf "%a@." (Ace_analysis.Static_check.pp_finding circuit) f)
+        findings;
+      Format.printf "%s: %d devices, %d nets — %d errors, %d warnings, %d infos@."
+        input
+        (Ace_netlist.Circuit.device_count circuit)
+        (Ace_netlist.Circuit.net_count circuit)
+        errors warnings infos;
+      if timing then begin
+        match Ace_analysis.Sta.analyze ~vdd ~gnd circuit with
+        | Some r -> Format.printf "@.timing: %a" (Ace_analysis.Sta.pp_result circuit) r
+        | None -> Format.printf "@.timing: no gates recognized@."
+      end;
+      if errors > 0 then exit 1
+      else exit (Cli_common.exit_code ~diags ~usable:true)
 
 open Cmdliner
 
-let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"A .cif layout or a wirelist.")
+let input = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"A .cif layout or a wirelist.")
 let vdd = Arg.(value & opt string "VDD" & info [ "vdd" ] ~docv:"NAME")
 let gnd = Arg.(value & opt string "GND" & info [ "gnd" ] ~docv:"NAME")
 let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Also print informational findings.")
@@ -49,6 +59,8 @@ let timing = Arg.(value & flag & info [ "timing" ] ~doc:"Run static timing analy
 let cmd =
   Cmd.v
     (Cmd.info "acecheck" ~doc:"Static checker: ratio checks, malformed transistors, stuck signals")
-    Term.(const run $ input $ vdd $ gnd $ verbose $ timing)
+    Term.(
+      const run $ input $ vdd $ gnd $ verbose $ timing $ Cli_common.strict_t
+      $ Cli_common.max_errors_t $ Cli_common.diag_format_t)
 
 let () = exit (Cmd.eval cmd)

@@ -1,32 +1,25 @@
 (* acedrc — scanline design-rule checking of a CIF layout. *)
 
-let run input lambda =
-  let ic = open_in_bin input in
-  let text = really_input_string ic (in_channel_length ic) in
-  close_in ic;
-  match Ace_cif.Parser.parse_string text with
-  | exception Ace_cif.Parser.Error { position; message } ->
-      prerr_endline
-        (Ace_cif.Parser.describe_error ~source:text ~position ~message);
-      exit 2
-  | ast -> (
-      match Ace_cif.Design.of_ast ast with
-      | exception Ace_cif.Design.Semantic_error m ->
-          Printf.eprintf "semantic error: %s\n" m;
-          exit 2
-      | design ->
-          let rules = Ace_drc.Rules.mead_conway ~lambda () in
-          let violations = Ace_drc.Checker.check ~rules design in
-          List.iter
-            (fun v -> Format.printf "%a@." Ace_drc.Checker.pp_violation v)
-            violations;
-          Printf.printf "%s: %d design-rule violations\n" input
-            (List.length violations);
-          if violations <> [] then exit 1)
+let run input lambda strict max_errors diag_format =
+  let loaded = Cli_common.load ~strict ~max_errors input in
+  Cli_common.report ~format:diag_format ~source:loaded.Cli_common.source
+    loaded.diags;
+  match loaded.design with
+  | None -> exit 2
+  | Some design ->
+      let rules = Ace_drc.Rules.mead_conway ~lambda () in
+      let violations = Ace_drc.Checker.check ~rules design in
+      List.iter
+        (fun v -> Format.printf "%a@." Ace_drc.Checker.pp_violation v)
+        violations;
+      Printf.printf "%s: %d design-rule violations\n" input
+        (List.length violations);
+      if violations <> [] then exit 1
+      else exit (Cli_common.exit_code ~diags:loaded.diags ~usable:true)
 
 open Cmdliner
 
-let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"CIF")
+let input = Arg.(required & pos 0 (some string) None & info [] ~docv:"CIF")
 
 let lambda =
   Arg.(value & opt int 250 & info [ "lambda" ] ~docv:"CU"
@@ -36,6 +29,8 @@ let cmd =
   Cmd.v
     (Cmd.info "acedrc"
        ~doc:"Mead-Conway design-rule checker (widths, spacings, contacts, gate overhang)")
-    Term.(const run $ input $ lambda)
+    Term.(
+      const run $ input $ lambda $ Cli_common.strict_t
+      $ Cli_common.max_errors_t $ Cli_common.diag_format_t)
 
 let () = exit (Cmd.eval cmd)

@@ -1,36 +1,29 @@
 (* cifplot — plot a CIF layout as SVG or ASCII (a homage to the Berkeley
    tool of ACE Table 5-2, which was plotter and extractor in one). *)
 
-let run input output ascii grid scale =
-  let ic = open_in_bin input in
-  let text = really_input_string ic (in_channel_length ic) in
-  close_in ic;
-  match Ace_cif.Parser.parse_string text with
-  | exception Ace_cif.Parser.Error { position; message } ->
-      prerr_endline
-        (Ace_cif.Parser.describe_error ~source:text ~position ~message);
-      exit 2
-  | ast -> (
-      match Ace_cif.Design.of_ast ast with
-      | exception Ace_cif.Design.Semantic_error m ->
-          Printf.eprintf "semantic error: %s\n" m;
-          exit 2
-      | design ->
-          if ascii then
-            let rows = Ace_plot.Ascii.render_design ~grid design in
-            match output with
-            | None -> print_string (Ace_plot.Ascii.to_string rows)
-            | Some path ->
-                Ace_plot.Svg.to_file path (Ace_plot.Ascii.to_string rows)
-          else
-            let svg = Ace_plot.Svg.render ~scale design in
-            (match output with
-            | None -> print_string svg
-            | Some path -> Ace_plot.Svg.to_file path svg))
+let run input output ascii grid scale strict max_errors diag_format =
+  let loaded = Cli_common.load ~strict ~max_errors input in
+  Cli_common.report ~format:diag_format ~source:loaded.Cli_common.source
+    loaded.diags;
+  match loaded.design with
+  | None -> exit 2
+  | Some design ->
+      (if ascii then
+         let rows = Ace_plot.Ascii.render_design ~grid design in
+         match output with
+         | None -> print_string (Ace_plot.Ascii.to_string rows)
+         | Some path ->
+             Ace_plot.Svg.to_file path (Ace_plot.Ascii.to_string rows)
+       else
+         let svg = Ace_plot.Svg.render ~scale design in
+         match output with
+         | None -> print_string svg
+         | Some path -> Ace_plot.Svg.to_file path svg);
+      exit (Cli_common.exit_code ~diags:loaded.diags ~usable:true)
 
 open Cmdliner
 
-let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"CIF")
+let input = Arg.(required & pos 0 (some string) None & info [] ~docv:"CIF")
 let output = Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE")
 let ascii = Arg.(value & flag & info [ "ascii" ] ~doc:"Character plot instead of SVG.")
 let grid = Arg.(value & opt int 250 & info [ "grid" ] ~docv:"CU" ~doc:"Centimicrons per character (ASCII mode).")
@@ -39,6 +32,8 @@ let scale = Arg.(value & opt float 4.0 & info [ "px-per-lambda" ] ~docv:"PX" ~do
 let cmd =
   Cmd.v
     (Cmd.info "cifplot" ~doc:"Plot a CIF layout (SVG or ASCII)")
-    Term.(const run $ input $ output $ ascii $ grid $ scale)
+    Term.(
+      const run $ input $ output $ ascii $ grid $ scale $ Cli_common.strict_t
+      $ Cli_common.max_errors_t $ Cli_common.diag_format_t)
 
 let () = exit (Cmd.eval cmd)

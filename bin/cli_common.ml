@@ -1,0 +1,107 @@
+(* Shared CLI plumbing for the CIF front-end binaries: input reading with
+   clean I/O diagnostics, the --strict / --max-errors / --diag-format
+   flags, diagnostic reporting and the 0/1/2 exit-code convention
+   (0 = clean, 1 = diagnostics but usable output, 2 = unrecoverable). *)
+
+module Diag = Ace_diag.Diag
+
+type diag_format = Text | Json
+
+(* Read a file (or stdin for "-"), never letting a Sys_error escape: a
+   missing path, a directory, or a read failure becomes an [io-error]
+   diagnostic. *)
+let read_input = function
+  | "-" -> Ok (In_channel.input_all stdin)
+  | path when (try Sys.is_directory path with Sys_error _ -> false) ->
+      Error (Diag.errorf ~code:"io-error" "%s: is a directory" path)
+  | path -> (
+      match open_in_bin path with
+      | exception Sys_error m -> Error (Diag.error ~code:"io-error" m)
+      | ic -> (
+          match
+            Fun.protect
+              ~finally:(fun () -> close_in_noerr ic)
+              (fun () -> really_input_string ic (in_channel_length ic))
+          with
+          | s -> Ok s
+          | exception Sys_error m -> Error (Diag.error ~code:"io-error" m)
+          | exception End_of_file ->
+              Error
+                (Diag.errorf ~code:"io-error" "%s: truncated read" path)))
+
+(* Parse and check CIF text.  [None] means unrecoverable (strict mode hit
+   an error); lenient mode always yields a design. *)
+let load_text ~strict ~max_errors ?quantum text =
+  if strict then
+    match Ace_cif.Parser.parse_string text with
+    | exception Ace_cif.Parser.Error { position; message } ->
+        let stop = min (String.length text) (position + 1) in
+        ( None,
+          [
+            Diag.error
+              ~span:{ Diag.start = position; stop }
+              ~code:"cif-parse-error" message;
+          ] )
+    | ast -> (
+        match Ace_cif.Design.of_ast ?quantum ast with
+        | exception Ace_cif.Design.Semantic_error m ->
+            (None, [ Diag.error ~code:"sem-error" m ])
+        | design -> (Some design, []))
+  else begin
+    let ast, pdiags = Ace_cif.Parser.parse_string_lenient ~max_errors text in
+    let design, sdiags =
+      Ace_cif.Design.of_ast_lenient ?quantum ~max_errors ast
+    in
+    (Some design, pdiags @ sdiags)
+  end
+
+type loaded = {
+  source : string;
+  design : Ace_cif.Design.t option;  (** [None] = unrecoverable *)
+  diags : Diag.t list;
+}
+
+let load ~strict ~max_errors ?quantum path =
+  match read_input path with
+  | Error d -> { source = ""; design = None; diags = [ d ] }
+  | Ok text ->
+      let design, diags = load_text ~strict ~max_errors ?quantum text in
+      { source = text; design; diags }
+
+let report ~format ?source diags =
+  List.iter
+    (fun d ->
+      prerr_endline
+        (match format with
+        | Text -> Diag.to_string ?source d
+        | Json -> Diag.to_json ?source d))
+    diags
+
+let exit_code ~diags ~usable =
+  if not usable then 2 else if diags = [] then 0 else 1
+
+open Cmdliner
+
+let strict_t =
+  Arg.(
+    value & flag
+    & info [ "strict" ]
+        ~doc:
+          "Stop at the first malformed command or semantic error (exit code \
+           2) instead of recovering and reporting every problem.")
+
+let max_errors_t =
+  Arg.(
+    value & opt int 100
+    & info [ "max-errors" ] ~docv:"N"
+        ~doc:
+          "Stop collecting diagnostics after $(docv) errors (0 = unbounded).")
+
+let diag_format_t =
+  Arg.(
+    value
+    & opt (enum [ ("text", Text); ("json", Json) ]) Text
+    & info [ "diag-format" ] ~docv:"FMT"
+        ~doc:
+          "How to render diagnostics on stderr: $(b,text) (human-readable, \
+           with caret context) or $(b,json) (one JSON object per line).")

@@ -80,6 +80,220 @@ let check_acyclic table top_level =
   List.iter visit (Ast.called_symbols top_level);
   Hashtbl.iter (fun id _ -> visit id) table
 
+let make ~quantum file table =
+  {
+    ast = file;
+    quantum;
+    table;
+    bbox_memo = Hashtbl.create 64;
+    count_memo = Hashtbl.create 64;
+    inst_memo = Hashtbl.create 64;
+  }
+
+(* Coordinates beyond this bound would overflow downstream arithmetic
+   (areas multiply two extents; transforms add translations), so the
+   lenient path drops the offending elements.  2^30 centimicrons is about
+   ten meters of silicon — far beyond any legitimate design. *)
+let coord_limit = 1 lsl 30
+
+let point_in_range (p : Point.t) =
+  abs p.x < coord_limit && abs p.y < coord_limit
+
+let shape_in_range = function
+  | Ast.Box { length; width; center; direction } ->
+      abs length < coord_limit
+      && abs width < coord_limit
+      && point_in_range center
+      && (match direction with None -> true | Some d -> point_in_range d)
+  | Ast.Polygon pts -> List.for_all point_in_range pts
+  | Ast.Wire { width; path } ->
+      abs width < coord_limit && List.for_all point_in_range path
+  | Ast.Round_flash { diameter; center } ->
+      abs diameter < coord_limit && point_in_range center
+
+let ops_in_range ops =
+  List.for_all
+    (function
+      | Ast.Translate (dx, dy) -> abs dx < coord_limit && abs dy < coord_limit
+      | Ast.Rotate (a, b) -> abs a < coord_limit && abs b < coord_limit
+      | Ast.Mirror_x | Ast.Mirror_y -> true)
+    ops
+
+let of_ast_lenient ?(quantum = 125) ?max_errors (file : Ast.file) =
+  let module Diag = Ace_diag.Diag in
+  let module Collector = Ace_diag.Collector in
+  let c = Collector.create ?max_errors () in
+  let err code fmt =
+    Format.kasprintf (fun m -> Collector.add c (Diag.error ~code m)) fmt
+  in
+  let warn code fmt =
+    Format.kasprintf (fun m -> Collector.add c (Diag.warning ~code m)) fmt
+  in
+  let quantum =
+    if quantum <= 0 then begin
+      err "sem-bad-quantum" "quantum must be positive (got %d); using 125"
+        quantum;
+      125
+    end
+    else quantum
+  in
+  (* deduplicate symbol definitions, keeping the first of each id *)
+  let table = Hashtbl.create 64 in
+  let symbols =
+    List.filter
+      (fun (def : Ast.symbol_def) ->
+        if Hashtbl.mem table def.id then begin
+          err "sem-duplicate-symbol"
+            "duplicate symbol definition %d (keeping the first)" def.id;
+          false
+        end
+        else begin
+          Hashtbl.add table def.id def;
+          true
+        end)
+      file.symbols
+  in
+  (* drop elements with unknown layers, undefined callees, unsupported
+     rotations or out-of-range coordinates *)
+  let clean_elements ~context elements =
+    List.filter_map
+      (fun el ->
+        match el with
+        | Ast.Shape { layer; shape } ->
+            if Layer.of_cif_name layer = None then begin
+              err "sem-unknown-layer"
+                "%s: unknown layer name %S (NMOS layers are ND NP NC NM NI NB \
+                 NG)"
+                context layer;
+              None
+            end
+            else if not (shape_in_range shape) then begin
+              warn "sem-coordinate-overflow"
+                "%s: shape coordinates exceed the supported range" context;
+              None
+            end
+            else (
+              (* degenerate shapes either produce no geometry or would
+                 crash the decomposer (zero-width wires, zero-diameter
+                 flashes); drop them all uniformly *)
+              match shape with
+              | Ast.Box { length; width; _ } when length <= 0 || width <= 0 ->
+                  warn "sem-degenerate-box"
+                    "%s: box with zero or negative extent %dx%d produces no \
+                     geometry"
+                    context length width;
+                  None
+              | Ast.Box { direction = Some d; _ } when d.x = 0 && d.y = 0 ->
+                  warn "sem-degenerate-box"
+                    "%s: box with null direction vector produces no geometry"
+                    context;
+                  None
+              | Ast.Wire { width; _ } when width <= 0 ->
+                  warn "sem-degenerate-box"
+                    "%s: wire with zero or negative width %d produces no \
+                     geometry"
+                    context width;
+                  None
+              | Ast.Round_flash { diameter; _ } when diameter <= 0 ->
+                  warn "sem-degenerate-box"
+                    "%s: roundflash with zero or negative diameter %d \
+                     produces no geometry"
+                    context diameter;
+                  None
+              | _ -> Some el)
+        | Ast.Label { name; position; layer } ->
+            if not (point_in_range position) then begin
+              warn "sem-coordinate-overflow"
+                "%s: label %S position exceeds the supported range" context
+                name;
+              None
+            end
+            else (
+              match layer with
+              | Some l when Layer.of_cif_name l = None ->
+                  err "sem-unknown-layer"
+                    "%s: unknown layer name %S in label %S" context l name;
+                  Some (Ast.Label { name; position; layer = None })
+              | Some _ | None -> Some el)
+        | Ast.Call { symbol; ops } ->
+            if not (Hashtbl.mem table symbol) then begin
+              err "sem-undefined-symbol" "%s calls undefined symbol %d" context
+                symbol;
+              None
+            end
+            else if not (ops_in_range ops) then begin
+              warn "sem-coordinate-overflow"
+                "%s: call of symbol %d has out-of-range transform" context
+                symbol;
+              None
+            end
+            else (
+              match transform_of_ops ops with
+              | (_ : Transform.t) -> Some el
+              | exception Semantic_error m ->
+                  err "sem-bad-rotation" "%s, call of symbol %d: %s" context
+                    symbol m;
+                  None)
+        | Ast.Comment_ext _ -> Some el)
+      elements
+  in
+  let symbols =
+    List.map
+      (fun (def : Ast.symbol_def) ->
+        let context = Printf.sprintf "symbol %d" def.id in
+        let def = { def with Ast.elements = clean_elements ~context def.elements } in
+        Hashtbl.replace table def.id def;
+        def)
+      symbols
+  in
+  let top_level = clean_elements ~context:"top level" file.top_level in
+  (* break recursion: drop every call edge that closes a cycle *)
+  let drop_edges = Hashtbl.create 8 in
+  let state = Hashtbl.create 16 in
+  let rec visit id =
+    match Hashtbl.find_opt state id with
+    | Some `Done -> ()
+    | Some `Active -> () (* handled at the edge below *)
+    | None ->
+        Hashtbl.replace state id `Active;
+        let def : Ast.symbol_def = Hashtbl.find table id in
+        List.iter
+          (fun callee ->
+            match Hashtbl.find_opt state callee with
+            | Some `Active ->
+                err "sem-recursive-symbol"
+                  "recursive symbol call chain: dropping call of %d from \
+                   symbol %d"
+                  callee id;
+                Hashtbl.replace drop_edges (id, callee) ()
+            | Some `Done -> ()
+            | None -> visit callee)
+          (Ast.called_symbols def.elements);
+        Hashtbl.replace state id `Done
+  in
+  List.iter visit (Ast.called_symbols top_level);
+  Hashtbl.iter (fun id _ -> visit id) table;
+  let symbols =
+    if Hashtbl.length drop_edges = 0 then symbols
+    else
+      List.map
+        (fun (def : Ast.symbol_def) ->
+          let elements =
+            List.filter
+              (function
+                | Ast.Call { symbol; _ } ->
+                    not (Hashtbl.mem drop_edges (def.id, symbol))
+                | Ast.Shape _ | Ast.Label _ | Ast.Comment_ext _ -> true)
+              def.elements
+          in
+          let def = { def with Ast.elements = elements } in
+          Hashtbl.replace table def.id def;
+          def)
+        symbols
+  in
+  let file = { Ast.symbols; top_level } in
+  (make ~quantum file table, Collector.to_list c)
+
 let of_ast ?(quantum = 125) (file : Ast.file) =
   if quantum <= 0 then fail "quantum must be positive";
   let table = Hashtbl.create 64 in
@@ -97,14 +311,7 @@ let of_ast ?(quantum = 125) (file : Ast.file) =
   check_layers file.top_level;
   check_calls table file.top_level ~context:"top level";
   check_acyclic table file.top_level;
-  {
-    ast = file;
-    quantum;
-    table;
-    bbox_memo = Hashtbl.create 64;
-    count_memo = Hashtbl.create 64;
-    inst_memo = Hashtbl.create 64;
-  }
+  make ~quantum file table
 
 let hull_opt a b =
   match (a, b) with

@@ -22,6 +22,18 @@ type t
     centimicrons).  Raises {!Semantic_error}. *)
 val of_ast : ?quantum:int -> Ast.file -> t
 
+(** [of_ast_lenient ast] never raises: every semantic problem — duplicate
+    definitions, unknown layers, undefined or recursive symbol calls,
+    unsupported rotations, zero/negative-extent boxes, out-of-range
+    coordinates — is recorded as a diagnostic and only the offending
+    elements are dropped, so the rest of the design stays extractable.
+    On a clean input the design is identical to {!of_ast} and the list is
+    empty.  Problems {!of_ast} would reject are [Error] severity; purely
+    defensive drops (degenerate boxes, coordinate-overflow guards) are
+    [Warning]s. *)
+val of_ast_lenient :
+  ?quantum:int -> ?max_errors:int -> Ast.file -> t * Ace_diag.Diag.t list
+
 val ast : t -> Ast.file
 val quantum : t -> int
 

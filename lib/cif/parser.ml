@@ -1,9 +1,18 @@
 open Ace_geom
+module Diag = Ace_diag.Diag
+module Collector = Ace_diag.Collector
 
 exception Error of { position : int; message : string }
 
-let fail pos fmt =
-  Format.kasprintf (fun message -> raise (Error { position = pos; message })) fmt
+(* Internal failure carrying the stable diagnostic code; the public strict
+   entry point re-raises it as {!Error}, the lenient one records it and
+   resynchronizes. *)
+exception Perror of { position : int; code : string; message : string }
+
+let fail ~code pos fmt =
+  Format.kasprintf
+    (fun message -> raise (Perror { position = pos; code; message }))
+    fmt
 
 type cursor = { src : string; mutable pos : int }
 
@@ -18,11 +27,13 @@ let rec skip_blanks cur =
   match peek cur with
   | None -> ()
   | Some '(' ->
+      let opened = cur.pos in
       let depth = ref 0 in
       let continue = ref true in
       while !continue do
         (match peek cur with
-        | None -> fail cur.pos "unterminated comment"
+        | None ->
+            fail ~code:"cif-unterminated-comment" opened "unterminated comment"
         | Some '(' -> incr depth
         | Some ')' -> if !depth = 1 then continue := false else decr depth
         | Some _ -> ());
@@ -47,9 +58,16 @@ let read_int cur =
   while match peek cur with Some c when is_digit c -> true | _ -> false do
     cur.pos <- cur.pos + 1
   done;
-  if cur.pos = start then fail cur.pos "expected an integer";
-  let n = int_of_string (String.sub cur.src start (cur.pos - start)) in
-  if neg then -n else n
+  if cur.pos = start then
+    fail ~code:"cif-expected-integer" cur.pos "expected an integer";
+  let digits = String.sub cur.src start (cur.pos - start) in
+  match int_of_string digits with
+  | n -> if neg then -n else n
+  | exception Failure _ ->
+      fail ~code:"cif-integer-overflow" start
+        "integer literal '%s%s' out of range"
+        (if neg then "-" else "")
+        digits
 
 let try_read_int cur =
   skip_blanks cur;
@@ -66,8 +84,9 @@ let expect_semi cur =
   skip_blanks cur;
   match peek cur with
   | Some ';' -> cur.pos <- cur.pos + 1
-  | Some c -> fail cur.pos "expected ';', found %c" c
-  | None -> fail cur.pos "expected ';', found end of input"
+  | Some c -> fail ~code:"cif-expected-semi" cur.pos "expected ';', found %c" c
+  | None ->
+      fail ~code:"cif-expected-semi" cur.pos "expected ';', found end of input"
 
 (* Read the rest of the command verbatim (for user extensions). *)
 let read_to_semi cur =
@@ -76,7 +95,8 @@ let read_to_semi cur =
     match peek cur with
     | Some ';' -> false
     | Some _ -> true
-    | None -> fail cur.pos "unterminated command"
+    | None ->
+        fail ~code:"cif-unterminated-command" start "unterminated command"
   do
     cur.pos <- cur.pos + 1
   done;
@@ -94,7 +114,8 @@ let read_layer_name cur =
   do
     cur.pos <- cur.pos + 1
   done;
-  if cur.pos = start then fail cur.pos "expected a layer name";
+  if cur.pos = start then
+    fail ~code:"cif-expected-layer-name" cur.pos "expected a layer name";
   String.sub cur.src start (cur.pos - start)
 
 let read_points_until_semi cur =
@@ -126,7 +147,7 @@ let read_transform_ops cur =
         | Some 'Y' ->
             cur.pos <- cur.pos + 1;
             go (Ast.Mirror_y :: acc)
-        | _ -> fail cur.pos "expected X or Y after M")
+        | _ -> fail ~code:"cif-bad-transform" cur.pos "expected X or Y after M")
     | Some 'R' ->
         cur.pos <- cur.pos + 1;
         let a = read_int cur in
@@ -164,7 +185,8 @@ let read_label_name cur =
   do
     cur.pos <- cur.pos + 1
   done;
-  if cur.pos = start then fail cur.pos "expected a label name";
+  if cur.pos = start then
+    fail ~code:"cif-expected-label-name" cur.pos "expected a label name";
   String.sub cur.src start (cur.pos - start)
 
 type def_state = {
@@ -188,7 +210,43 @@ let scale st n =
 
 let scale_point st (p : Point.t) = Point.make (scale st p.x) (scale st p.y)
 
-let parse_string src =
+(* Recovery: skip forward to just past the next ';'.  Stop (without
+   consuming) at an 'E' or "DF" that follows at least one consumed
+   character, so end-of-definition and end-of-file markers inside garbage
+   still close their scopes.  Raw byte scan on purpose: after an error the
+   comment/blank structure cannot be trusted. *)
+let resync cur =
+  let start = cur.pos in
+  let len = String.length cur.src in
+  (* a marker only counts when it is not a prefix of a longer word *)
+  let word_ends_at i =
+    i >= len || not (is_upper cur.src.[i] || is_digit cur.src.[i])
+  in
+  let stop = ref false in
+  while not !stop do
+    if cur.pos >= len then stop := true
+    else
+      match cur.src.[cur.pos] with
+      | ';' ->
+          cur.pos <- cur.pos + 1;
+          stop := true
+      | 'E' when cur.pos > start && word_ends_at (cur.pos + 1) -> stop := true
+      | 'D'
+        when cur.pos > start
+             && cur.pos + 1 < len
+             && cur.src.[cur.pos + 1] = 'F'
+             && word_ends_at (cur.pos + 2) ->
+          stop := true
+      | _ -> cur.pos <- cur.pos + 1
+  done;
+  (* guarantee progress even when the error position itself is the marker *)
+  if cur.pos = start && start < len then cur.pos <- start + 1
+
+(* [collector = None] is strict mode: the first [Perror] propagates.  With
+   a collector every error is recorded and parsing resumes at the next
+   synchronization point, so the returned AST covers everything that could
+   be salvaged. *)
+let parse ?collector src =
   let cur = { src; pos = 0 } in
   let symbols = ref [] in
   let top = ref [] in
@@ -199,24 +257,41 @@ let parse_string src =
     | Some d -> d.def_elements <- e :: d.def_elements
     | None -> top := e :: !top
   in
-  let add_shape shape =
+  let require_layer pos =
     match !current_layer with
-    | None -> fail cur.pos "geometry before any L (layer) command"
-    | Some layer -> add_element (Ast.Shape { layer; shape })
+    | Some layer -> layer
+    | None ->
+        fail ~code:"cif-no-layer" pos "geometry before any L (layer) command"
+  in
+  let add_shape layer shape = add_element (Ast.Shape { layer; shape }) in
+  let commit_def (d : def_state) =
+    symbols :=
+      { Ast.id = d.def_id; name = d.def_name; elements = List.rev d.def_elements }
+      :: !symbols;
+    current_def := None;
+    (* CIF: the current layer does not survive a definition *)
+    current_layer := None
   in
   let finished = ref false in
-  while not !finished do
+  let step () =
     skip_blanks cur;
     match peek cur with
-    | None -> fail cur.pos "missing E (end) command"
+    | None -> (
+        match !current_def with
+        | Some _ ->
+            fail ~code:"cif-unterminated-definition" cur.pos
+              "end of input inside a symbol definition (missing DF)"
+        | None -> fail ~code:"cif-missing-end" cur.pos "missing E (end) command")
     | Some ';' -> cur.pos <- cur.pos + 1 (* empty command *)
     | Some 'P' ->
+        let layer = require_layer cur.pos in
         cur.pos <- cur.pos + 1;
         let pts = read_points_until_semi cur in
         expect_semi cur;
         let st = !current_def in
-        add_shape (Ast.Polygon (List.map (scale_point st) pts))
+        add_shape layer (Ast.Polygon (List.map (scale_point st) pts))
     | Some 'B' ->
+        let layer = require_layer cur.pos in
         cur.pos <- cur.pos + 1;
         let st = !current_def in
         let length = scale st (read_int cur) in
@@ -230,21 +305,23 @@ let parse_string src =
               Some (Point.make a b)
         in
         expect_semi cur;
-        add_shape (Ast.Box { length; width; center; direction })
+        add_shape layer (Ast.Box { length; width; center; direction })
     | Some 'W' ->
+        let layer = require_layer cur.pos in
         cur.pos <- cur.pos + 1;
         let st = !current_def in
         let width = scale st (read_int cur) in
         let path = List.map (scale_point st) (read_points_until_semi cur) in
         expect_semi cur;
-        add_shape (Ast.Wire { width; path })
+        add_shape layer (Ast.Wire { width; path })
     | Some 'R' ->
+        let layer = require_layer cur.pos in
         cur.pos <- cur.pos + 1;
         let st = !current_def in
         let diameter = scale st (read_int cur) in
         let center = scale_point st (read_point cur) in
         expect_semi cur;
-        add_shape (Ast.Round_flash { diameter; center })
+        add_shape layer (Ast.Round_flash { diameter; center })
     | Some 'L' ->
         cur.pos <- cur.pos + 1;
         let name = read_layer_name cur in
@@ -255,9 +332,10 @@ let parse_string src =
         skip_blanks cur;
         (match peek cur with
         | Some 'S' ->
-            cur.pos <- cur.pos + 1;
             if !current_def <> None then
-              fail cur.pos "nested DS (symbol definitions cannot nest)";
+              fail ~code:"cif-nested-definition" cur.pos
+                "nested DS (symbol definitions cannot nest)";
+            cur.pos <- cur.pos + 1;
             let id = read_int cur in
             let scale_num, scale_den =
               match try_read_int cur with
@@ -265,7 +343,8 @@ let parse_string src =
               | Some a ->
                   let b = read_int cur in
                   if a <= 0 || b <= 0 then
-                    fail cur.pos "DS scale factors must be positive";
+                    fail ~code:"cif-bad-scale" cur.pos
+                      "DS scale factors must be positive";
                   (a, b)
             in
             expect_semi cur;
@@ -280,27 +359,20 @@ let parse_string src =
                 }
         | Some 'F' ->
             cur.pos <- cur.pos + 1;
-            expect_semi cur;
             (match !current_def with
-            | None -> fail cur.pos "DF without matching DS"
+            | None ->
+                fail ~code:"cif-df-without-ds" cur.pos "DF without matching DS"
             | Some d ->
-                symbols :=
-                  {
-                    Ast.id = d.def_id;
-                    name = d.def_name;
-                    elements = List.rev d.def_elements;
-                  }
-                  :: !symbols;
-                current_def := None;
-                (* CIF: the current layer does not survive a definition *)
-                current_layer := None)
+                expect_semi cur;
+                commit_def d)
         | Some 'D' ->
             cur.pos <- cur.pos + 1;
             let n = read_int cur in
             expect_semi cur;
             (* Delete definitions >= n.  Rare; honored literally. *)
             symbols := List.filter (fun (s : Ast.symbol_def) -> s.id < n) !symbols
-        | _ -> fail cur.pos "expected S, F or D after D")
+        | _ ->
+            fail ~code:"cif-bad-d-command" cur.pos "expected S, F or D after D")
     | Some 'C' ->
         cur.pos <- cur.pos + 1;
         let symbol = read_int cur in
@@ -318,7 +390,9 @@ let parse_string src =
         add_element (Ast.Call { symbol; ops })
     | Some 'E' ->
         cur.pos <- cur.pos + 1;
-        if !current_def <> None then fail cur.pos "E inside a symbol definition";
+        if !current_def <> None then
+          fail ~code:"cif-end-in-definition" (cur.pos - 1)
+            "E inside a symbol definition";
         finished := true
     | Some '9' -> (
         cur.pos <- cur.pos + 1;
@@ -341,25 +415,54 @@ let parse_string src =
     | Some c when is_digit c ->
         let text = read_to_semi cur in
         add_element (Ast.Comment_ext text)
-    | Some c -> fail cur.pos "unknown command '%c'" c
-  done;
+    | Some c -> fail ~code:"cif-unknown-command" cur.pos "unknown command '%c'" c
+  in
+  (match collector with
+  | None -> while not !finished do step () done
+  | Some c ->
+      while not !finished do
+        try step ()
+        with Perror { position; code; message } ->
+          let stop = min (String.length src) (position + 1) in
+          Collector.add c
+            (Diag.error ~span:{ Diag.start = position; stop } ~code message);
+          (match code with
+          | "cif-end-in-definition" ->
+              (* the designer forgot DF: close the definition and end *)
+              (match !current_def with Some d -> commit_def d | None -> ());
+              finished := true
+          | "cif-missing-end" -> finished := true
+          | "cif-unterminated-definition" ->
+              (match !current_def with Some d -> commit_def d | None -> ());
+              finished := true
+          | _ -> resync cur);
+          if Collector.saturated c && not !finished then begin
+            Collector.add c
+              (Diag.hint ~code:"too-many-errors"
+                 "error cap reached: the rest of the input was not parsed");
+            finished := true
+          end
+      done);
   { Ast.symbols = List.rev !symbols; top_level = List.rev !top }
+
+let parse_string src =
+  try parse src
+  with Perror { position; message; _ } -> raise (Error { position; message })
+
+let parse_string_lenient ?max_errors src =
+  let collector = Collector.create ?max_errors () in
+  let file = parse ~collector src in
+  (file, Collector.to_list collector)
 
 let parse_file path =
   let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
+  let s =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
   parse_string s
 
 let describe_error ~source ~position ~message =
-  let line = ref 1 and col = ref 1 in
-  String.iteri
-    (fun i c ->
-      if i < position then
-        if c = '\n' then (
-          incr line;
-          col := 1)
-        else incr col)
-    source;
-  Printf.sprintf "CIF parse error at line %d, column %d: %s" !line !col message
+  let line, col = Diag.line_col ~source position in
+  Printf.sprintf "CIF parse error at line %d, column %d: %s" line col message

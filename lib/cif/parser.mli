@@ -16,6 +16,17 @@ exception Error of { position : int; message : string }
 (** [parse_string s] parses a complete CIF file.  Raises {!Error}. *)
 val parse_string : string -> Ast.file
 
+(** [parse_string_lenient s] never raises: every malformed command is
+    recorded as a diagnostic (with a stable code and a byte span) and the
+    parser resynchronizes at the next [;] (or [DF]/[E]), so a single run
+    reports every problem and returns everything that could be salvaged.
+    On a clean input the result is identical to {!parse_string} with an
+    empty diagnostic list.  [max_errors] caps the number of
+    [Error]-severity diagnostics (default 100); past the cap parsing
+    stops and a trailing [Hint] reports the suppressed count. *)
+val parse_string_lenient :
+  ?max_errors:int -> string -> Ast.file * Ace_diag.Diag.t list
+
 val parse_file : string -> Ast.file
 
 (** Human-readable rendering of a parse error against its source. *)

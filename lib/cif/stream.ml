@@ -102,6 +102,8 @@ let push_elements t tr elements =
       | Ast.Shape _ | Ast.Label _ | Ast.Comment_ext _ -> ()
       | Ast.Call { symbol; ops } -> (
           match Design.symbol_bbox t.design symbol with
+          | exception Not_found ->
+              () (* undefined callee: lenient designs have dropped it *)
           | None -> () (* empty symbol: nothing will ever come out *)
           | Some bb ->
               let tr' = Transform.compose tr (Design.transform_of_ops ops) in

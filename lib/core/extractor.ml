@@ -7,7 +7,7 @@ type stats = {
   stops : int;
   max_active : int;
   timing : Timing.t;
-  warnings : string list;
+  warnings : Ace_diag.Diag.t list;
 }
 
 (* The transistor sizing rule of ACE §3: source edge = perimeter along
@@ -147,7 +147,10 @@ let extract_with_stats ?(emit_geometry = false) ?(name = "chip") design =
       stops = raw.stops;
       max_active = raw.max_active;
       timing = raw.timing;
-      warnings = raw.warnings;
+      warnings =
+        List.map
+          (Ace_diag.Diag.warning ~code:"extract-anomaly")
+          raw.warnings;
     } )
 
 let extract ?emit_geometry ?name design =

@@ -16,7 +16,9 @@ type stats = {
   stops : int;  (** scanline stops *)
   max_active : int;  (** peak scanline population *)
   timing : Timing.t;
-  warnings : string list;
+  warnings : Ace_diag.Diag.t list;
+      (** scanline anomalies, as structured diagnostics (code
+          ["extract-anomaly"], no source span) *)
 }
 
 (** Extract a parsed-and-checked design.  [emit_geometry] populates per-net

@@ -1,0 +1,42 @@
+type t = {
+  max_errors : int;  (** <= 0 means unbounded *)
+  mutable rev : Diag.t list;
+  mutable stored : int;
+  mutable errors : int;
+  mutable dropped : int;
+}
+
+let create ?(max_errors = 100) () =
+  { max_errors; rev = []; stored = 0; errors = 0; dropped = 0 }
+
+let saturated t = t.max_errors > 0 && t.errors >= t.max_errors
+
+let add t (d : Diag.t) =
+  if Diag.is_error d then
+    if saturated t then t.dropped <- t.dropped + 1
+    else begin
+      t.errors <- t.errors + 1;
+      t.rev <- d :: t.rev;
+      t.stored <- t.stored + 1
+    end
+  else begin
+    t.rev <- d :: t.rev;
+    t.stored <- t.stored + 1
+  end
+
+let to_list t =
+  let tail =
+    if t.dropped = 0 then []
+    else
+      [
+        Diag.hint ~code:"too-many-errors"
+          (Printf.sprintf
+             "%d further error%s suppressed (error cap %d reached)" t.dropped
+             (if t.dropped = 1 then "" else "s")
+             t.max_errors);
+      ]
+  in
+  List.rev_append t.rev tail
+
+let error_count t = t.errors
+let count t = t.stored

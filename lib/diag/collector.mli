@@ -1,0 +1,28 @@
+(** Bounded accumulation of diagnostics.
+
+    A collector records diagnostics in order until its error cap is hit;
+    producers poll {!saturated} to abandon work that could only generate
+    more noise (cascading parse errors after a structural break).  Warnings
+    and hints never count against the cap. *)
+
+type t
+
+(** [create ?max_errors ()] — default cap 100; the cap counts only
+    [Error]-severity diagnostics.  [max_errors <= 0] means unbounded. *)
+val create : ?max_errors:int -> unit -> t
+
+(** Record a diagnostic.  Errors past the cap are dropped (counted, not
+    stored); warnings and hints are always stored. *)
+val add : t -> Diag.t -> unit
+
+(** True once the error cap is reached — time to stop producing. *)
+val saturated : t -> bool
+
+(** Diagnostics in insertion order.  When errors were dropped, a trailing
+    [Hint] with code ["too-many-errors"] reports how many. *)
+val to_list : t -> Diag.t list
+
+val error_count : t -> int
+
+(** Total recorded (stored) diagnostics, all severities. *)
+val count : t -> int

@@ -1,0 +1,179 @@
+(* fuzz_cif — deterministic never-crash fuzzing of the lenient CIF
+   front-end.
+
+   No external fuzzing dependency: a seeded [Random.State] drives
+   byte-level mutations of the data/ corpus plus generated random command
+   soup.  Two properties are asserted on every input:
+
+   1. totality — [Parser.parse_string_lenient] and
+      [Design.of_ast_lenient] never raise;
+   2. agreement — strict parsing succeeds exactly when the lenient run
+      reports no Error-severity diagnostic, and on success both front
+      ends produce the same AST (likewise for the semantic phase).
+
+   Runs as a bounded smoke test under `dune runtest` (fixed seed, ~500
+   inputs, well under 5 s).  Set ACE_FUZZ_N / ACE_FUZZ_SEED to scale it
+   up for longer campaigns. *)
+
+module Diag = Ace_diag.Diag
+module Parser = Ace_cif.Parser
+module Design = Ace_cif.Design
+
+let n_inputs =
+  match Sys.getenv_opt "ACE_FUZZ_N" with Some s -> int_of_string s | None -> 500
+
+let seed =
+  match Sys.getenv_opt "ACE_FUZZ_SEED" with
+  | Some s -> int_of_string s
+  | None -> 0xACE1983
+
+let rng = Random.State.make [| seed |]
+
+let corpus =
+  let dir =
+    List.find Sys.file_exists [ "../data"; "data"; "_build/default/data" ]
+  in
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".cif")
+  |> List.map (fun f ->
+         let ic = open_in_bin (Filename.concat dir f) in
+         let s = really_input_string ic (in_channel_length ic) in
+         close_in ic;
+         s)
+
+let () = assert (corpus <> [])
+
+(* CIF-flavored alphabet so mutations stay near the interesting grammar
+   instead of being rejected at the first byte *)
+let alphabet = "PBWRLDCESF0123456789-;() \n\tMXYT94QZ"
+
+let random_char () = alphabet.[Random.State.int rng (String.length alphabet)]
+
+let mutate src =
+  let b = Bytes.of_string src in
+  let len = Bytes.length b in
+  if len = 0 then String.make 1 (random_char ())
+  else
+    match Random.State.int rng 5 with
+    | 0 ->
+        (* flip some bytes *)
+        for _ = 0 to Random.State.int rng 8 do
+          Bytes.set b (Random.State.int rng len) (random_char ())
+        done;
+        Bytes.to_string b
+    | 1 ->
+        (* truncate *)
+        Bytes.sub_string b 0 (Random.State.int rng len)
+    | 2 ->
+        (* delete a span *)
+        let i = Random.State.int rng len in
+        let n = min (len - i) (1 + Random.State.int rng 40) in
+        Bytes.sub_string b 0 i ^ Bytes.sub_string b (i + n) (len - i - n)
+    | 3 ->
+        (* insert a random fragment *)
+        let i = Random.State.int rng (len + 1) in
+        let frag =
+          String.init (1 + Random.State.int rng 12) (fun _ -> random_char ())
+        in
+        Bytes.sub_string b 0 i ^ frag ^ Bytes.sub_string b i (len - i)
+    | _ ->
+        (* splice: duplicate a slice somewhere else *)
+        let i = Random.State.int rng len in
+        let n = min (len - i) (1 + Random.State.int rng 60) in
+        let j = Random.State.int rng (len + 1) in
+        Bytes.sub_string b 0 j
+        ^ Bytes.sub_string b i n
+        ^ Bytes.sub_string b j (len - j)
+
+let random_soup () =
+  String.init (Random.State.int rng 400) (fun _ -> random_char ())
+
+let failures = ref 0
+
+let fail_input what input e =
+  incr failures;
+  Printf.eprintf "FUZZ FAILURE (%s): %s\n  input (%d bytes): %S\n" what
+    (Printexc.to_string e) (String.length input)
+    (if String.length input > 400 then String.sub input 0 400 ^ "..." else input)
+
+let has_error diags = List.exists Diag.is_error diags
+
+let run_one input =
+  (* property 1: totality of the lenient front end *)
+  match Parser.parse_string_lenient input with
+  | exception e -> fail_input "parse_string_lenient raised" input e
+  | lenient_ast, pdiags -> (
+      (match Design.of_ast_lenient lenient_ast with
+      | exception e -> fail_input "of_ast_lenient raised" input e
+      | _design, _sdiags -> ());
+      (* property 2: strict/lenient agreement *)
+      match Parser.parse_string input with
+      | exception Parser.Error _ ->
+          if not (has_error pdiags) then
+            fail_input "strict failed but lenient saw no error" input
+              (Failure "disagreement")
+      | exception e -> fail_input "parse_string raised non-Error" input e
+      | strict_ast -> (
+          if has_error pdiags then
+            fail_input "strict ok but lenient reported errors" input
+              (Failure "disagreement")
+          else if strict_ast <> lenient_ast then
+            fail_input "strict and lenient ASTs differ" input
+              (Failure "disagreement");
+          match Design.of_ast strict_ast with
+          | exception Design.Semantic_error _ -> (
+              match Design.of_ast_lenient strict_ast with
+              | _, sdiags ->
+                  if not (has_error sdiags) then
+                    fail_input "strict design failed but lenient saw no error"
+                      input (Failure "disagreement")
+              | exception e -> fail_input "of_ast_lenient raised" input e)
+          | exception e -> fail_input "of_ast raised unexpected" input e
+          | strict_design -> (
+              match Design.of_ast_lenient strict_ast with
+              | lenient_design, sdiags -> (
+                  if has_error sdiags then
+                    fail_input "strict design ok but lenient errored" input
+                      (Failure "disagreement");
+                  (* lenient box counting must be total even where strict
+                     counting raises (degenerate wires/flashes slip past
+                     of_ast); only compare counts when strict succeeds and
+                     the design is small enough to decompose quickly *)
+                  let small =
+                    match Design.bbox strict_design with
+                    | None -> true
+                    | Some bb ->
+                        bb.Ace_geom.Box.r - bb.l < 1_000_000
+                        && bb.t - bb.b < 1_000_000
+                  in
+                  if small then
+                    match Design.count_boxes lenient_design with
+                    | exception e ->
+                        fail_input "lenient count_boxes raised" input e
+                    | lenient_count -> (
+                        match Design.count_boxes strict_design with
+                        | exception _ -> () (* latent strict-mode weakness *)
+                        | strict_count ->
+                            if strict_count <> lenient_count then
+                              fail_input "strict and lenient designs differ"
+                                input (Failure "disagreement")))
+              | exception e -> fail_input "of_ast_lenient raised" input e)))
+
+let () =
+  let n_corpus = List.length corpus in
+  let t0 = Unix.gettimeofday () in
+  (* the clean corpus itself, un-mutated *)
+  List.iter run_one corpus;
+  for i = 0 to n_inputs - 1 do
+    let input =
+      if i mod 4 = 3 then random_soup ()
+      else mutate (List.nth corpus (Random.State.int rng n_corpus))
+    in
+    run_one input
+  done;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Printf.printf
+    "fuzz_cif: %d inputs (%d corpus + %d mutated/generated), seed %#x, %d \
+     failures, %.2f s\n"
+    (n_corpus + n_inputs) n_corpus n_inputs seed !failures elapsed;
+  if !failures > 0 then exit 1

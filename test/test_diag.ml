@@ -1,0 +1,327 @@
+(* Malformed-input behavior of the CIF front-end: structured diagnostics,
+   parser recovery, lenient semantic checking, and the strict-vs-lenient
+   agreement property. *)
+
+module Diag = Ace_diag.Diag
+module Collector = Ace_diag.Collector
+module Parser = Ace_cif.Parser
+module Design = Ace_cif.Design
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let codes diags = List.map (fun (d : Diag.t) -> d.code) diags
+let has_code c diags = List.mem c (codes diags)
+let errors diags = List.filter Diag.is_error diags
+
+let lenient = Parser.parse_string_lenient
+let strict_ok s = match Parser.parse_string s with _ -> true | exception Parser.Error _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Diag / Collector                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let test_diag_text () =
+  let src = "L ND;\nB 2 2 0;\nE" in
+  let d = Diag.error ~span:{ Diag.start = 12; stop = 13 } ~code:"x-test" "boom" in
+  let s = Diag.to_string ~source:src d in
+  check "has severity and code" true (contains s "error[x-test]");
+  check "has line 2" true (contains s "line 2");
+  check "has caret" true (contains s "^");
+  check "has source line" true (contains s "B 2 2 0;")
+
+let test_diag_json () =
+  let d =
+    Diag.warning ~span:{ Diag.start = 3; stop = 4 } ~code:"x-json"
+      "say \"hi\"\n"
+  in
+  let j = Diag.to_json ~source:"abc def" d in
+  check_string "json"
+    "{\"severity\":\"warning\",\"code\":\"x-json\",\"message\":\"say \\\"hi\\\"\\n\",\"start\":3,\"end\":4,\"line\":1,\"column\":4}"
+    j
+
+let test_diag_severity () =
+  check "max severity" true
+    (Diag.max_severity
+       [ Diag.hint ~code:"a" "h"; Diag.warning ~code:"b" "w" ]
+    = Some Diag.Warning);
+  check "empty" true (Diag.max_severity [] = None)
+
+let test_collector_cap () =
+  let c = Collector.create ~max_errors:3 () in
+  for i = 1 to 10 do
+    Collector.add c (Diag.error ~code:"e" (string_of_int i))
+  done;
+  Collector.add c (Diag.warning ~code:"w" "kept");
+  check "saturated" true (Collector.saturated c);
+  check_int "errors capped" 3 (Collector.error_count c);
+  let l = Collector.to_list c in
+  (* 3 errors + 1 warning + trailing too-many-errors hint *)
+  check_int "list length" 5 (List.length l);
+  check "hint last" true
+    (match List.rev l with
+    | last :: _ -> last.Diag.code = "too-many-errors"
+    | [] -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Parser recovery                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_unterminated_comment () =
+  let ast, diags = lenient "L ND; B 2 2 0 0; (oops E" in
+  check "diagnosed" true (has_code "cif-unterminated-comment" diags);
+  check "missing end too" true (has_code "cif-missing-end" diags);
+  check_int "box survived" 1 (List.length ast.Ace_cif.Ast.top_level)
+
+let test_truncated_command () =
+  let ast, diags = lenient "L ND; B 2 2 0; B 4 4 1 1; E" in
+  check "diagnosed" true (has_code "cif-expected-integer" diags);
+  (* the malformed box is dropped, the following one survives *)
+  check_int "one box" 1 (List.length ast.Ace_cif.Ast.top_level)
+
+let test_multiple_errors_one_run () =
+  let _, diags = lenient "Q; L ND; B 2 2 0; W Q 1 1; B 2 2 0 0; E" in
+  check_int "three errors" 3 (List.length (errors diags));
+  check "unknown command" true (has_code "cif-unknown-command" diags);
+  check "expected integer" true (has_code "cif-expected-integer" diags)
+
+let test_integer_overflow_regression () =
+  (* a huge literal used to escape as a bare [Failure _] from
+     [int_of_string]; it must be a positioned parse error in strict mode
+     and a diagnostic in lenient mode *)
+  let src = "L ND; B 99999999999999999999 2 0 0; E" in
+  (match Parser.parse_string src with
+  | exception Parser.Error { message; _ } ->
+      check "mentions range" true (contains message "out of range")
+  | exception e ->
+      Alcotest.failf "expected Parser.Error, got %s" (Printexc.to_string e)
+  | _ -> Alcotest.fail "expected an error");
+  let _, diags = lenient src in
+  check "lenient code" true (has_code "cif-integer-overflow" diags)
+
+let test_resync_at_df () =
+  (* the error inside the definition must not swallow the DF *)
+  let ast, diags = lenient "DS 1; L ND; B 2 2 Q Q; DF; C 1; E" in
+  check "has error" true (errors diags <> []);
+  check_int "symbol committed" 1 (List.length ast.Ace_cif.Ast.symbols)
+
+let test_end_inside_definition () =
+  let ast, diags = lenient "DS 1; L ND; B 2 2 0 0; E" in
+  check "diagnosed" true (has_code "cif-end-in-definition" diags);
+  check_int "symbol committed" 1 (List.length ast.Ace_cif.Ast.symbols)
+
+let test_unterminated_definition () =
+  let ast, diags = lenient "DS 1; L ND; B 2 2 0 0;" in
+  check "diagnosed" true (has_code "cif-unterminated-definition" diags);
+  check_int "symbol committed" 1 (List.length ast.Ace_cif.Ast.symbols)
+
+let test_max_errors_cap () =
+  let soup = String.concat "" (List.init 50 (fun _ -> "Q; ")) ^ "E" in
+  let _, diags = lenient ~max_errors:5 soup in
+  check_int "five errors" 5 (List.length (errors diags));
+  check "hint" true (has_code "too-many-errors" diags)
+
+let test_lenient_never_raises_on_garbage () =
+  List.iter
+    (fun s ->
+      match lenient s with
+      | (_ : Ace_cif.Ast.file * Diag.t list) -> ()
+      | exception e ->
+          Alcotest.failf "lenient raised %s on %S" (Printexc.to_string e) s)
+    [
+      ""; ";"; "("; ")"; "D"; "DS"; "DF"; "DD"; "9"; "94"; "E in garbage";
+      "L;"; "C;"; "B;"; "W;"; "R;"; "P;"; "M X;"; "-"; "--1"; "\x00\xff";
+      "DS 0 0 0;"; "94 x 1;"; "9;"; "((((((";
+      "DS 1; DS 2; DF; E"; "B 1 1 1 1; E";
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Lenient semantic checking                                            *)
+(* ------------------------------------------------------------------ *)
+
+let design_lenient s =
+  let ast, pdiags = lenient s in
+  let d, sdiags = Design.of_ast_lenient ast in
+  (d, pdiags @ sdiags)
+
+let test_unknown_layer () =
+  let d, diags = design_lenient "L ZZ; B 2 2 0 0; L ND; B 4 4 0 0; E" in
+  check "diagnosed" true (has_code "sem-unknown-layer" diags);
+  (* the ZZ shape is dropped, the ND shape survives *)
+  check_int "one box" 1 (Design.count_boxes d)
+
+let test_undefined_symbol_call () =
+  let d, diags = design_lenient "L ND; B 2 2 0 0; C 7; E" in
+  check "diagnosed" true (has_code "sem-undefined-symbol" diags);
+  check_int "call dropped" 0 (Design.count_instances d)
+
+let test_recursive_symbols () =
+  let d, diags =
+    design_lenient "DS 1; L ND; B 2 2 0 0; C 2; DF; DS 2; C 1; DF; C 1; E"
+  in
+  check "diagnosed" true (has_code "sem-recursive-symbol" diags);
+  (* the cycle is broken but symbol 1's geometry is still reachable *)
+  check_int "one box" 1 (Design.count_boxes d)
+
+let test_self_recursion () =
+  let _, diags = design_lenient "DS 1; C 1; DF; C 1; E" in
+  check "diagnosed" true (has_code "sem-recursive-symbol" diags)
+
+let test_duplicate_symbol () =
+  let d, diags =
+    design_lenient
+      "DS 1; L ND; B 2 2 0 0; DF; DS 1; L ND; B 4 4 0 0; B 6 6 9 9; DF; C 1; E"
+  in
+  check "diagnosed" true (has_code "sem-duplicate-symbol" diags);
+  (* first definition wins, as documented *)
+  check_int "one box" 1 (Design.count_boxes d)
+
+let test_degenerate_box () =
+  let _, diags = design_lenient "L ND; B 0 2 0 0; E" in
+  check "warned" true (has_code "sem-degenerate-box" diags);
+  check "not an error" true (errors diags = [])
+
+let test_degenerate_wire_and_flash () =
+  (* found by the fuzz harness: zero-width wires pass of_ast but raise
+     Invalid_argument deep in the box decomposer; the lenient design must
+     drop them so extraction stays total *)
+  let d, diags = design_lenient "L ND; W 0 0 0 10 0; R -4 5 5; B 2 2 0 0 0 0; E" in
+  check "warned" true (has_code "sem-degenerate-box" diags);
+  check "not an error" true (errors diags = []);
+  check_int "all dropped" 0 (Design.count_boxes d);
+  let circuit = Ace_core.Extractor.extract d in
+  check "extraction total" true (Ace_netlist.Circuit.validate circuit = [])
+
+let test_coordinate_overflow_guard () =
+  let d, diags = design_lenient "L ND; B 2 2 2305843009213693951 0; E" in
+  check "warned" true (has_code "sem-coordinate-overflow" diags);
+  check_int "dropped" 0 (Design.count_boxes d);
+  check "not an error" true (errors diags = [])
+
+let test_bad_rotation () =
+  let _, diags = design_lenient "DS 1; L ND; B 2 2 0 0; DF; C 1 R 1 1; E" in
+  check "diagnosed" true (has_code "sem-bad-rotation" diags)
+
+let test_lenient_design_extracts () =
+  (* a recovered design must survive the full extraction pipeline *)
+  let dir = List.find Sys.file_exists [ "../data"; "data" ] in
+  let ic = open_in_bin (Filename.concat dir "broken.cif") in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let ast, pdiags = lenient text in
+  let design, sdiags = Design.of_ast_lenient ast in
+  check "parse diagnostics" true (errors pdiags <> []);
+  check "semantic diagnostics" true (errors sdiags <> []);
+  let circuit = Ace_core.Extractor.extract design in
+  check "valid circuit" true (Ace_netlist.Circuit.validate circuit = []);
+  (* the surviving good geometry is present *)
+  check "salvaged geometry" true (Design.count_boxes design > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Strict-vs-lenient agreement                                          *)
+(* ------------------------------------------------------------------ *)
+
+let agree_on_clean_source name text =
+  match Parser.parse_string text with
+  | exception Parser.Error _ -> Alcotest.failf "%s does not parse" name
+  | strict_ast ->
+      let lenient_ast, diags = lenient text in
+      check (name ^ ": no diagnostics") true (diags = []);
+      check (name ^ ": same AST") true (strict_ast = lenient_ast);
+      let strict_design = Design.of_ast strict_ast in
+      let lenient_design, sdiags = Design.of_ast_lenient lenient_ast in
+      check (name ^ ": no semantic diagnostics") true (sdiags = []);
+      check (name ^ ": same boxes") true
+        (Design.count_boxes strict_design = Design.count_boxes lenient_design);
+      check (name ^ ": same bbox") true
+        (Design.bbox strict_design = Design.bbox lenient_design);
+      check (name ^ ": same instances") true
+        (Design.count_instances strict_design
+        = Design.count_instances lenient_design)
+
+let test_agreement_corpus () =
+  let dir = List.find Sys.file_exists [ "../data"; "data" ] in
+  let cifs =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f ->
+           Filename.check_suffix f ".cif"
+           && not (String.starts_with ~prefix:"broken" f))
+  in
+  check "all four corpus files" true (List.length cifs >= 4);
+  List.iter
+    (fun f ->
+      let ic = open_in_bin (Filename.concat dir f) in
+      let text = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      agree_on_clean_source f text)
+    cifs
+
+let test_agreement_errors () =
+  (* on malformed inputs: strict fails iff lenient reports an error *)
+  List.iter
+    (fun s ->
+      let _, diags = lenient s in
+      let lenient_errs = errors diags <> [] in
+      check (Printf.sprintf "agree on %S" s) true (strict_ok s = not lenient_errs))
+    [
+      "L ND; B 2 2 0 0; E"; "E"; ""; "Q; E"; "L ND; B 2 2 0; E";
+      "DS 1; DF; E"; "DF; E"; "(x; E"; "L ND; B 2 2 0 0;";
+    ]
+
+let () =
+  Alcotest.run "diag"
+    [
+      ( "diag",
+        [
+          Alcotest.test_case "text rendering" `Quick test_diag_text;
+          Alcotest.test_case "json rendering" `Quick test_diag_json;
+          Alcotest.test_case "severity order" `Quick test_diag_severity;
+          Alcotest.test_case "collector cap" `Quick test_collector_cap;
+        ] );
+      ( "parser-recovery",
+        [
+          Alcotest.test_case "unterminated comment" `Quick
+            test_unterminated_comment;
+          Alcotest.test_case "truncated command" `Quick test_truncated_command;
+          Alcotest.test_case "multiple errors, one run" `Quick
+            test_multiple_errors_one_run;
+          Alcotest.test_case "integer overflow (regression)" `Quick
+            test_integer_overflow_regression;
+          Alcotest.test_case "resync at DF" `Quick test_resync_at_df;
+          Alcotest.test_case "E inside definition" `Quick
+            test_end_inside_definition;
+          Alcotest.test_case "unterminated definition" `Quick
+            test_unterminated_definition;
+          Alcotest.test_case "max-errors cap" `Quick test_max_errors_cap;
+          Alcotest.test_case "never raises on garbage" `Quick
+            test_lenient_never_raises_on_garbage;
+        ] );
+      ( "lenient-design",
+        [
+          Alcotest.test_case "unknown layer" `Quick test_unknown_layer;
+          Alcotest.test_case "undefined symbol" `Quick
+            test_undefined_symbol_call;
+          Alcotest.test_case "recursive symbols" `Quick test_recursive_symbols;
+          Alcotest.test_case "self recursion" `Quick test_self_recursion;
+          Alcotest.test_case "duplicate symbol" `Quick test_duplicate_symbol;
+          Alcotest.test_case "degenerate box" `Quick test_degenerate_box;
+          Alcotest.test_case "degenerate wire and flash" `Quick
+            test_degenerate_wire_and_flash;
+          Alcotest.test_case "coordinate overflow" `Quick
+            test_coordinate_overflow_guard;
+          Alcotest.test_case "bad rotation" `Quick test_bad_rotation;
+          Alcotest.test_case "broken.cif extracts" `Quick
+            test_lenient_design_extracts;
+        ] );
+      ( "agreement",
+        [
+          Alcotest.test_case "clean corpus" `Quick test_agreement_corpus;
+          Alcotest.test_case "malformed snippets" `Quick test_agreement_errors;
+        ] );
+    ]

@@ -5,7 +5,8 @@ let run input output geometry spice name quantum stats strict max_errors
   let loaded = Cli_common.load ~strict ~max_errors ~quantum input in
   match loaded.Cli_common.design with
   | None ->
-      Cli_common.report ~format:diag_format ~source:loaded.source loaded.diags;
+      Cli_common.report ~format:diag_format ~tool:"ace" ~uri:input
+        ~source:loaded.source loaded.diags;
       exit 2
   | Some design ->
       let name =
@@ -24,7 +25,8 @@ let run input output geometry spice name quantum stats strict max_errors
       else Ace_netlist.Wirelist.to_channel ~emit_geometry:geometry oc circuit;
       if output <> None then close_out oc;
       let diags = loaded.diags @ run_stats.Ace_core.Extractor.warnings in
-      Cli_common.report ~format:diag_format ~source:loaded.source diags;
+      Cli_common.report ~format:diag_format ~tool:"ace" ~uri:input
+        ~source:loaded.source diags;
       if stats then begin
         let devs = Ace_netlist.Circuit.device_count circuit in
         Printf.eprintf

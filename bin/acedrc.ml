@@ -1,19 +1,34 @@
-(* acedrc — scanline design-rule checking of a CIF layout. *)
+(* acedrc — scanline design-rule checking of a CIF layout.  Violations are
+   structured diagnostics (code "drc-<rule>") rendered by the same
+   --diag-format machinery as the front-end: text, JSON, or SARIF. *)
+
+let sarif_rules () =
+  List.map
+    (fun (id, summary) ->
+      { Ace_diag.Sarif.id; summary; help = summary; level = "error" })
+    Ace_drc.Checker.rule_info
 
 let run input lambda strict max_errors diag_format =
   let loaded = Cli_common.load ~strict ~max_errors input in
-  Cli_common.report ~format:diag_format ~source:loaded.Cli_common.source
-    loaded.diags;
-  match loaded.design with
-  | None -> exit 2
+  let report =
+    Cli_common.report ~format:diag_format ~tool:"acedrc" ~uri:input
+      ~rules:(sarif_rules ())
+  in
+  match loaded.Cli_common.design with
+  | None ->
+      report ~source:loaded.Cli_common.source loaded.diags;
+      exit 2
   | Some design ->
       let rules = Ace_drc.Rules.mead_conway ~lambda () in
       let violations = Ace_drc.Checker.check ~rules design in
-      List.iter
-        (fun v -> Format.printf "%a@." Ace_drc.Checker.pp_violation v)
-        violations;
-      Printf.printf "%s: %d design-rule violations\n" input
-        (List.length violations);
+      let vdiags = List.map Ace_drc.Checker.to_diag violations in
+      report ~source:loaded.source (loaded.diags @ vdiags);
+      let summary =
+        Printf.sprintf "%s: %d design-rule violations" input
+          (List.length violations)
+      in
+      if diag_format = Cli_common.Sarif then prerr_endline summary
+      else print_endline summary;
       if violations <> [] then exit 1
       else exit (Cli_common.exit_code ~diags:loaded.diags ~usable:true)
 

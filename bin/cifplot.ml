@@ -3,8 +3,8 @@
 
 let run input output ascii grid scale strict max_errors diag_format =
   let loaded = Cli_common.load ~strict ~max_errors input in
-  Cli_common.report ~format:diag_format ~source:loaded.Cli_common.source
-    loaded.diags;
+  Cli_common.report ~format:diag_format ~tool:"cifplot" ~uri:input
+    ~source:loaded.Cli_common.source loaded.diags;
   match loaded.design with
   | None -> exit 2
   | Some design ->

@@ -4,8 +4,9 @@
    (0 = clean, 1 = diagnostics but usable output, 2 = unrecoverable). *)
 
 module Diag = Ace_diag.Diag
+module Sarif = Ace_diag.Sarif
 
-type diag_format = Text | Json
+type diag_format = Text | Json | Sarif
 
 (* Read a file (or stdin for "-"), never letting a Sys_error escape: a
    missing path, a directory, or a read failure becomes an [io-error]
@@ -68,14 +69,28 @@ let load ~strict ~max_errors ?quantum path =
       let design, diags = load_text ~strict ~max_errors ?quantum text in
       { source = text; design; diags }
 
-let report ~format ?source diags =
-  List.iter
-    (fun d ->
-      prerr_endline
-        (match format with
-        | Text -> Diag.to_string ?source d
-        | Json -> Diag.to_json ?source d))
-    diags
+(* Render diagnostics under the run's one --diag-format flag: text/JSON go
+   line-by-line to stderr; SARIF emits a single complete 2.1.0 log on
+   stdout (what CI ingests).  [rules] supplies tool.driver.rules metadata
+   and [fingerprint] per-diagnostic partialFingerprints for SARIF. *)
+let report ~format ?source ?(tool = "ace") ?uri ?(rules = [])
+    ?(fingerprint = fun _ -> None) diags =
+  match format with
+  | Text | Json ->
+      List.iter
+        (fun d ->
+          prerr_endline
+            (match format with
+            | Text -> Diag.to_string ?source d
+            | Json | Sarif -> Diag.to_json ?source d))
+        diags
+  | Sarif ->
+      let results =
+        List.map
+          (fun d -> Ace_diag.Sarif.of_diag ?source ?uri ?fingerprint:(fingerprint d) d)
+          diags
+      in
+      print_endline (Ace_diag.Sarif.render ~tool ~rules results)
 
 let exit_code ~diags ~usable =
   if not usable then 2 else if diags = [] then 0 else 1
@@ -100,8 +115,10 @@ let max_errors_t =
 let diag_format_t =
   Arg.(
     value
-    & opt (enum [ ("text", Text); ("json", Json) ]) Text
+    & opt (enum [ ("text", Text); ("json", Json); ("sarif", Sarif) ]) Text
     & info [ "diag-format" ] ~docv:"FMT"
         ~doc:
-          "How to render diagnostics on stderr: $(b,text) (human-readable, \
-           with caret context) or $(b,json) (one JSON object per line).")
+          "How to render diagnostics: $(b,text) (human-readable with caret \
+           context, stderr), $(b,json) (one JSON object per line, stderr) \
+           or $(b,sarif) (a complete SARIF 2.1.0 log on stdout, for CI \
+           annotation).")

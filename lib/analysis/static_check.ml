@@ -1,4 +1,8 @@
-open Ace_tech
+(* Compatibility shim: the original 8-check module, now a thin veneer over
+   the Ace_lint rule registry (which also runs the newer analyses).  New
+   code should use Ace_lint directly — it exposes configuration, waiver
+   baselines and structured diagnostics this interface cannot. *)
+
 open Ace_netlist
 
 type severity = Error | Warning | Info
@@ -35,158 +39,18 @@ let pp_finding circuit ppf f =
   | Some n -> Format.fprintf ppf " (net %s)" (Circuit.net_display_name circuit n)
   | None -> ()
 
-(* Channel-graph reachability from a seed net: nets reachable through
-   source/drain edges (gate terminals do not conduct). *)
-let reachable circuit seeds =
-  let n = Circuit.net_count circuit in
-  let mark = Array.make n false in
-  let queue = Queue.create () in
-  List.iter
-    (fun s ->
-      if s >= 0 && s < n && not mark.(s) then begin
-        mark.(s) <- true;
-        Queue.add s queue
-      end)
-    seeds;
-  (* adjacency: net -> nets across a channel *)
-  let adj = Array.make n [] in
-  Array.iter
-    (fun (d : Circuit.device) ->
-      adj.(d.source) <- d.drain :: adj.(d.source);
-      adj.(d.drain) <- d.source :: adj.(d.drain))
-    circuit.Circuit.devices;
-  while not (Queue.is_empty queue) do
-    let x = Queue.pop queue in
-    List.iter
-      (fun y ->
-        if not mark.(y) then begin
-          mark.(y) <- true;
-          Queue.add y queue
-        end)
-      adj.(x)
-  done;
-  mark
+let of_lint (f : Ace_lint.Finding.t) =
+  {
+    severity =
+      (match f.Ace_lint.Finding.severity with
+      | Ace_lint.Finding.Error -> Error
+      | Ace_lint.Finding.Warning -> Warning
+      | Ace_lint.Finding.Info -> Info);
+    code = f.Ace_lint.Finding.code;
+    message = f.Ace_lint.Finding.message;
+    device = f.Ace_lint.Finding.device;
+    net = f.Ace_lint.Finding.net;
+  }
 
-let check ?(vdd = "VDD") ?(gnd = "GND") (circuit : Circuit.t) =
-  let findings = ref [] in
-  let add severity code ?device ?net fmt =
-    Format.kasprintf
-      (fun message ->
-        findings := { severity; code; message; device; net } :: !findings)
-      fmt
-  in
-  let find_rail name =
-    match Circuit.find_net circuit name with
-    | n -> Some n
-    | exception Not_found -> None
-  in
-  let vdd_net = find_rail vdd and gnd_net = find_rail gnd in
-  (match (vdd_net, gnd_net) with
-  | Some v, Some g when v = g ->
-      add Error "power-short" ~net:v "%s and %s are the same net" vdd gnd
-  | Some _, Some _ -> ()
-  | None, _ ->
-      add Info "no-rail" "no net named %s: rail-dependent checks skipped" vdd
-  | _, None ->
-      add Info "no-rail" "no net named %s: rail-dependent checks skipped" gnd);
-  (* per-device structural checks *)
-  Array.iteri
-    (fun i (d : Circuit.device) ->
-      if d.gate = d.source && d.gate = d.drain then
-        add Error "malformed" ~device:i
-          "floating channel: gate, source and drain on one net"
-      else
-        match d.dtype with
-        | Nmos.Enhancement ->
-            if d.gate = d.source || d.gate = d.drain then
-              add Warning "self-gate" ~device:i
-                "enhancement device gated by its own source/drain"
-        | Nmos.Depletion -> ())
-    circuit.Circuit.devices;
-  (* ratio check: depletion load from VDD to node N (gate tied to N),
-     enhancement pull-down from N to GND *)
-  (match (vdd_net, gnd_net) with
-  | Some v, Some g ->
-      let loads = Hashtbl.create 16 in
-      Array.iteri
-        (fun i (d : Circuit.device) ->
-          match d.dtype with
-          | Nmos.Depletion ->
-              let node =
-                if d.source = v && d.drain <> v then Some d.drain
-                else if d.drain = v && d.source <> v then Some d.source
-                else None
-              in
-              (match node with
-              | Some n when d.gate = n -> Hashtbl.replace loads n (i, d)
-              | Some _ | None -> ())
-          | Nmos.Enhancement -> ())
-        circuit.Circuit.devices;
-      Array.iteri
-        (fun i (d : Circuit.device) ->
-          match d.dtype with
-          | Nmos.Enhancement ->
-              let node =
-                if d.source = g && d.drain <> g then Some d.drain
-                else if d.drain = g && d.source <> g then Some d.source
-                else None
-              in
-              (match node with
-              | Some n -> (
-                  match Hashtbl.find_opt loads n with
-                  | Some (_, (load : Circuit.device)) ->
-                      let k =
-                        float_of_int load.length /. float_of_int load.width
-                        /. (float_of_int d.length /. float_of_int d.width)
-                      in
-                      if k < Nmos.min_inverter_ratio -. 1e-9 then
-                        add Warning "ratio" ~device:i ~net:n
-                          "pull-up/pull-down ratio %.2f below %.1f" k
-                          Nmos.min_inverter_ratio
-                  | None -> ())
-              | None -> ())
-          | Nmos.Depletion -> ())
-        circuit.Circuit.devices
-  | _ -> ());
-  (* drivability *)
-  let n = Circuit.net_count circuit in
-  let gates = Array.make n false in
-  let channels = Array.make n false in
-  Array.iter
-    (fun (d : Circuit.device) ->
-      gates.(d.gate) <- true;
-      channels.(d.source) <- true;
-      channels.(d.drain) <- true)
-    circuit.Circuit.devices;
-  (match (vdd_net, gnd_net) with
-  | Some v, Some g ->
-      let from_vdd = reachable circuit [ v ] in
-      let from_gnd = reachable circuit [ g ] in
-      for net = 0 to n - 1 do
-        if gates.(net) && net <> v && net <> g then
-          if not (from_vdd.(net) || from_gnd.(net)) then begin
-            if channels.(net) || circuit.Circuit.nets.(net).names = [] then
-              add Warning "undriven" ~net
-                "gates devices but has no channel path to either rail"
-          end
-          else if from_vdd.(net) && not from_gnd.(net) then
-            add Warning "stuck" ~net "can only be pulled high (stuck at 1)"
-          else if from_gnd.(net) && not from_vdd.(net) && channels.(net) then
-            add Warning "stuck" ~net "can only be pulled low (stuck at 0)"
-      done
-  | _ -> ());
-  (* floating gates: gate nets with no channel connection and no name *)
-  for net = 0 to n - 1 do
-    if
-      gates.(net) && (not channels.(net))
-      && circuit.Circuit.nets.(net).names = []
-    then add Warning "floating-gate" ~net "gate net has no driver and no name"
-  done;
-  (* isolated nets *)
-  for net = 0 to n - 1 do
-    if
-      (not gates.(net)) && (not channels.(net))
-      && circuit.Circuit.nets.(net).names = []
-    then add Info "isolated" ~net "unnamed net touches no devices"
-  done;
-  List.rev !findings
+let check ?(vdd = "VDD") ?(gnd = "GND") circuit =
+  List.map of_lint (Ace_lint.Engine.run ~vdd ~gnd circuit)

@@ -1,11 +1,19 @@
 open Ace_netlist
 
-(** Static electrical checks on extracted wirelists.
+(** Static electrical checks on extracted wirelists — compatibility shim.
 
-    ACE §1 names the downstream tool: "a static checker performs ratio
-    checks, detects malformed transistors, and checks for signals that are
-    stuck at logical 0 or 1".  This is that checker, operating on the
-    extractor's output. *)
+    {b Deprecated}: this module survives for existing callers but is now a
+    thin veneer over {!Ace_lint}, the configurable rule engine (stable rule
+    registry, severity overrides, waiver baselines, SARIF output).  Use
+    [Ace_lint.Engine.run] in new code.
+
+    [check] runs the {e full} registry with its default configuration —
+    the original battery (power-short, malformed, self-gate, ratio,
+    undriven, stuck, floating-gate, isolated, no-rail) plus the newer
+    analyses (pass-depth, fanout, sneak-path, superbuffer, name-collision,
+    aliased-net, off-grid).  Rails are located by name with a
+    case-insensitive fallback, so "Vdd"/"vdd" labels no longer silently
+    skip every rail-dependent check. *)
 
 type severity = Error | Warning | Info
 
@@ -17,23 +25,10 @@ type finding = {
   net : int option;
 }
 
-(** [check circuit] runs all checks.  Power nets are located by name
-    ([vdd] / [gnd], defaults "VDD" / "GND"); rail-dependent checks are
-    skipped with an [Info] finding when a rail is missing.
-
-    Checks performed:
-    - [power-short]: VDD and GND on the same net;
-    - [malformed]: source = drain = gate (floating channel), or a
-      depletion device with no connection to anything driven;
-    - [self-gate]: enhancement device whose gate is its own source/drain;
-    - [ratio]: enhancement pull-down against a depletion load weaker than
-      the Mead–Conway 4:1 requirement;
-    - [undriven]: net with gate connections but no channel path to a rail
-      (stuck at X);
-    - [stuck]: net whose only channel paths come from one rail (stuck at
-      0 or 1) while it gates other devices;
-    - [floating-gate]: gate net with no drivers and no name;
-    - [isolated]: unnamed net touching no devices. *)
+(** [check circuit] runs every default-enabled lint rule.  Power nets are
+    located by name ([vdd] / [gnd], defaults "VDD" / "GND", falling back
+    to a case-insensitive match); rail-dependent checks are skipped with
+    an [Info] finding when a rail is missing. *)
 val check : ?vdd:string -> ?gnd:string -> Circuit.t -> finding list
 
 val severity_to_string : severity -> string

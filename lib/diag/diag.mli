@@ -51,3 +51,7 @@ val to_string : ?source:string -> t -> string
 (** One-line JSON object: severity, code, message, byte span, and — when
     [source] is given — resolved 1-based line/column. *)
 val to_json : ?source:string -> t -> string
+
+(** Escape a string for inclusion in a JSON string literal (shared by the
+    JSON and SARIF renderers). *)
+val json_escape : string -> string

@@ -12,6 +12,25 @@ let pp_violation ppf v =
   Format.fprintf ppf "%s on %a at %a: %s" v.rule Layer.pp v.layer Box.pp v.at
     v.detail
 
+(* DRC violations as structured diagnostics, with a stable "drc-"-prefixed
+   code per rule, so they flow through the same --diag-format renderers
+   (text / JSON / SARIF) as every other finding. *)
+let to_diag v =
+  Ace_diag.Diag.errorf
+    ~code:("drc-" ^ v.rule)
+    "%s on %a at %a: %s" v.rule Layer.pp v.layer Box.pp v.at v.detail
+
+let rule_info =
+  [
+    ("drc-width", "feature narrower than the layer's minimum width");
+    ("drc-spacing", "gap between features below the layer's minimum spacing");
+    ( "drc-cut-surround",
+      "contact cut not surrounded by metal and poly/diffusion" );
+    ("drc-cut-size", "contact cut is not the mandated fixed square");
+    ( "drc-gate-overhang",
+      "poly does not extend far enough beyond the channel" );
+  ]
+
 let transpose_box (b : Box.t) = Box.make ~l:b.b ~b:b.l ~r:b.t ~t:b.r
 let transpose_boxes = List.map (fun (lyr, b) -> (lyr, transpose_box b))
 

@@ -25,6 +25,14 @@ type violation = {
 
 val pp_violation : Format.formatter -> violation -> unit
 
+(** A violation as an [Error]-severity structured diagnostic with stable
+    code ["drc-<rule>"], for the shared text/JSON/SARIF renderers. *)
+val to_diag : violation -> Ace_diag.Diag.t
+
+(** (code, description) for every rule {!to_diag} can emit — SARIF
+    [tool.driver.rules] metadata. *)
+val rule_info : (string * string) list
+
 (** Check a full design.  Violations are deduplicated per (rule, layer,
     location) and sorted by position. *)
 val check : ?rules:Rules.t -> Ace_cif.Design.t -> violation list

@@ -1,0 +1,117 @@
+module S = Set.Make (String)
+
+type t = S.t
+
+let empty = S.empty
+let mem t fp = S.mem fp t
+let of_fingerprints fps = S.of_list fps
+let fingerprints t = S.elements t
+let size = S.cardinal
+
+let to_json t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "{\n  \"version\": 1,\n  \"tool\": \"acecheck\",\n";
+  Buffer.add_string buf "  \"fingerprints\": [";
+  let first = ref true in
+  S.iter
+    (fun fp ->
+      if not !first then Buffer.add_char buf ',';
+      first := false;
+      Buffer.add_string buf "\n    \"";
+      Buffer.add_string buf (Ace_diag.Diag.json_escape fp);
+      Buffer.add_char buf '"')
+    t;
+  Buffer.add_string buf (if S.is_empty t then "]\n}\n" else "\n  ]\n}\n");
+  Buffer.contents buf
+
+(* A deliberately small JSON reader: finds the "fingerprints" array and
+   collects its string elements, handling escapes.  Tolerates (ignores)
+   every other key so the format can grow. *)
+let of_json text =
+  let len = String.length text in
+  let find_key key from =
+    let needle = "\"" ^ key ^ "\"" in
+    let nlen = String.length needle in
+    let rec go i =
+      if i + nlen > len then None
+      else if String.sub text i nlen = needle then Some (i + nlen)
+      else go (i + 1)
+    in
+    go from
+  in
+  let rec skip_ws i =
+    if i < len && (text.[i] = ' ' || text.[i] = '\n' || text.[i] = '\t'
+                  || text.[i] = '\r')
+    then skip_ws (i + 1)
+    else i
+  in
+  let parse_string i =
+    (* [i] points at the opening quote *)
+    let buf = Buffer.create 16 in
+    let rec go i =
+      if i >= len then Error "unterminated string in baseline file"
+      else
+        match text.[i] with
+        | '"' -> Ok (Buffer.contents buf, i + 1)
+        | '\\' when i + 1 < len ->
+            let c = text.[i + 1] in
+            let add c = Buffer.add_char buf c in
+            (match c with
+            | 'n' -> add '\n'
+            | 't' -> add '\t'
+            | 'r' -> add '\r'
+            | c -> add c);
+            go (i + 2)
+        | c ->
+            Buffer.add_char buf c;
+            go (i + 1)
+    in
+    go (i + 1)
+  in
+  match find_key "fingerprints" 0 with
+  | None -> Error "baseline file has no \"fingerprints\" array"
+  | Some i -> (
+      let i = skip_ws i in
+      if i >= len || text.[i] <> ':' then
+        Error "malformed baseline: expected ':' after \"fingerprints\""
+      else
+        let i = skip_ws (i + 1) in
+        if i >= len || text.[i] <> '[' then
+          Error "malformed baseline: expected '[' after \"fingerprints\":"
+        else
+          let rec elements acc i =
+            let i = skip_ws i in
+            if i >= len then Error "unterminated fingerprint array"
+            else
+              match text.[i] with
+              | ']' -> Ok (of_fingerprints (List.rev acc))
+              | ',' -> elements acc (i + 1)
+              | '"' -> (
+                  match parse_string i with
+                  | Ok (s, j) -> elements (s :: acc) j
+                  | Error m -> Error m)
+              | c ->
+                  Error
+                    (Printf.sprintf
+                       "malformed baseline: unexpected %C in array" c)
+          in
+          elements [] (i + 1))
+
+let load path =
+  match open_in_bin path with
+  | exception Sys_error m -> Error m
+  | ic -> (
+      match
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      with
+      | text -> of_json text
+      | exception Sys_error m -> Error m
+      | exception End_of_file -> Error (path ^ ": truncated read"))
+
+let save path t =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_json t))

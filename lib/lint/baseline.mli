@@ -1,0 +1,26 @@
+(** Waiver baselines: a persisted set of finding fingerprints.
+
+    A baseline records the fingerprints of every finding present at some
+    accepted point in time ([acecheck --write-baseline]); later runs load
+    it ([--baseline]) and suppress exactly those findings, so CI fails only
+    on {e new} problems.  The on-disk format is a small JSON document
+    ([{"version":1,"tool":"acecheck","fingerprints":[…]}]); the reader
+    ignores unknown keys. *)
+
+type t
+
+val empty : t
+val mem : t -> string -> bool
+val of_fingerprints : string list -> t
+
+(** Sorted, deduplicated. *)
+val fingerprints : t -> string list
+
+val size : t -> int
+val to_json : t -> string
+val of_json : string -> (t, string) result
+
+(** Read/write a baseline file; [Error] carries a printable message. *)
+val load : string -> (t, string) result
+
+val save : string -> t -> unit

@@ -1,0 +1,51 @@
+open Ace_netlist
+
+(* Exact-name rail lookup with a case-insensitive fallback, so a chip
+   labelling its rails "Vdd"/"vdd" still gets the rail-dependent checks. *)
+let find_rail circuit name =
+  match Circuit.find_net circuit name with
+  | i -> Some i
+  | exception Not_found ->
+      let target = String.lowercase_ascii name in
+      let found = ref None in
+      Array.iteri
+        (fun i (n : Circuit.net) ->
+          if
+            !found = None
+            && List.exists
+                 (fun s -> String.lowercase_ascii s = target)
+                 n.names
+          then found := Some i)
+        circuit.Circuit.nets;
+      !found
+
+let context ?(config = Config.default) ?(vdd = "VDD") ?(gnd = "GND") circuit =
+  {
+    Rule.circuit;
+    vdd = find_rail circuit vdd;
+    gnd = find_rail circuit gnd;
+    vdd_name = vdd;
+    gnd_name = gnd;
+    lambda = config.Config.lambda;
+    max_fanout = config.Config.max_fanout;
+    max_pass_depth = config.Config.max_pass_depth;
+  }
+
+let run ?(config = Config.default) ?vdd ?gnd circuit =
+  let ctx = context ~config ?vdd ?gnd circuit in
+  List.concat_map
+    (fun (r : Rule.t) ->
+      match Config.severity_for config r with
+      | None -> []
+      | Some severity ->
+          List.map
+            (fun (d : Rule.draft) ->
+              {
+                Finding.code = r.Rule.code;
+                severity;
+                message = d.Rule.message;
+                device = d.Rule.device;
+                net = d.Rule.net;
+              })
+            (r.Rule.check ctx))
+    Rules.all

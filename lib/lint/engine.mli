@@ -1,0 +1,18 @@
+open Ace_netlist
+
+(** The lint engine: runs every enabled registry rule over a circuit.
+
+    [run] resolves the rails once (exact net-name match, then
+    case-insensitive fallback), builds the {!Rule.ctx} from the
+    configuration, and concatenates each enabled rule's findings stamped
+    with its configured severity, in registry order. *)
+
+(** [find_rail circuit name] — exact match first, then case-insensitive. *)
+val find_rail : Circuit.t -> string -> int option
+
+val context :
+  ?config:Config.t -> ?vdd:string -> ?gnd:string -> Circuit.t -> Rule.ctx
+
+val run :
+  ?config:Config.t -> ?vdd:string -> ?gnd:string -> Circuit.t ->
+  Finding.t list

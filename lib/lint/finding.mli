@@ -1,0 +1,44 @@
+open Ace_netlist
+
+(** Lint findings — one reported problem from one rule.
+
+    A finding carries the rule's stable code, the (possibly
+    config-overridden) severity it was reported at, a human message, and
+    the device/net it is anchored to.  Findings are pure data; rendering
+    (text, JSON, SARIF) goes through {!to_diag} and {!Ace_diag}. *)
+
+type severity = Error | Warning | Info
+
+val severity_to_string : severity -> string
+
+(** Accepts ["error"], ["warn"]/["warning"], ["info"]/["note"]/["hint"]. *)
+val severity_of_string : string -> severity option
+
+(** SARIF 2.1.0 result level: error / warning / note. *)
+val sarif_level : severity -> string
+
+type t = {
+  code : string;  (** stable rule identifier, kebab-case *)
+  severity : severity;
+  message : string;  (** without the device/net suffix *)
+  device : int option;  (** index into the circuit's device array *)
+  net : int option;  (** index into the circuit's net array *)
+}
+
+(** Counts by severity: (errors, warnings, infos). *)
+val summarize : t list -> int * int * int
+
+(** ["error[ratio]: … (device D3) (net OUT)"]. *)
+val to_string : Circuit.t -> t -> string
+
+(** Convert to a structured diagnostic (severity [Info] maps to
+    {!Ace_diag.Diag.Hint}); the device/net context is folded into the
+    message. *)
+val to_diag : Circuit.t -> t -> Ace_diag.Diag.t
+
+(** Stable identity for waiver baselines: a 64-bit FNV-1a hash of the rule
+    code plus the flagged device's type and layout location and the flagged
+    net's first user name (or location).  Deliberately excludes array
+    indices and message text so fingerprints survive re-extraction and
+    message rewording. *)
+val fingerprint : Circuit.t -> t -> string

@@ -1,0 +1,25 @@
+open Ace_netlist
+
+type ctx = {
+  circuit : Circuit.t;
+  vdd : int option;
+  gnd : int option;
+  vdd_name : string;
+  gnd_name : string;
+  lambda : int;
+  max_fanout : int;
+  max_pass_depth : int;
+}
+
+type draft = { message : string; device : int option; net : int option }
+
+let draft ?device ?net fmt =
+  Format.kasprintf (fun message -> { message; device; net }) fmt
+
+type t = {
+  code : string;
+  summary : string;
+  doc : string;
+  default : Finding.severity;
+  check : ctx -> draft list;
+}

@@ -1,0 +1,38 @@
+open Ace_netlist
+
+(** The rule interface of the lint engine.
+
+    A rule is a pure function from a resolved checking context to a list of
+    draft findings; the engine stamps each draft with the rule's code and
+    its configured severity.  Rules never decide their own enablement or
+    severity — that is {!Config}'s job — so one registry serves every
+    configuration. *)
+
+(** Everything a rule body may depend on, resolved once per run: the
+    circuit, the power-rail net indices (located by name, falling back to a
+    case-insensitive match; [None] when absent), and the technology /
+    threshold parameters from the configuration. *)
+type ctx = {
+  circuit : Circuit.t;
+  vdd : int option;
+  gnd : int option;
+  vdd_name : string;
+  gnd_name : string;
+  lambda : int;  (** λ in centimicrons, for grid checks *)
+  max_fanout : int;  (** gate fan-out threshold *)
+  max_pass_depth : int;  (** series pass-transistor depth threshold *)
+}
+
+(** A finding minus code and severity (the engine adds those). *)
+type draft = { message : string; device : int option; net : int option }
+
+val draft :
+  ?device:int -> ?net:int -> ('a, Format.formatter, unit, draft) format4 -> 'a
+
+type t = {
+  code : string;  (** stable identifier, e.g. ["ratio"] *)
+  summary : string;  (** one-line description for [--list-rules] / SARIF *)
+  doc : string;  (** rationale, typically citing the paper *)
+  default : Finding.severity;
+  check : ctx -> draft list;
+}

@@ -9,7 +9,10 @@
       [Design.of_ast_lenient] never raise;
    2. agreement — strict parsing succeeds exactly when the lenient run
       reports no Error-severity diagnostic, and on success both front
-      ends produce the same AST (likewise for the semantic phase).
+      ends produce the same AST (likewise for the semantic phase);
+   3. lint totality — on every input small enough to extract, the full
+      Ace_lint rule battery runs over the extracted circuit without
+      raising (extraction itself is allowed to fail on fuzz garbage).
 
    Runs as a bounded smoke test under `dune runtest` (fixed seed, ~500
    inputs, well under 5 s).  Set ACE_FUZZ_N / ACE_FUZZ_SEED to scale it
@@ -98,6 +101,26 @@ let fail_input what input e =
 
 let has_error diags = List.exists Diag.is_error diags
 
+(* property 3: the lint battery is total over whatever the extractor
+   produces.  Extraction failures on fuzz garbage are tolerated (and the
+   design is size-guarded so pathological inputs cannot stall the run),
+   but [Ace_lint.Engine.run] itself must never raise. *)
+let lint_total input design =
+  let small =
+    match Design.bbox design with
+    | None -> true
+    | Some bb ->
+        bb.Ace_geom.Box.r - bb.l < 1_000_000 && bb.t - bb.b < 1_000_000
+  in
+  let boxes = try Design.count_boxes design with _ -> max_int in
+  if small && boxes < 5_000 then
+    match Ace_core.Extractor.extract ~name:"fuzz" design with
+    | exception _ -> () (* garbage in, no circuit out: acceptable *)
+    | circuit -> (
+        match Ace_lint.Engine.run circuit with
+        | _findings -> ()
+        | exception e -> fail_input "lint raised" input e)
+
 let run_one input =
   (* property 1: totality of the lenient front end *)
   match Parser.parse_string_lenient input with
@@ -105,7 +128,7 @@ let run_one input =
   | lenient_ast, pdiags -> (
       (match Design.of_ast_lenient lenient_ast with
       | exception e -> fail_input "of_ast_lenient raised" input e
-      | _design, _sdiags -> ());
+      | design, _sdiags -> lint_total input design);
       (* property 2: strict/lenient agreement *)
       match Parser.parse_string input with
       | exception Parser.Error _ ->

@@ -1,0 +1,55 @@
+(* lint_examples — golden-file regression over the lint engine.
+
+   Runs the default rule battery over every .cif file given on the command
+   line (parsed leniently, then extracted) and over a fixed set of
+   workloads-generated chips, and prints one deterministic line per input:
+
+     name: devices=N nets=N code=count code=count ...
+
+   The committed lint_examples.expected pins these counts; any rule change
+   that shifts a count on a real layout shows up as a runtest diff. *)
+
+module Lint = Ace_lint
+
+let lint_line name circuit =
+  let findings = Lint.Engine.run circuit in
+  let tally = Hashtbl.create 8 in
+  List.iter
+    (fun (f : Lint.Finding.t) ->
+      Hashtbl.replace tally f.code
+        (1 + Option.value ~default:0 (Hashtbl.find_opt tally f.code)))
+    findings;
+  let counts =
+    Hashtbl.fold (fun code n acc -> (code, n) :: acc) tally []
+    |> List.sort compare
+    |> List.map (fun (code, n) -> Printf.sprintf "%s=%d" code n)
+  in
+  Printf.printf "%s: devices=%d nets=%d%s\n" name
+    (Ace_netlist.Circuit.device_count circuit)
+    (Ace_netlist.Circuit.net_count circuit)
+    (match counts with [] -> " clean" | _ -> " " ^ String.concat " " counts)
+
+let of_cif path =
+  let ic = open_in_bin path in
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let ast, _ = Ace_cif.Parser.parse_string_lenient text in
+  let design, _ = Ace_cif.Design.of_ast_lenient ast in
+  let name = Filename.basename path in
+  lint_line name (Ace_core.Extractor.extract ~name design)
+
+let of_workload name file =
+  lint_line name (Ace_core.Extractor.extract ~name (Ace_cif.Design.of_ast file))
+
+let () =
+  Array.iteri (fun i p -> if i > 0 then of_cif p) Sys.argv;
+  of_workload "single_inverter" (Ace_workloads.Chips.single_inverter ());
+  of_workload "inverter_chain_8" (Ace_workloads.Chips.inverter_chain ~n:8 ());
+  of_workload "four_inverters" (Ace_workloads.Chips.four_inverters ());
+  of_workload "ram_4x4" (Ace_workloads.Chips.ram_array ~rows:4 ~cols:4 ());
+  of_workload "datapath_4x3" (Ace_workloads.Chips.datapath ~bits:4 ~stages:3 ());
+  of_workload "random_logic_12"
+    (Ace_workloads.Chips.random_logic ~cells:12 ~seed:7 ())

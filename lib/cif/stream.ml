@@ -7,9 +7,16 @@ type item =
 
 type t = {
   design : Design.t;
+  window : Box.t option;
+      (** geometry filter: boxes and instance bboxes with no positive-area
+          overlap are never pushed (nor expanded) *)
   mutable keys : int array;  (** heap priorities: top y *)
+  mutable seqs : int array;
+      (** insertion sequence numbers: ties on [keys] break FIFO, so pops at
+          equal top-y are deterministic regardless of heap shape *)
   mutable items : item array;
   mutable size : int;
+  mutable next_seq : int;
   shape_cache : (int, (Layer.t * Box.t) list) Hashtbl.t;
       (** per-symbol direct (non-call) geometry, symbol-local coordinates *)
   labels : Design.label list;
@@ -18,12 +25,23 @@ type t = {
 
 let dummy = Item_call (min_int, Transform.identity)
 
-(* --- binary max-heap on (keys, items) --- *)
+(* --- binary max-heap on (keys, seqs, items) --- *)
+
+(* Strict priority order: larger top y first; at equal tops, earlier
+   insertion first.  FIFO at equal keys makes the pop order a pure function
+   of the push order, which the wirelist-determinism tests (and the -j1 vs
+   -jN equivalence check) rely on. *)
+let above t i j =
+  t.keys.(i) > t.keys.(j)
+  || (t.keys.(i) = t.keys.(j) && t.seqs.(i) < t.seqs.(j))
 
 let swap t i j =
   let k = t.keys.(i) in
   t.keys.(i) <- t.keys.(j);
   t.keys.(j) <- k;
+  let s = t.seqs.(i) in
+  t.seqs.(i) <- t.seqs.(j);
+  t.seqs.(j) <- s;
   let x = t.items.(i) in
   t.items.(i) <- t.items.(j);
   t.items.(j) <- x
@@ -31,7 +49,7 @@ let swap t i j =
 let rec sift_up t i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if t.keys.(parent) < t.keys.(i) then begin
+    if above t i parent then begin
       swap t i parent;
       sift_up t parent
     end
@@ -40,8 +58,8 @@ let rec sift_up t i =
 let rec sift_down t i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
   let largest = ref i in
-  if l < t.size && t.keys.(l) > t.keys.(!largest) then largest := l;
-  if r < t.size && t.keys.(r) > t.keys.(!largest) then largest := r;
+  if l < t.size && above t l !largest then largest := l;
+  if r < t.size && above t r !largest then largest := r;
   if !largest <> i then begin
     swap t i !largest;
     sift_down t !largest
@@ -50,28 +68,39 @@ let rec sift_down t i =
 let push t key item =
   if t.size = Array.length t.keys then begin
     let cap = max 16 (2 * t.size) in
-    let keys = Array.make cap 0 and items = Array.make cap dummy in
+    let keys = Array.make cap 0
+    and seqs = Array.make cap 0
+    and items = Array.make cap dummy in
     Array.blit t.keys 0 keys 0 t.size;
+    Array.blit t.seqs 0 seqs 0 t.size;
     Array.blit t.items 0 items 0 t.size;
     t.keys <- keys;
+    t.seqs <- seqs;
     t.items <- items
   end;
   t.keys.(t.size) <- key;
+  t.seqs.(t.size) <- t.next_seq;
+  t.next_seq <- t.next_seq + 1;
   t.items.(t.size) <- item;
   t.size <- t.size + 1;
   sift_up t (t.size - 1)
 
 let pop t =
+  if t.size = 0 then invalid_arg "Stream.pop: empty heap";
   let item = t.items.(0) in
   t.size <- t.size - 1;
   if t.size > 0 then begin
     t.keys.(0) <- t.keys.(t.size);
+    t.seqs.(0) <- t.seqs.(t.size);
     t.items.(0) <- t.items.(t.size);
     sift_down t 0
   end;
   item
 
 (* --- expansion --- *)
+
+let wants t bx =
+  match t.window with None -> true | Some w -> Box.overlaps bx w
 
 let direct_geometry t sym_id =
   match Hashtbl.find_opt t.shape_cache sym_id with
@@ -108,14 +137,15 @@ let push_elements t tr elements =
           | Some bb ->
               let tr' = Transform.compose tr (Design.transform_of_ops ops) in
               let placed = Transform.apply_box tr' bb in
-              push t placed.Box.t (Item_call (symbol, tr'))))
+              if wants t placed then
+                push t placed.Box.t (Item_call (symbol, tr'))))
     elements
 
 let push_direct_boxes t tr sym_id =
   List.iter
     (fun (lyr, bx) ->
       let placed = Transform.apply_box tr bx in
-      push t placed.Box.t (Item_box (lyr, placed)))
+      if wants t placed then push t placed.Box.t (Item_box (lyr, placed)))
     (direct_geometry t sym_id)
 
 let expand_call t sym_id tr =
@@ -134,14 +164,17 @@ let rec settle t =
         expand_call t sym tr;
         settle t
 
-let create design =
+let create ?window design =
   let quantum = Design.quantum design in
   let t =
     {
       design;
+      window;
       keys = Array.make 64 0;
+      seqs = Array.make 64 0;
       items = Array.make 64 dummy;
       size = 0;
+      next_seq = 0;
       shape_cache = Hashtbl.create 64;
       labels = Design.labels design;
       expansions = 0;
@@ -156,7 +189,8 @@ let create design =
           | None -> ()
           | Some lyr ->
               List.iter
-                (fun bx -> push t bx.Box.t (Item_box (lyr, bx)))
+                (fun bx ->
+                  if wants t bx then push t bx.Box.t (Item_box (lyr, bx)))
                 (Shapes.boxes_of_shape ~quantum shape))
       | Ast.Call _ | Ast.Label _ | Ast.Comment_ext _ -> ())
     (Design.ast design).Ast.top_level;
@@ -180,7 +214,9 @@ let pop_at t y =
           expand_call t sym tr;
           go acc
   in
-  go []
+  (* pops arrive FIFO (insertion order) at equal keys; undo the
+     accumulator's reversal so callers see that order *)
+  List.rev (go [])
 
 let drain t =
   let rec go acc last =
@@ -193,5 +229,6 @@ let drain t =
   in
   go [] None
 
+let pending t = t.size
 let labels t = t.labels
 let expansions t = t.expansions

@@ -13,7 +13,13 @@ open Ace_tech
 
 type t
 
-val create : Design.t -> t
+(** [create ?window design] builds the stream.  With [window], geometry
+    with no positive-area overlap is never pushed and instances whose
+    conservative bounding boxes miss the window are never expanded — the
+    sharded extractor uses this so each shard's front-end cost is
+    proportional to its strip, not to the chip.  The filter is exactly as
+    strict as [Box.clip]: anything dropped would have clipped to nothing. *)
+val create : ?window:Box.t -> Design.t -> t
 
 (** y of the next scanline stop at which new geometry appears; [None] when
     the stream is exhausted.  Forces just enough expansion to make the
@@ -21,11 +27,20 @@ val create : Design.t -> t
 val peek_top : t -> int option
 
 (** [pop_at t y] returns every primitive box whose top edge is exactly [y],
-    expanding instances as needed.  Must be called with [y = peek_top t]. *)
+    expanding instances as needed.  Must be called with [y = peek_top t].
+    Boxes sharing the top [y] come back in insertion (FIFO) order — the
+    heap breaks priority ties by sequence number, so the result is a pure
+    function of the design, never of heap shape. *)
 val pop_at : t -> int -> (Layer.t * Box.t) list
 
 (** Convenience: drain the whole stream, checking descending-top order. *)
 val drain : t -> (Layer.t * Box.t) list
+
+(** Number of items (boxes and unexpanded instances) currently resident in
+    the heap — the front-end's memory footprint.  Never negative: popping
+    an empty heap raises [Invalid_argument] instead of underflowing.
+    Exposed for the streaming-boundedness tests and telemetry. *)
+val pending : t -> int
 
 (** All labels of the design (eagerly collected — labels are rare), sorted
     by decreasing y. *)

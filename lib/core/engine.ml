@@ -14,22 +14,87 @@ let source_of_stream stream =
   }
 
 let source_of_boxes boxes =
-  let arr = Array.of_list boxes in
-  Array.sort (fun (_, (a : Box.t)) (_, (b : Box.t)) -> Int.compare b.t a.t) arr;
+  let arr = Array.of_list (List.mapi (fun i b -> (i, b)) boxes) in
+  (* Stable order: descending top, input order at equal tops — the same
+     FIFO discipline as Stream's heap, so a re-sorted source pops
+     deterministically (Array.sort alone is unstable). *)
+  Array.sort
+    (fun (i, (_, (a : Box.t))) (j, (_, (b : Box.t))) ->
+      match Int.compare b.t a.t with 0 -> Int.compare i j | c -> c)
+    arr;
+  let box i = snd arr.(i) in
   let idx = ref 0 in
   {
     peek =
       (fun () ->
-        if !idx < Array.length arr then Some (snd arr.(!idx)).Box.t else None);
+        if !idx < Array.length arr then Some (snd (box !idx)).Box.t else None);
     pop =
       (fun y ->
         let acc = ref [] in
-        while !idx < Array.length arr && (snd arr.(!idx)).Box.t = y do
-          acc := arr.(!idx) :: !acc;
+        while !idx < Array.length arr && (snd (box !idx)).Box.t = y do
+          acc := box !idx :: !acc;
           incr idx
         done;
-        !acc);
+        List.rev !acc);
   }
+
+(* Clip a sorted source to [window] without materializing it.  A clipped
+   top is [min t window.t] — monotone in [t] — so descending-top order is
+   preserved by clipping; the only regrouping needed is pooling every stop
+   at or above the window top into one stop exactly at [window.t].  That
+   pool holds just the clipped survivors crossing the window's top edge
+   (the scanline population there), so peak memory stays proportional to
+   the strip, never to the whole window contents.  Below the window top,
+   stops pass through unchanged (clipping does not move those tops), and
+   once the underlying source peeks at or below the window bottom we stop
+   pulling from it entirely — boxes wholly below the window are never even
+   expanded. *)
+let source_clipped source ~window:(w : Box.t) =
+  let top_pool = ref [] in
+  let pooled = ref false in
+  let fill () =
+    if not !pooled then begin
+      let rec go acc =
+        match source.peek () with
+        | Some y when y >= w.Box.t ->
+            let survivors =
+              List.filter_map
+                (fun (lyr, bx) ->
+                  match Box.clip bx ~window:w with
+                  | Some c -> Some (lyr, c)
+                  | None -> None)
+                (source.pop y)
+            in
+            go (List.rev_append survivors acc)
+        | _ -> List.rev acc
+      in
+      top_pool := go [];
+      pooled := true
+    end
+  in
+  let peek () =
+    fill ();
+    if !top_pool <> [] then Some w.Box.t
+    else
+      match source.peek () with Some y when y > w.Box.b -> Some y | _ -> None
+  in
+  let pop y =
+    fill ();
+    if y >= w.Box.t then begin
+      let boxes = !top_pool in
+      top_pool := [];
+      boxes
+    end
+    else if y <= w.Box.b then []
+    else
+      List.filter_map
+        (fun (lyr, bx) ->
+          match Box.clip bx ~window:w with
+          | Some c -> Some (lyr, c)
+          | None -> None)
+        (source.pop y)
+  in
+  { peek; pop }
 
 (* Edge-side codes for contact tie-breaking: the adjacent net lies below
    (0) / above (1) the channel across a horizontal edge, or left (2) /
@@ -158,29 +223,15 @@ let iter_tagged_overlaps a b ~f =
   go a b
 
 let run config source ~labels =
-  (* In window mode, clipping can lower a box's top below the stop it was
-     popped at, breaking the sorted-by-top invariant.  Re-sort the clipped
-     geometry up front: leaf windows are small, and HEXT's partitioner
-     pre-clips anyway. *)
+  (* In window mode, clip lazily: tops at or above the window top pool
+     into one stop at [w.t]; every other stop keeps its y, so the stream
+     stays sorted without draining the design into a list (the paper's
+     streaming invariant — peak heap stays proportional to the scanline,
+     not to the window contents). *)
   let source =
     match config.window with
     | None -> source
-    | Some w ->
-        let rec drain acc =
-          match source.peek () with
-          | None -> acc
-          | Some y ->
-              let boxes =
-                List.filter_map
-                  (fun (lyr, bx) ->
-                    match Box.clip bx ~window:w with
-                    | Some c -> Some (lyr, c)
-                    | None -> None)
-                  (source.pop y)
-              in
-              drain (List.rev_append boxes acc)
-        in
-        source_of_boxes (drain [])
+    | Some w -> source_clipped source ~window:w
   in
   let timing = Timing.create () in
   let nets = Union_find.create () in

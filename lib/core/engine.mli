@@ -27,8 +27,19 @@ type source = {
 (** Source from ACE's lazy front-end. *)
 val source_of_stream : Ace_cif.Stream.t -> source
 
-(** Source from a pre-flattened box list (sorts it first). *)
+(** Source from a pre-flattened box list (stable-sorts it first:
+    descending top, input order at equal tops). *)
 val source_of_boxes : (Layer.t * Box.t) list -> source
+
+(** [source_clipped src ~window] clips a sorted source to [window] {e
+    lazily}: stops at or above the window top pool into a single stop at
+    [window.t] (their clipped tops all land there); stops inside the
+    window pass through with each box clipped; the underlying source is
+    never pulled below the window bottom.  Peak buffered geometry is the
+    clipped population crossing the window's top edge — proportional to
+    the scanline, never to the window contents.  [run] applies this
+    automatically when [config.window] is set. *)
+val source_clipped : source -> window:Box.t -> source
 
 (** Edge-side codes carried in {!device_data.contacts}: the adjacent net
     lies below/above the channel (horizontal edge) or left/right of it

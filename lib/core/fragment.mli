@@ -18,7 +18,12 @@ open Ace_netlist
     references} to its children plus net equivalences, never a copy
     (paper: "the resulting new window … simply stores pointers").  Its
     cost is proportional to the two interfaces, not to the children's
-    contents — the property behind HEXT's O(√N) ideal-array behaviour. *)
+    contents — the property behind HEXT's O(√N) ideal-array behaviour.
+
+    This module lives in [Ace_core] (not [Ace_hext]) so that both the
+    hierarchical extractor and the domain-parallel sharded extractor
+    ({!Parallel}) can stitch window wirelists with the same code;
+    [Ace_hext.Fragment] re-exports it. *)
 
 type partial = {
   p_area : int;
@@ -29,12 +34,12 @@ type partial = {
       (** (local net, edge length, minimal edge position in fragment
           coordinates, edge side) — used for deterministic terminal
           tie-breaks *)
-  p_spans : (Ace_core.Engine.face * Interval.span) list;
+  p_spans : (Engine.face * Interval.span) list;
       (** open boundary crossings, fragment-local *)
 }
 
 type iface_span = {
-  face : Ace_core.Engine.face;
+  face : Engine.face;
   span : Interval.span;
   layer : Layer.t;
   net : int;  (** local net *)
@@ -48,6 +53,13 @@ type t = {
   iface : iface_span list;
   partials : partial list;
 }
+
+(** Build a leaf fragment from an {e already computed} window-mode engine
+    result for [window].  This is the piece {!leaf} and the parallel
+    extractor share: the caller keeps control of how the engine ran (own
+    source, own timing) and this routine turns boundary crossings into the
+    fragment interface.  [next_id] names the part ("W<id>"). *)
+val leaf_of_raw : next_id:int -> window:Box.t -> Engine.raw -> t
 
 (** Build a leaf fragment by running the scanline engine over a window's
     geometry (window mode).  [next_id] names the part ("W<id>"). *)

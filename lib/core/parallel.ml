@@ -1,0 +1,240 @@
+open Ace_geom
+open Ace_netlist
+
+type shard = {
+  s_window : Box.t;
+  s_boxes : int;
+  s_stops : int;
+  s_max_active : int;
+  s_seconds : float;
+  s_timing : Timing.t;
+  s_devices : int;
+  s_partials : int;
+}
+
+type stats = {
+  jobs : int;
+  shards : shard list;
+  stitch_seconds : float;
+  boxes : int;
+  stops : int;
+  max_active : int;
+  timing : Timing.t;
+  warnings : Ace_diag.Diag.t list;
+}
+
+(* Shard balance: slowest shard over the mean — 1.0 is a perfect split,
+   2.0 means one strip did twice its share of the scan. *)
+let balance stats =
+  match stats.shards with
+  | [] -> 1.0
+  | shards ->
+      let times = List.map (fun s -> s.s_seconds) shards in
+      let total = List.fold_left ( +. ) 0.0 times in
+      let mean = total /. float_of_int (List.length times) in
+      if mean > 0.0 then List.fold_left max 0.0 times /. mean else 1.0
+
+(* Partition the chip bbox into [jobs] full-height vertical strips of
+   near-equal width (the remainder spreads one unit over the leftmost
+   strips).  Vertical strips keep every box top unchanged under clipping,
+   so each shard's stream is exactly the flat stream restricted in x. *)
+let windows ~jobs (bb : Box.t) =
+  let w = Box.width bb in
+  let n = max 1 (min jobs w) in
+  let base = w / n and rem = w mod n in
+  let x = ref bb.Box.l in
+  Array.init n (fun i ->
+      let wd = base + if i < rem then 1 else 0 in
+      let l = !x in
+      x := !x + wd;
+      Box.make ~l ~b:bb.Box.b ~r:(l + wd) ~t:bb.Box.t)
+
+(* Assign each label to the strip whose x-range holds it, clamping strays
+   outside the chip bbox to the nearest strip.  Labels arrive sorted by
+   decreasing y (Design.labels) and each bucket preserves that order, as
+   Engine.run requires. *)
+let shard_labels wins labels =
+  let n = Array.length wins in
+  let buckets = Array.make n [] in
+  List.iter
+    (fun (lb : Ace_cif.Design.label) ->
+      let x = lb.position.Point.x in
+      let rec find i =
+        if i >= n - 1 || x < wins.(i).Box.r then i else find (i + 1)
+      in
+      let i = find 0 in
+      buckets.(i) <- lb :: buckets.(i))
+    labels;
+  Array.map List.rev buckets
+
+(* One shard: its own lazy stream over the shared (pre-warmed, read-only)
+   design, clipped to the strip, run in window mode, and folded down to a
+   fragment — all inside the worker domain. *)
+let run_shard design window labels idx =
+  let t0 = Unix.gettimeofday () in
+  let stream = Ace_cif.Stream.create ~window design in
+  let seen = ref 0 in
+  let clipped =
+    Engine.source_clipped (Engine.source_of_stream stream) ~window
+  in
+  let source =
+    {
+      Engine.peek = clipped.Engine.peek;
+      pop =
+        (fun y ->
+          let bs = clipped.Engine.pop y in
+          seen := !seen + List.length bs;
+          bs);
+    }
+  in
+  let raw =
+    Engine.run { Engine.emit_geometry = false; window = Some window } source
+      ~labels
+  in
+  let frag = Fragment.leaf_of_raw ~next_id:idx ~window raw in
+  let shard =
+    {
+      s_window = window;
+      s_boxes = !seen;
+      s_stops = raw.Engine.stops;
+      s_max_active = raw.Engine.max_active;
+      s_seconds = Unix.gettimeofday () -. t0;
+      s_timing = raw.Engine.timing;
+      s_devices = List.length frag.Fragment.part.Hier.devices;
+      s_partials = List.length frag.Fragment.partials;
+    }
+  in
+  (frag, shard, raw.Engine.warnings)
+
+let translate_circuit (c : Circuit.t) ~dx ~dy =
+  let move p = Point.add p (Point.make dx dy) in
+  {
+    c with
+    Circuit.devices =
+      Array.map
+        (fun (d : Circuit.device) -> { d with location = move d.location })
+        c.Circuit.devices;
+    nets =
+      Array.map
+        (fun (n : Circuit.net) -> { n with location = move n.location })
+        c.Circuit.nets;
+  }
+
+let stats_of_flat (st : Extractor.stats) =
+  {
+    jobs = 1;
+    shards = [];
+    stitch_seconds = 0.0;
+    boxes = st.Extractor.boxes;
+    stops = st.stops;
+    max_active = st.max_active;
+    timing = st.timing;
+    warnings = st.warnings;
+  }
+
+let extract_with_stats ?(sequential = false) ?(jobs = 1) ?(name = "chip")
+    design =
+  let flat () =
+    let circuit, st = Extractor.extract_with_stats ~name design in
+    (circuit, stats_of_flat st)
+  in
+  match Ace_cif.Design.bbox design with
+  | None -> flat ()
+  | Some bb ->
+      let wins = if jobs <= 1 then [||] else windows ~jobs bb in
+      if Array.length wins < 2 then flat ()
+      else begin
+        let n = Array.length wins in
+        (* Pre-warm every memo table the worker domains will read: the
+           shared Design.t caches symbol bounding boxes and box counts in
+           hash tables, so all writes must happen before the spawn. *)
+        List.iter
+          (fun id -> ignore (Ace_cif.Design.symbol_bbox design id))
+          (Ace_cif.Design.symbol_ids design);
+        ignore (Ace_cif.Design.count_boxes design);
+        let buckets = shard_labels wins (Ace_cif.Design.labels design) in
+        let work i = run_shard design wins.(i) buckets.(i) i in
+        let results =
+          if sequential then Array.init n work
+          else begin
+            let doms =
+              Array.init (n - 1) (fun k ->
+                  Domain.spawn (fun () -> work (k + 1)))
+            in
+            (* the calling domain is the pool's first worker *)
+            let first = work 0 in
+            let results = Array.make n first in
+            Array.iteri (fun k d -> results.(k + 1) <- Domain.join d) doms;
+            results
+          end
+        in
+        let stitch_timing = Timing.create () in
+        let circuit =
+          Timing.charge stitch_timing Timing.Stitch (fun () ->
+              let next = ref n in
+              let parts = ref [] in
+              let root =
+                Array.fold_left
+                  (fun acc (frag, _, _) ->
+                    parts := frag.Fragment.part :: !parts;
+                    match acc with
+                    | None -> Some frag
+                    | Some cur ->
+                        let id = !next in
+                        incr next;
+                        let f =
+                          Fragment.compose ~next_id:id cur frag
+                            ~offset:(Point.make cur.Fragment.width 0)
+                        in
+                        parts := f.Fragment.part :: !parts;
+                        Some f)
+                  None results
+              in
+              let root = Option.get root in
+              let top =
+                {
+                  (Fragment.finalize ~next_id:!next root) with
+                  Hier.part_name = "Top";
+                }
+              in
+              let hier =
+                { Hier.parts = List.rev (top :: !parts); top = "Top" }
+              in
+              (* fragments are origin-normalized; shift back to chip
+                 coordinates so locations match the flat extractor's *)
+              translate_circuit (Hier.flatten hier) ~dx:bb.Box.l ~dy:bb.Box.b)
+        in
+        let circuit = { circuit with Circuit.name } in
+        let shards =
+          Array.to_list (Array.map (fun (_, s, _) -> s) results)
+        in
+        let warnings =
+          List.concat
+            (Array.to_list
+               (Array.mapi
+                  (fun i (_, _, ws) ->
+                    List.map
+                      (fun m ->
+                        Ace_diag.Diag.warning ~code:"extract-anomaly"
+                          (Printf.sprintf "shard %d/%d: %s" (i + 1) n m))
+                      ws)
+                  results))
+        in
+        let timing = Timing.sum (List.map (fun s -> s.s_timing) shards) in
+        Timing.merge_into ~src:stitch_timing ~dst:timing;
+        ( circuit,
+          {
+            jobs = n;
+            shards;
+            stitch_seconds = Timing.seconds stitch_timing Timing.Stitch;
+            boxes = Ace_cif.Design.count_boxes design;
+            stops = List.fold_left (fun a s -> a + s.s_stops) 0 shards;
+            max_active =
+              List.fold_left (fun a s -> max a s.s_max_active) 0 shards;
+            timing;
+            warnings;
+          } )
+      end
+
+let extract ?sequential ?jobs ?name design =
+  fst (extract_with_stats ?sequential ?jobs ?name design)

@@ -1,0 +1,77 @@
+open Ace_geom
+open Ace_netlist
+
+(** Domain-parallel sharded extraction.
+
+    The chip's bounding box is partitioned into N full-height vertical
+    strips; each strip runs the ordinary scanline engine in window mode on
+    its own OCaml 5 domain, over its own lazy front-end stream clipped to
+    the strip ({!Engine.source_clipped}) — so no domain ever materializes
+    the chip, and peak memory per domain stays proportional to its strip's
+    scanline population.  The per-strip results become HEXT fragments
+    ({!Fragment.leaf_of_raw}) and are stitched left to right with
+    {!Fragment.compose} — exactly the seam logic the hierarchical
+    extractor uses: boundary-net spans unify across the shared face,
+    partial transistors knit by channel-span overlap, and seam
+    source/drain contacts are added where a channel ends on the seam.
+    Flattening the resulting two-level hierarchy yields a circuit
+    equivalent to the flat extractor's (same nets, names, devices and
+    sizes; net numbering is canonicalized by comparison, see [wlcmp]).
+
+    With [jobs <= 1], no geometry, or a chip too narrow to split, this
+    falls back to {!Extractor.extract_with_stats} — a [-j 1] run {e is}
+    the flat extractor. *)
+
+(** Per-strip telemetry. *)
+type shard = {
+  s_window : Box.t;  (** the strip, chip coordinates *)
+  s_boxes : int;  (** clipped boxes the strip's engine processed *)
+  s_stops : int;  (** scanline stops *)
+  s_max_active : int;  (** peak scanline population *)
+  s_seconds : float;  (** wall time of the whole shard (stream + scan) *)
+  s_timing : Timing.t;  (** per-phase split of the shard's engine run *)
+  s_devices : int;  (** transistors completed inside the strip *)
+  s_partials : int;  (** partial transistors open at the strip boundary *)
+}
+
+type stats = {
+  jobs : int;  (** shards actually run (≤ requested [jobs]) *)
+  shards : shard list;  (** empty for a flat fallback run *)
+  stitch_seconds : float;  (** composing + flattening, after the join *)
+  boxes : int;  (** the design's flat box count (the papers' N) *)
+  stops : int;  (** total stops over all shards *)
+  max_active : int;  (** max over shards *)
+  timing : Timing.t;
+      (** phase-wise sum over shards plus the stitch phase — CPU time, not
+          wall time: shards overlap in wall clock *)
+  warnings : Ace_diag.Diag.t list;
+}
+
+(** Slowest shard over the mean shard time: 1.0 = perfectly balanced. *)
+val balance : stats -> float
+
+(** The strip partition used for a given [jobs] request (exposed for
+    tests): adjacent, full-height, covering the box exactly, at most
+    [jobs] strips and never wider than one strip per x unit. *)
+val windows : jobs:int -> Box.t -> Box.t array
+
+(** [extract_with_stats ?sequential ?jobs ?name design]: [sequential]
+    (default false) runs the shards one after another in the calling
+    domain instead of spawning — identical shard/stitch code path and
+    output.  Benches use it on hosts with fewer cores than [jobs], where
+    timeslicing inflates every spawned shard's wall clock, to get
+    uncontended per-shard timings; tests use it for simpler failure
+    traces. *)
+val extract_with_stats :
+  ?sequential:bool ->
+  ?jobs:int ->
+  ?name:string ->
+  Ace_cif.Design.t ->
+  Circuit.t * stats
+
+val extract :
+  ?sequential:bool ->
+  ?jobs:int ->
+  ?name:string ->
+  Ace_cif.Design.t ->
+  Circuit.t

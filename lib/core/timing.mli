@@ -10,10 +10,17 @@ type phase =
   | List_update  (** entering new geometry, updating active lists *)
   | Devices  (** computing devices, nets, connectivity *)
   | Output  (** storage allocation, output, initialization *)
+  | Stitch
+      (** composing shard interfaces across seams (parallel extraction
+          only; always zero for a flat run) *)
 
 val all_phases : phase list
 
 val phase_name : phase -> string
+
+(** Short machine-readable identifier ([front_end], [stitch], …) for JSON
+    telemetry. *)
+val phase_slug : phase -> string
 
 type t
 
@@ -30,6 +37,13 @@ val add : t -> phase -> float -> unit
 val seconds : t -> phase -> float
 
 val total_seconds : t -> float
+
+(** [merge_into ~src ~dst] adds every phase of [src] into [dst] — used to
+    aggregate per-shard timings into a whole-run view. *)
+val merge_into : src:t -> dst:t -> unit
+
+(** Phase-wise sum of a list of timings (e.g. one per shard). *)
+val sum : t list -> t
 
 (** Percentage table, phase order of {!all_phases}. *)
 val distribution : t -> (phase * float) list

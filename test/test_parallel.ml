@@ -1,0 +1,323 @@
+(* The domain-parallel sharded extractor (Ace_core.Parallel) and the
+   streaming/determinism fixes underneath it: FIFO heap pops, the lazy
+   window clip, boundary recording, and -jN ≡ -j1 equivalence. *)
+open Ace_geom
+open Ace_tech
+module Parallel = Ace_core.Parallel
+module Engine = Ace_core.Engine
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let design_of ast = Ace_cif.Design.of_ast ast
+let flat design = Ace_core.Extractor.extract design
+
+let equiv a b =
+  Ace_netlist.Compare.equivalent ~with_sizes:true ~with_names:true a b
+
+let data_design file =
+  let dir =
+    (* cwd differs between `dune runtest` and `dune exec` *)
+    List.find Sys.file_exists [ "../data"; "data"; "_build/default/data" ]
+  in
+  design_of (Ace_cif.Parser.parse_file (Filename.concat dir file))
+
+(* ------------------------------------------------------------------ *)
+(* Strip partition                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let strips_tile (bb : Box.t) wins =
+  Array.length wins >= 1
+  && Array.for_all
+       (fun (w : Box.t) -> w.b = bb.b && w.t = bb.t && w.l < w.r)
+       wins
+  && wins.(0).Box.l = bb.l
+  && wins.(Array.length wins - 1).Box.r = bb.r
+  && Array.for_all
+       (fun i -> wins.(i).Box.r = wins.(i + 1).Box.l)
+       (Array.init (Array.length wins - 1) Fun.id)
+
+let test_windows_tile () =
+  let bb = Box.make ~l:(-7) ~b:3 ~r:100 ~t:50 in
+  List.iter
+    (fun jobs ->
+      let wins = Parallel.windows ~jobs bb in
+      check "tiles" true (strips_tile bb wins);
+      check "at most jobs" true (Array.length wins <= jobs))
+    [ 1; 2; 3; 4; 7; 16 ]
+
+let test_windows_narrow () =
+  (* a 3-wide chip cannot support 4 strips: one strip per x unit, max *)
+  let bb = Box.make ~l:0 ~b:0 ~r:3 ~t:9 in
+  let wins = Parallel.windows ~jobs:4 bb in
+  check_int "three strips" 3 (Array.length wins);
+  check "tiles" true (strips_tile bb wins)
+
+let prop_windows =
+  Tutil.qtest ~count:200 "windows tile any box"
+    QCheck2.Gen.(
+      let* l = int_range (-50) 50 in
+      let* b = int_range (-50) 50 in
+      let* w = int_range 1 120 in
+      let* h = int_range 1 120 in
+      let* jobs = int_range 1 9 in
+      return (Box.make ~l ~b ~r:(l + w) ~t:(b + h), jobs))
+    (fun (bb, jobs) ->
+      let wins = Parallel.windows ~jobs bb in
+      strips_tile bb wins && Array.length wins <= jobs)
+
+(* ------------------------------------------------------------------ *)
+(* Stream regressions: exhaustion guard, FIFO ties, window filter       *)
+(* ------------------------------------------------------------------ *)
+
+let bar lyr ~l ~b ~r ~t = Tutil.element_of_box lyr (Box.make ~l ~b ~r ~t)
+
+let test_stream_exhausted () =
+  let d =
+    design_of
+      {
+        Ace_cif.Ast.symbols = [];
+        top_level = [ bar Layer.Metal ~l:0 ~b:0 ~r:4 ~t:4 ];
+      }
+  in
+  let s = Ace_cif.Stream.create d in
+  ignore (Ace_cif.Stream.drain s);
+  (* the old heap popped a dummy item and drove its size to -1 here;
+     now exhaustion is a stable fixed point *)
+  check_int "pending zero" 0 (Ace_cif.Stream.pending s);
+  check "peek none" true (Ace_cif.Stream.peek_top s = None);
+  check "pop_at empty" true (Ace_cif.Stream.pop_at s 0 = []);
+  check "peek still none" true (Ace_cif.Stream.peek_top s = None);
+  check_int "pending never negative" 0 (Ace_cif.Stream.pending s)
+
+let test_stream_fifo_ties () =
+  (* three boxes sharing a top edge, written in scrambled x order: pops
+     must come back in insertion order, not x order or heap-shape order *)
+  let d =
+    design_of
+      {
+        Ace_cif.Ast.symbols = [];
+        top_level =
+          [
+            bar Layer.Metal ~l:20 ~b:0 ~r:24 ~t:10;
+            bar Layer.Metal ~l:0 ~b:0 ~r:4 ~t:10;
+            bar Layer.Metal ~l:40 ~b:0 ~r:44 ~t:10;
+          ];
+      }
+  in
+  let s = Ace_cif.Stream.create d in
+  check "top is 10" true (Ace_cif.Stream.peek_top s = Some 10);
+  let xs =
+    List.map (fun (_, (b : Box.t)) -> b.l) (Ace_cif.Stream.pop_at s 10)
+  in
+  check "insertion order" true (xs = [ 20; 0; 40 ])
+
+let test_stream_window_filter () =
+  (* one symbol placed inside and far outside the window: the outside
+     instance must never be expanded, its geometry never streamed *)
+  let sym =
+    {
+      Ace_cif.Ast.id = 1;
+      name = None;
+      elements = [ bar Layer.Metal ~l:0 ~b:0 ~r:4 ~t:4 ];
+    }
+  in
+  let call dx =
+    Ace_cif.Ast.Call { symbol = 1; ops = [ Ace_cif.Ast.Translate (dx, 0) ] }
+  in
+  let d =
+    design_of { Ace_cif.Ast.symbols = [ sym ]; top_level = [ call 0; call 1000 ] }
+  in
+  let s =
+    Ace_cif.Stream.create ~window:(Box.make ~l:0 ~b:0 ~r:10 ~t:10) d
+  in
+  let boxes = Ace_cif.Stream.drain s in
+  check_int "only the inside box" 1 (List.length boxes);
+  check_int "one expansion" 1 (Ace_cif.Stream.expansions s)
+
+(* ------------------------------------------------------------------ *)
+(* Engine window mode: lazy clip boundedness, boundary faces            *)
+(* ------------------------------------------------------------------ *)
+
+let test_clip_is_lazy () =
+  (* boxes below the window bottom must never be pulled from the source —
+     the old implementation drained the entire stream up front *)
+  let w = Box.make ~l:0 ~b:20 ~r:100 ~t:120 in
+  let box ?b t = (Layer.Metal, Box.make ~l:0 ~b:(Option.value b ~default:(t - 4)) ~r:10 ~t) in
+  let popped = ref [] in
+  (* 150 straddles the window top (pools), 100 and 50 are inside, 10 is
+     entirely below the bottom *)
+  let base = Engine.source_of_boxes [ box ~b:100 150; box 100; box 50; box 10 ] in
+  let counted =
+    {
+      Engine.peek = base.Engine.peek;
+      pop =
+        (fun y ->
+          let bs = base.Engine.pop y in
+          List.iter (fun (_, (b : Box.t)) -> popped := b.t :: !popped) bs;
+          bs);
+    }
+  in
+  let src = Engine.source_clipped counted ~window:w in
+  (* the 150-top box pools into a single stop at the window top *)
+  check "first stop at window top" true (src.Engine.peek () = Some w.Box.t);
+  let rec drain acc =
+    match src.Engine.peek () with
+    | None -> List.rev acc
+    | Some y -> drain (List.rev_append (src.Engine.pop y) acc)
+  in
+  let boxes = drain [] in
+  check "all inside window" true
+    (List.for_all
+       (fun (_, (b : Box.t)) -> b.l >= w.l && b.r <= w.r && b.b >= w.b && b.t <= w.t)
+       boxes);
+  check_int "three boxes survive the clip" 3 (List.length boxes);
+  check "below-bottom box never popped" true
+    (List.for_all (fun t -> t >= w.Box.b) !popped)
+
+let faces_of ~layer (raw : Engine.raw) =
+  List.filter_map
+    (fun (s : Engine.boundary_span) ->
+      if Layer.equal s.blayer layer then Some s.bface else None)
+    raw.Engine.boundary_nets
+  |> List.sort_uniq compare
+
+let run_windowed w boxes =
+  Engine.run
+    { Engine.emit_geometry = false; window = Some w }
+    (Engine.source_of_boxes boxes)
+    ~labels:[]
+
+let test_boundary_all_faces () =
+  let w = Box.make ~l:0 ~b:0 ~r:10 ~t:10 in
+  let raw =
+    run_windowed w [ (Layer.Metal, Box.make ~l:(-2) ~b:(-2) ~r:12 ~t:12) ]
+  in
+  check "all four faces" true
+    (faces_of ~layer:Layer.Metal raw
+    = [ Engine.West; Engine.East; Engine.South; Engine.North ])
+
+let test_boundary_south_only () =
+  let w = Box.make ~l:0 ~b:0 ~r:10 ~t:10 in
+  let raw =
+    run_windowed w [ (Layer.Metal, Box.make ~l:2 ~b:(-5) ~r:4 ~t:5) ]
+  in
+  check "south only" true (faces_of ~layer:Layer.Metal raw = [ Engine.South ])
+
+let test_boundary_contact_faces () =
+  let w = Box.make ~l:0 ~b:0 ~r:10 ~t:10 in
+  (* a contact needs a conductor under it to be recorded at all *)
+  let with_metal cut =
+    [ (Layer.Metal, Box.make ~l:(-2) ~b:(-5) ~r:12 ~t:5); (Layer.Contact, cut) ]
+  in
+  (* cut reaching both vertical faces: recorded West and East *)
+  let raw = run_windowed w (with_metal (Box.make ~l:(-2) ~b:2 ~r:12 ~t:4)) in
+  check "contact on vertical faces" true
+    (faces_of ~layer:Layer.Contact raw = [ Engine.West; Engine.East ]);
+  (* cut crossing the bottom face only: the cut layer bridges within a
+     strip, never across strips, so no South/North contact spans *)
+  let raw = run_windowed w (with_metal (Box.make ~l:2 ~b:(-5) ~r:4 ~t:4)) in
+  check "no horizontal contact spans" true
+    (faces_of ~layer:Layer.Contact raw = []);
+  (* ...while the metal under it still records South *)
+  check "metal south recorded" true
+    (List.mem Engine.South (faces_of ~layer:Layer.Metal raw))
+
+(* ------------------------------------------------------------------ *)
+(* Shard-stitch equivalence and determinism                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_mesh_cif_equivalence () =
+  let design = data_design "mesh4x4.cif" in
+  let reference = flat design in
+  List.iter
+    (fun jobs ->
+      check
+        (Printf.sprintf "-j%d equals flat" jobs)
+        true
+        (equiv reference (Parallel.extract ~jobs design)))
+    [ 2; 3; 4 ]
+
+let test_workload_equivalence () =
+  List.iter
+    (fun (name, ast) ->
+      let design = design_of ast in
+      check name true (equiv (flat design) (Parallel.extract ~jobs:4 design)))
+    [
+      ("inverter", Ace_workloads.Chips.single_inverter ());
+      ("chain8", Ace_workloads.Chips.inverter_chain ~n:8 ());
+      ("four inverters", Ace_workloads.Chips.four_inverters ());
+      ("mesh4x4", Ace_workloads.Arrays.mesh ~rows:4 ~cols:4 ());
+      ("datapath", Ace_workloads.Chips.datapath ~bits:4 ~stages:3 ());
+      ("random logic", Ace_workloads.Chips.random_logic ~cells:16 ~seed:7 ());
+    ]
+
+let test_deterministic_and_sequential () =
+  let design = data_design "mesh4x4.cif" in
+  let wl jobs =
+    Ace_netlist.Wirelist.to_string (Parallel.extract ~jobs design)
+  in
+  check "repeat runs byte-identical" true (wl 4 = wl 4);
+  check "sequential mode byte-identical" true
+    (wl 4
+    = Ace_netlist.Wirelist.to_string
+        (Parallel.extract ~sequential:true ~jobs:4 design))
+
+let test_stats () =
+  let design = data_design "mesh4x4.cif" in
+  let _, st = Parallel.extract_with_stats ~jobs:4 design in
+  let bb = Option.get (Ace_cif.Design.bbox design) in
+  check_int "four shards" 4 (List.length st.Parallel.shards);
+  check_int "jobs recorded" 4 st.Parallel.jobs;
+  check_int "global box count" (Ace_cif.Design.count_boxes design)
+    st.Parallel.boxes;
+  check "stops counted" true (st.Parallel.stops > 0);
+  check "balance sane" true (Parallel.balance st >= 1.0);
+  check "stitch time non-negative" true (st.Parallel.stitch_seconds >= 0.0);
+  List.iter
+    (fun (s : Parallel.shard) ->
+      check "full-height strip" true
+        (s.s_window.Box.b = bb.Box.b && s.s_window.Box.t = bb.Box.t))
+    st.Parallel.shards;
+  (* the flat fallback is the flat extractor *)
+  let _, st1 = Parallel.extract_with_stats ~jobs:1 design in
+  check_int "flat fallback: no shards" 0 (List.length st1.Parallel.shards);
+  check "flat fallback: no stitch" true (st1.Parallel.stitch_seconds = 0.0)
+
+let prop_random_designs =
+  Tutil.qtest ~count:60 "parallel ≡ flat on random hierarchical designs"
+    Tutil.gen_design (fun ast ->
+      let design = design_of ast in
+      equiv (flat design) (Parallel.extract ~jobs:3 design))
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "windows",
+        [
+          Alcotest.test_case "tile" `Quick test_windows_tile;
+          Alcotest.test_case "narrow chip" `Quick test_windows_narrow;
+          prop_windows;
+        ] );
+      ( "stream",
+        [
+          Alcotest.test_case "exhaustion" `Quick test_stream_exhausted;
+          Alcotest.test_case "FIFO ties" `Quick test_stream_fifo_ties;
+          Alcotest.test_case "window filter" `Quick test_stream_window_filter;
+        ] );
+      ( "engine-window",
+        [
+          Alcotest.test_case "clip is lazy" `Quick test_clip_is_lazy;
+          Alcotest.test_case "all faces" `Quick test_boundary_all_faces;
+          Alcotest.test_case "south only" `Quick test_boundary_south_only;
+          Alcotest.test_case "contact faces" `Quick test_boundary_contact_faces;
+        ] );
+      ( "equivalence",
+        [
+          Alcotest.test_case "mesh4x4.cif" `Quick test_mesh_cif_equivalence;
+          Alcotest.test_case "workloads" `Quick test_workload_equivalence;
+          Alcotest.test_case "determinism" `Quick
+            test_deterministic_and_sequential;
+          Alcotest.test_case "stats" `Quick test_stats;
+          prop_random_designs;
+        ] );
+    ]

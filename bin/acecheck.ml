@@ -4,22 +4,26 @@
 
 module Lint = Ace_lint
 
-(* Returns the circuit (None = unrecoverable) plus front-end diagnostics. *)
+(* Returns the circuit (None = unrecoverable), the CIF design when the
+   input was a layout (needed for --hier), plus front-end diagnostics. *)
 let load ~strict ~max_errors ~jobs path =
   match Cli_common.read_input path with
-  | Error d -> (None, "", [ d ])
+  | Error d -> (None, None, "", [ d ])
   | Ok text ->
       let from_cif () =
         match Cli_common.load_text ~strict ~max_errors text with
-        | None, diags -> (None, text, diags)
+        | None, diags -> (None, None, text, diags)
         | Some design, diags ->
             let name = Filename.basename path in
-            (Some (Ace_core.Parallel.extract ~jobs ~name design), text, diags)
+            ( Some (Ace_core.Parallel.extract ~jobs ~name design),
+              Some design,
+              text,
+              diags )
       in
       if Filename.check_suffix path ".cif" then from_cif ()
       else (
         match Ace_netlist.Wirelist.of_string text with
-        | c -> (Some c, text, [])
+        | c -> (Some c, None, text, [])
         | exception Ace_netlist.Wirelist.Error _ ->
             (* fall back to CIF for suffix-less files *)
             from_cif ())
@@ -69,22 +73,39 @@ let sarif_rules () =
       })
     Lint.Rules.all
 
-let run input vdd gnd verbose timing strict max_errors diag_format rules_file
-    rule_overrides baseline_file write_baseline list_rules jobs =
+let run input vdd gnd verbose timing flow hier stats strict max_errors
+    diag_format rules_file rule_overrides baseline_file write_baseline
+    list_rules jobs =
   if list_rules then begin
     print_rules ();
     exit 0
   end;
   if jobs < 1 then fail_usage "-j must be at least 1";
   let config = build_config rules_file rule_overrides in
-  let circuit, source, diags = load ~strict ~max_errors ~jobs input in
+  let circuit, design, source, diags = load ~strict ~max_errors ~jobs input in
   let report = Cli_common.report ~format:diag_format ~tool:"acecheck" ~uri:input in
   match circuit with
   | None ->
       report ~source diags;
       exit 2
   | Some circuit ->
-      let findings = Lint.Engine.run ~config ~vdd ~gnd circuit in
+      (* --hier: re-derive the circuit through the hierarchical extractor
+         and run the summarised (per-leaf-cell) dataflow analysis; the
+         verdict is injected so the engine does not recompute it flat. *)
+      let circuit, flow_arg, cache_stats =
+        if hier then begin
+          match design with
+          | None -> fail_usage "--hier needs CIF input (a layout hierarchy)"
+          | Some design ->
+              let h, _ = Ace_hext.Hext.extract design in
+              let circuit, verdict, cstats =
+                Ace_flow.Summary.analyze ~vdd ~gnd h
+              in
+              (circuit, `Pre verdict, Some cstats)
+        end
+        else (circuit, (if flow then `Auto else `Off), None)
+      in
+      let findings = Lint.Engine.run ~config ~vdd ~gnd ~flow:flow_arg circuit in
       let fingerprinted =
         List.map (fun f -> (f, Lint.Finding.fingerprint circuit f)) findings
       in
@@ -131,9 +152,13 @@ let run input vdd gnd verbose timing strict max_errors diag_format rules_file
           (fun (f, fp) -> (Lint.Finding.to_diag circuit f, fp))
           shown
       in
+      let timing_result, timing_diags =
+        if timing then Ace_analysis.Sta.analyze_checked ~vdd ~gnd circuit
+        else (None, [])
+      in
       let fingerprint d = List.assq_opt d annotated in
       report ~source ~rules:(sarif_rules ()) ~fingerprint
-        (diags @ List.map fst annotated);
+        (diags @ List.map fst annotated @ timing_diags);
       let errors, warnings, infos = Lint.Finding.summarize (List.map fst kept) in
       let summary =
         Printf.sprintf
@@ -152,15 +177,44 @@ let run input vdd gnd verbose timing strict max_errors diag_format rules_file
       in
       Format.fprintf info_ppf "%s@." summary;
       if timing then begin
-        match Ace_analysis.Sta.analyze ~vdd ~gnd circuit with
-        | Some r ->
+        match (timing_result, timing_diags) with
+        | Some r, _ ->
             Format.fprintf info_ppf "@.timing: %a"
               (Ace_analysis.Sta.pp_result circuit) r
-        | None -> Format.fprintf info_ppf "@.timing: no gates recognized@."
+        | None, _ :: _ ->
+            Format.fprintf info_ppf "@.timing: skipped (missing rail)@."
+        | None, [] -> Format.fprintf info_ppf "@.timing: no gates recognized@."
       end;
       Format.pp_print_flush info_ppf ();
+      (* -s: solver / summary-cache telemetry on stderr, like ace -s. *)
+      if stats then begin
+        (match flow_arg with
+        | `Off -> Printf.eprintf "acecheck: flow analysis off (use --flow)\n"
+        | (`Auto | `Pre _) as fa -> (
+            let verdict =
+              match fa with
+              | `Pre v -> v
+              | `Auto -> (
+                  match
+                    (Lint.Engine.find_rail circuit vdd,
+                     Lint.Engine.find_rail circuit gnd)
+                  with
+                  | Some v, Some g when v <> g ->
+                      Some (Ace_flow.Ternary.analyze circuit ~vdd:v ~gnd:g)
+                  | _ -> None)
+            in
+            match verdict with
+            | None -> Printf.eprintf "acecheck: flow analysis skipped (rails)\n"
+            | Some v ->
+                Format.eprintf "acecheck: flow %a@." Ace_flow.Solver.pp_stats
+                  v.Ace_flow.Ternary.stats));
+        match cache_stats with
+        | Some c ->
+            Format.eprintf "acecheck: hier %a@." Ace_flow.Summary.pp_stats c
+        | None -> ()
+      end;
       if errors > 0 then exit 1
-      else exit (Cli_common.exit_code ~diags ~usable:true)
+      else exit (Cli_common.exit_code ~diags:(diags @ timing_diags) ~usable:true)
 
 open Cmdliner
 
@@ -169,6 +223,32 @@ let vdd = Arg.(value & opt string "VDD" & info [ "vdd" ] ~docv:"NAME")
 let gnd = Arg.(value & opt string "GND" & info [ "gnd" ] ~docv:"NAME")
 let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Also print informational findings.")
 let timing = Arg.(value & flag & info [ "timing" ] ~doc:"Run static timing analysis over the recognized gates.")
+
+let flow =
+  Arg.(
+    value & flag
+    & info [ "flow" ]
+        ~doc:
+          "Enable the ternary dataflow analysis feeding the flow-* rules \
+           (contention, dead logic, charge storage, charge sharing, X \
+           propagation).")
+
+let hier =
+  Arg.(
+    value & flag
+    & info [ "hier" ]
+        ~doc:
+          "CIF input only: extract hierarchically and run the dataflow \
+           analysis with per-leaf-cell summaries (implies $(b,--flow)); \
+           findings are identical to the flat run, repeated cells are \
+           solved once.")
+
+let stats =
+  Arg.(
+    value & flag
+    & info [ "s"; "stats" ]
+        ~doc:
+          "Print solver and summary-cache telemetry on standard error.")
 
 let rules_file =
   Arg.(
@@ -229,8 +309,9 @@ let cmd =
          "Electrical rule engine: ratio checks, malformed transistors, \
           stuck signals, pass-network and labelling analyses")
     Term.(
-      const run $ input $ vdd $ gnd $ verbose $ timing $ Cli_common.strict_t
-      $ Cli_common.max_errors_t $ Cli_common.diag_format_t $ rules_file
-      $ rule_overrides $ baseline_file $ write_baseline $ list_rules $ jobs)
+      const run $ input $ vdd $ gnd $ verbose $ timing $ flow $ hier $ stats
+      $ Cli_common.strict_t $ Cli_common.max_errors_t
+      $ Cli_common.diag_format_t $ rules_file $ rule_overrides $ baseline_file
+      $ write_baseline $ list_rules $ jobs)
 
 let () = exit (Cmd.eval cmd)

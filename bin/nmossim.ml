@@ -1,4 +1,9 @@
-(* nmossim — switch-level simulation of an extracted layout. *)
+(* nmossim — switch-level simulation of an extracted layout, on the shared
+   CLI conventions: --strict / --max-errors / --diag-format, diagnostics
+   through Cli_common.report, exit 0 = clean, 1 = diagnostics or
+   oscillation, 2 = unusable input. *)
+
+module Diag = Ace_diag.Diag
 
 let parse_assignment s =
   match String.index_opt s '=' with
@@ -7,51 +12,96 @@ let parse_assignment s =
       let v = String.sub s (i + 1) (String.length s - i - 1) in
       let level =
         match v with
-        | "0" -> Ace_analysis.Sim.Low
-        | "1" -> Ace_analysis.Sim.High
-        | "x" | "X" -> Ace_analysis.Sim.Unknown
-        | _ -> failwith (Printf.sprintf "bad level %S (use 0, 1 or X)" v)
+        | "0" -> Ok Ace_analysis.Sim.Low
+        | "1" -> Ok Ace_analysis.Sim.High
+        | "x" | "X" -> Ok Ace_analysis.Sim.Unknown
+        | _ ->
+            Error
+              (Diag.errorf ~code:"usage" "bad level %S (use 0, 1 or X)" v)
       in
-      (name, level)
-  | None -> failwith (Printf.sprintf "bad assignment %S (use NET=0|1|X)" s)
-
-let run input sets watches vdd gnd =
-  let ic = open_in_bin input in
-  let text = really_input_string ic (in_channel_length ic) in
-  close_in ic;
-  let circuit = Ace_core.Extractor.extract_cif_string ~name:input text in
-  let sim =
-    match Ace_analysis.Sim.create circuit ~vdd ~gnd with
-    | s -> s
-    | exception Not_found ->
-        Printf.eprintf "error: nets %s/%s not found (label your rails)\n" vdd gnd;
-        exit 2
-  in
-  let inputs = List.map parse_assignment sets in
-  let outputs =
-    if watches = [] then
-      (* default: every named net *)
-      List.filter_map
-        (fun i ->
-          match circuit.Ace_netlist.Circuit.nets.(i).Ace_netlist.Circuit.names with
-          | name :: _ -> Some name
-          | [] -> None)
-        (List.init (Ace_netlist.Circuit.net_count circuit) Fun.id)
-    else watches
-  in
-  match Ace_analysis.Sim.eval sim ~inputs ~outputs with
-  | Some values ->
-      List.iter
-        (fun (name, v) ->
-          Printf.printf "%s = %s\n" name (Ace_analysis.Sim.level_to_string v))
-        values
+      Result.map (fun level -> (name, level)) level
   | None ->
-      Printf.printf "circuit did not settle (oscillation)\n";
-      exit 1
+      Error (Diag.errorf ~code:"usage" "bad assignment %S (use NET=0|1|X)" s)
+
+let run input sets watches vdd gnd strict max_errors diag_format =
+  let report = Cli_common.report ~format:diag_format ~tool:"nmossim" ~uri:input in
+  match Cli_common.read_input input with
+  | Error d ->
+      report [ d ];
+      exit 2
+  | Ok text -> (
+      match Cli_common.load_text ~strict ~max_errors text with
+      | None, diags ->
+          report ~source:text diags;
+          exit 2
+      | Some design, diags -> (
+          let circuit =
+            Ace_core.Parallel.extract ~jobs:1
+              ~name:(Filename.basename input) design
+          in
+          match Ace_analysis.Sim.create_result circuit ~vdd ~gnd with
+          | Error d ->
+              report ~source:text (diags @ [ d ]);
+              exit 2
+          | Ok sim -> (
+              let inputs, bad =
+                List.partition_map
+                  (fun s ->
+                    match parse_assignment s with
+                    | Ok a -> Left a
+                    | Error d -> Right d)
+                  sets
+              in
+              if bad <> [] then begin
+                report ~source:text (diags @ bad);
+                exit 2
+              end;
+              let outputs =
+                if watches = [] then
+                  (* default: every named net *)
+                  List.filter_map
+                    (fun i ->
+                      match
+                        circuit.Ace_netlist.Circuit.nets.(i)
+                          .Ace_netlist.Circuit.names
+                      with
+                      | name :: _ -> Some name
+                      | [] -> None)
+                    (List.init
+                       (Ace_netlist.Circuit.net_count circuit)
+                       Fun.id)
+                else watches
+              in
+              match Ace_analysis.Sim.eval sim ~inputs ~outputs with
+              | exception Not_found ->
+                  report ~source:text
+                    (diags
+                    @ [
+                        Diag.error ~code:"unknown-net"
+                          "a --set or --watch net name does not exist in the \
+                           extracted circuit";
+                      ]);
+                  exit 2
+              | Some values ->
+                  report ~source:text diags;
+                  List.iter
+                    (fun (name, v) ->
+                      Printf.printf "%s = %s\n" name
+                        (Ace_analysis.Sim.level_to_string v))
+                    values;
+                  exit (Cli_common.exit_code ~diags ~usable:true)
+              | None ->
+                  report ~source:text
+                    (diags
+                    @ [
+                        Diag.warning ~code:"oscillation"
+                          "circuit did not settle (oscillation)";
+                      ]);
+                  exit 1)))
 
 open Cmdliner
 
-let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"CIF")
+let input = Arg.(required & pos 0 (some string) None & info [] ~docv:"CIF" ~doc:"A .cif layout ($(b,-) for standard input).")
 let sets = Arg.(value & opt_all string [] & info [ "set" ] ~docv:"NET=V" ~doc:"Force an input net (repeatable).")
 let watches = Arg.(value & opt_all string [] & info [ "watch" ] ~docv:"NET" ~doc:"Nets to report (default: all named).")
 let vdd = Arg.(value & opt string "VDD" & info [ "vdd" ] ~docv:"NAME")
@@ -60,6 +110,8 @@ let gnd = Arg.(value & opt string "GND" & info [ "gnd" ] ~docv:"NAME")
 let cmd =
   Cmd.v
     (Cmd.info "nmossim" ~doc:"Switch-level simulation of an extracted NMOS layout")
-    Term.(const run $ input $ sets $ watches $ vdd $ gnd)
+    Term.(
+      const run $ input $ sets $ watches $ vdd $ gnd $ Cli_common.strict_t
+      $ Cli_common.max_errors_t $ Cli_common.diag_format_t)
 
 let () = exit (Cmd.eval cmd)

@@ -1,36 +1,42 @@
-(* wlcmp — wirelist equivalence comparison. *)
+(* wlcmp — wirelist equivalence comparison, on the shared CLI conventions
+   (input via Cli_common, --diag-format).  Exit codes are part of the
+   contract (dune golden rules depend on them): 0 = equivalent,
+   1 = distinct, 2 = unreadable input, 3 = inconclusive. *)
 
-let read path =
-  let ic = open_in_bin path in
-  let s = really_input_string ic (in_channel_length ic) in
-  close_in ic;
-  s
+module Diag = Ace_diag.Diag
 
-let run a b with_sizes with_names =
+let run a b with_sizes with_names diag_format =
+  let report = Cli_common.report ~format:diag_format ~tool:"wlcmp" in
   let load path =
-    match Ace_netlist.Wirelist.of_string (read path) with
-    | c -> c
-    | exception Ace_netlist.Wirelist.Error m ->
-        Printf.eprintf "%s: %s\n" path m;
+    match Cli_common.read_input path with
+    | Error d ->
+        report [ d ];
         exit 2
+    | Ok text -> (
+        match Ace_netlist.Wirelist.of_string text with
+        | c -> c
+        | exception Ace_netlist.Wirelist.Error m ->
+            report [ Diag.errorf ~code:"wirelist-error" "%s: %s" path m ];
+            exit 2)
   in
   let ca = load a and cb = load b in
   match Ace_netlist.Compare.compare ~with_sizes ~with_names ca cb with
   | Ace_netlist.Compare.Equivalent ->
       Printf.printf "%s and %s are equivalent (%d devices, %d nets)\n" a b
         (Ace_netlist.Circuit.device_count ca)
-        (Ace_netlist.Circuit.net_count ca)
+        (Ace_netlist.Circuit.net_count ca);
+      exit 0
   | Ace_netlist.Compare.Distinct why ->
-      Printf.printf "DISTINCT: %s\n" why;
+      report [ Diag.errorf ~code:"wl-distinct" "%s vs %s: %s" a b why ];
       exit 1
   | Ace_netlist.Compare.Inconclusive why ->
-      Printf.printf "INCONCLUSIVE: %s\n" why;
+      report [ Diag.warningf ~code:"wl-inconclusive" "%s vs %s: %s" a b why ];
       exit 3
 
 open Cmdliner
 
-let a = Arg.(required & pos 0 (some file) None & info [] ~docv:"A")
-let b = Arg.(required & pos 1 (some file) None & info [] ~docv:"B")
+let a = Arg.(required & pos 0 (some string) None & info [] ~docv:"A")
+let b = Arg.(required & pos 1 (some string) None & info [] ~docv:"B")
 
 let with_sizes =
   Arg.(value & flag & info [ "sizes" ] ~doc:"Require matching transistor L/W.")
@@ -41,6 +47,6 @@ let with_names =
 let cmd =
   Cmd.v
     (Cmd.info "wlcmp" ~doc:"Compare two wirelists for circuit equivalence")
-    Term.(const run $ a $ b $ with_sizes $ with_names)
+    Term.(const run $ a $ b $ with_sizes $ with_names $ Cli_common.diag_format_t)
 
 let () = exit (Cmd.eval cmd)

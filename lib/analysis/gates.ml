@@ -32,9 +32,9 @@ let pp_gate c ppf gate =
 let recognize ?(vdd = "VDD") ?(gnd = "GND") (c : Circuit.t) =
   let total_devices = Circuit.device_count c in
   let none = { gates = []; matched_devices = 0; total_devices } in
-  match (Circuit.find_net c vdd, Circuit.find_net c gnd) with
-  | exception Not_found -> none
-  | v, g ->
+  match (Circuit.find_rail c vdd, Circuit.find_rail c gnd) with
+  | None, _ | _, None -> none
+  | Some v, Some g ->
       (* channel incidence per net, enhancement devices only *)
       let n = Circuit.net_count c in
       let incidence = Array.make n [] in

@@ -81,11 +81,34 @@ let net_parasitics ?(params = Nmos.default) (circuit : Circuit.t) net =
   { area_by_layer; cap_ff; gate_cap_ff; res_ohms }
 
 let all_nets ?params circuit =
-  Array.init (Circuit.net_count circuit) (fun i ->
-      match net_parasitics ?params circuit i with
-      | p -> p
-      | exception Invalid_argument _ ->
-          { area_by_layer = []; cap_ff = 0.0; gate_cap_ff = 0.0; res_ohms = 0.0 })
+  let skipped = ref 0 in
+  let values =
+    Array.init (Circuit.net_count circuit) (fun i ->
+        match net_parasitics ?params circuit i with
+        | p -> p
+        | exception Invalid_argument _ ->
+            incr skipped;
+            {
+              area_by_layer = [];
+              cap_ff = 0.0;
+              gate_cap_ff = 0.0;
+              res_ohms = 0.0;
+            })
+  in
+  let diags =
+    if !skipped = 0 then []
+    else
+      [
+        Ace_diag.Diag.make Ace_diag.Diag.Hint ~code:"no-geometry"
+          (Printf.sprintf
+             "%d of %d nets carry no geometry (extract with \
+              emit_geometry:true for wire parasitics); their C/R estimates \
+              are zero"
+             !skipped
+             (Circuit.net_count circuit));
+      ]
+  in
+  (values, diags)
 
 let rc_delay_seconds ?(params = Nmos.default) circuit ~driver ~net =
   let d = circuit.Circuit.devices.(driver) in

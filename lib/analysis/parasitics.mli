@@ -35,5 +35,10 @@ val device_gate_cap : ?params:Nmos.params -> Circuit.device -> float
 val rc_delay_seconds :
   ?params:Nmos.params -> Circuit.t -> driver:int -> net:int -> float
 
-(** All nets, index-aligned with the circuit's net array. *)
-val all_nets : ?params:Nmos.params -> Circuit.t -> net_parasitics array
+(** All nets, index-aligned with the circuit's net array.  Total: nets
+    without geometry get zero estimates, summarised in one
+    ["no-geometry"] hint diagnostic rather than an exception. *)
+val all_nets :
+  ?params:Nmos.params ->
+  Circuit.t ->
+  net_parasitics array * Ace_diag.Diag.t list

@@ -18,13 +18,30 @@ type t = {
 
 let circuit t = t.circuit
 
+(* Rail lookup is exact-name first with a case-insensitive fallback, so a
+   chip labelling its rails "Vdd"/"vdd" still simulates. *)
+let create_result circuit ~vdd ~gnd =
+  let missing name =
+    Error
+      (Ace_diag.Diag.error ~code:"missing-rail"
+         (Printf.sprintf
+            "no net named %S (even case-insensitively): cannot simulate \
+             without both power rails"
+            name))
+  in
+  match (Circuit.find_rail circuit vdd, Circuit.find_rail circuit gnd) with
+  | None, _ -> missing vdd
+  | _, None -> missing gnd
+  | Some v, Some g ->
+      let values = Array.make (Circuit.net_count circuit) Unknown in
+      values.(v) <- High;
+      values.(g) <- Low;
+      Ok { circuit; vdd = v; gnd = g; forced = Hashtbl.create 8; values }
+
 let create circuit ~vdd ~gnd =
-  let v = Circuit.find_net circuit vdd in
-  let g = Circuit.find_net circuit gnd in
-  let values = Array.make (Circuit.net_count circuit) Unknown in
-  values.(v) <- High;
-  values.(g) <- Low;
-  { circuit; vdd = v; gnd = g; forced = Hashtbl.create 8; values }
+  match create_result circuit ~vdd ~gnd with
+  | Ok t -> t
+  | Error _ -> raise Not_found
 
 let set_input t name level =
   let n = Circuit.find_net t.circuit name in

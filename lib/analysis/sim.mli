@@ -15,9 +15,15 @@ val level_to_string : level -> string
 
 type t
 
-(** [create circuit ~vdd ~gnd] — rail nets by name.
-    Raises [Not_found] if a rail name is missing. *)
+(** [create circuit ~vdd ~gnd] — rail nets by name (exact match first,
+    then case-insensitive).  Raises [Not_found] if a rail name is
+    missing; {!create_result} is the non-raising variant. *)
 val create : Circuit.t -> vdd:string -> gnd:string -> t
+
+(** As {!create}, but a missing rail yields a diagnostic with the stable
+    code ["missing-rail"] instead of an exception. *)
+val create_result :
+  Circuit.t -> vdd:string -> gnd:string -> (t, Ace_diag.Diag.t) result
 
 val circuit : t -> Circuit.t
 

@@ -125,6 +125,27 @@ let analyze ?(params = Nmos.default) ?(r_on_per_square = 10_000.0)
           has_feedback = !has_feedback;
         }
 
+(* As [analyze], but explains itself: a missing rail (the usual reason
+   recognition finds no gates) comes back as a "missing-rail" diagnostic
+   instead of a silent [None]. *)
+let analyze_checked ?params ?r_on_per_square ?(vdd = "VDD") ?(gnd = "GND")
+    (c : Circuit.t) =
+  let missing name =
+    Ace_diag.Diag.error ~code:"missing-rail"
+      (Printf.sprintf
+         "no net named %S (even case-insensitively): timing analysis needs \
+          both power rails"
+         name)
+  in
+  let diags =
+    (match Circuit.find_rail c vdd with None -> [ missing vdd ] | Some _ -> [])
+    @
+    match Circuit.find_rail c gnd with None -> [ missing gnd ] | Some _ -> []
+  in
+  match diags with
+  | _ :: _ -> (None, diags)
+  | [] -> (analyze ?params ?r_on_per_square ~vdd ~gnd c, [])
+
 let pp_result c ppf r =
   Format.fprintf ppf
     "%d gates, critical path %d stages, %.2f ns%s@."

@@ -32,4 +32,15 @@ val analyze :
   Circuit.t ->
   result option
 
+(** As {!analyze}, but a missing power rail is reported as a
+    ["missing-rail"] diagnostic rather than folded into the silent
+    no-gates [None]. *)
+val analyze_checked :
+  ?params:Ace_tech.Nmos.params ->
+  ?r_on_per_square:float ->
+  ?vdd:string ->
+  ?gnd:string ->
+  Circuit.t ->
+  result option * Ace_diag.Diag.t list
+
 val pp_result : Circuit.t -> Format.formatter -> result -> unit

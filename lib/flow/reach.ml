@@ -1,0 +1,80 @@
+open Ace_netlist
+
+let channel_adjacency ?(use_device = fun _ _ -> true) (c : Circuit.t) =
+  let n = Circuit.net_count c in
+  let adj = Array.make n [] in
+  Array.iteri
+    (fun i (d : Circuit.device) ->
+      if use_device i d && d.source >= 0 && d.source < n && d.drain >= 0
+         && d.drain < n
+      then begin
+        adj.(d.source) <- d.drain :: adj.(d.source);
+        adj.(d.drain) <- d.source :: adj.(d.drain)
+      end)
+    c.devices;
+  adj
+
+module Bool_lattice = struct
+  type t = bool
+
+  let bottom = false
+  let join = ( || )
+  let equal = Bool.equal
+  let widen = ( || )
+end
+
+module B = Solver.Make (Bool_lattice)
+
+let reachable ?(stop = []) (c : Circuit.t) seeds =
+  let n = Circuit.net_count c in
+  let is_seed = Array.make n false in
+  List.iter (fun s -> if s >= 0 && s < n then is_seed.(s) <- true) seeds;
+  let is_stop = Array.make n false in
+  List.iter (fun s -> if s >= 0 && s < n then is_stop.(s) <- true) stop;
+  let adj = channel_adjacency c in
+  let values, _ =
+    B.solve
+      {
+        B.size = n;
+        deps = (fun i -> adj.(i));
+        transfer =
+          (fun env i ->
+            is_seed.(i)
+            || List.exists (fun j -> (not is_stop.(j)) && env j) adj.(i));
+      }
+  in
+  values
+
+module Dist_lattice = struct
+  type t = int
+
+  let bottom = max_int
+  let join = min
+  let equal = Int.equal
+  let widen = min
+end
+
+module D = Solver.Make (Dist_lattice)
+
+let distances (c : Circuit.t) ~seeds ~use_device =
+  let n = Circuit.net_count c in
+  let is_seed = Array.make n false in
+  List.iter (fun s -> if s >= 0 && s < n then is_seed.(s) <- true) seeds;
+  let adj = channel_adjacency ~use_device c in
+  let step d = if d = max_int then max_int else d + 1 in
+  let values, _ =
+    (* Distance relaxation can take O(size^2) updates inside one component;
+       widening is min (= join), so raising the bound only avoids a spurious
+       non-convergence report. *)
+    D.solve ~widen_after:(n + 2)
+      {
+        D.size = n;
+        deps = (fun i -> adj.(i));
+        transfer =
+          (fun env i ->
+            if is_seed.(i) then 0
+            else List.fold_left (fun acc j -> min acc (step (env j))) max_int
+                   adj.(i));
+      }
+  in
+  values

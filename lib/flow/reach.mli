@@ -1,0 +1,19 @@
+open Ace_netlist
+
+(** Reachability analyses over channel adjacency, expressed as dataflow
+    problems on {!Solver}.  These back the connectivity-flavoured lint
+    rules (undriven, stuck, sneak-path, pass-depth). *)
+
+(** [reachable ?stop circuit seeds] marks every net reachable from [seeds]
+    through device channels.  Nets in [stop] can be reached (marked) but
+    are never expanded through — a reached stop net blocks propagation. *)
+val reachable : ?stop:int list -> Circuit.t -> int list -> bool array
+
+(** [distances circuit ~seeds ~use_device] is the channel-hop distance
+    from the seed set, walking only devices for which
+    [use_device index device] holds.  Unreachable nets get [max_int]. *)
+val distances :
+  Circuit.t ->
+  seeds:int list ->
+  use_device:(int -> Circuit.device -> bool) ->
+  int array

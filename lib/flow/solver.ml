@@ -1,0 +1,218 @@
+module type LATTICE = sig
+  type t
+
+  val bottom : t
+  val join : t -> t -> t
+  val equal : t -> t -> bool
+  val widen : t -> t -> t
+end
+
+type stats = {
+  sccs : int;
+  max_scc : int;
+  iterations : int;
+  widenings : int;
+  converged : bool;
+}
+
+let pp_stats ppf s =
+  Format.fprintf ppf "sccs=%d max-scc=%d iterations=%d widenings=%d%s" s.sccs
+    s.max_scc s.iterations s.widenings
+    (if s.converged then "" else " NOT-CONVERGED")
+
+(* Tarjan over successor lists, iterative (netlists can be deep enough to
+   blow the OCaml stack on a recursive DFS).  Components come out
+   consumers-first; prepending builds the producers-first order. *)
+let sccs_of size succ =
+  let index = Array.make size (-1) in
+  let lowlink = Array.make size 0 in
+  let on_stack = Array.make size false in
+  let stack = ref [] in
+  let next_index = ref 0 in
+  let components = ref [] in
+  let visit root =
+    if index.(root) < 0 then begin
+      let call = ref [ (root, ref (succ root)) ] in
+      index.(root) <- !next_index;
+      lowlink.(root) <- !next_index;
+      incr next_index;
+      stack := root :: !stack;
+      on_stack.(root) <- true;
+      while !call <> [] do
+        match !call with
+        | [] -> ()
+        | (v, rest) :: tail -> (
+            match !rest with
+            | w :: more ->
+                rest := more;
+                if index.(w) < 0 then begin
+                  index.(w) <- !next_index;
+                  lowlink.(w) <- !next_index;
+                  incr next_index;
+                  stack := w :: !stack;
+                  on_stack.(w) <- true;
+                  call := (w, ref (succ w)) :: !call
+                end
+                else if on_stack.(w) && index.(w) < lowlink.(v) then
+                  lowlink.(v) <- index.(w)
+            | [] ->
+                call := tail;
+                (match tail with
+                | (parent, _) :: _ ->
+                    if lowlink.(v) < lowlink.(parent) then
+                      lowlink.(parent) <- lowlink.(v)
+                | [] -> ());
+                if lowlink.(v) = index.(v) then begin
+                  let comp = ref [] in
+                  let continue = ref true in
+                  while !continue do
+                    match !stack with
+                    | [] -> continue := false
+                    | w :: rest ->
+                        stack := rest;
+                        on_stack.(w) <- false;
+                        comp := w :: !comp;
+                        if w = v then continue := false
+                  done;
+                  components := !comp :: !components
+                end)
+      done
+    end
+  in
+  for v = 0 to size - 1 do
+    visit v
+  done;
+  !components
+
+module Make (L : LATTICE) = struct
+  type system = {
+    size : int;
+    deps : int -> int list;
+    transfer : (int -> L.t) -> int -> L.t;
+  }
+
+  let solve ?(widen_after = 8) sys =
+    let n = sys.size in
+    let values = Array.make n L.bottom in
+    if n = 0 then
+      ( values,
+        { sccs = 0; max_scc = 0; iterations = 0; widenings = 0; converged = true }
+      )
+    else begin
+      (* Successors: succ.(j) lists the variables whose transfer reads j. *)
+      let succ = Array.make n [] in
+      for v = 0 to n - 1 do
+        List.iter (fun d -> if d >= 0 && d < n then succ.(d) <- v :: succ.(d))
+          (sys.deps v)
+      done;
+      let components = sccs_of n (fun v -> succ.(v)) in
+      let comp_of = Array.make n (-1) in
+      let priority = Array.make n 0 in
+      let rank = ref 0 in
+      List.iteri
+        (fun ci comp ->
+          List.iter
+            (fun v ->
+              comp_of.(v) <- ci;
+              priority.(v) <- !rank;
+              incr rank)
+            comp)
+        components;
+      let env v = values.(v) in
+      (* Binary min-heap on priority, one shared backing store. *)
+      let heap = Array.make n 0 in
+      let heap_len = ref 0 in
+      let in_q = Array.make n false in
+      let swap i j =
+        let t = heap.(i) in
+        heap.(i) <- heap.(j);
+        heap.(j) <- t
+      in
+      let push v =
+        if not in_q.(v) then begin
+          in_q.(v) <- true;
+          heap.(!heap_len) <- v;
+          incr heap_len;
+          let i = ref (!heap_len - 1) in
+          while
+            !i > 0 && priority.(heap.((!i - 1) / 2)) > priority.(heap.(!i))
+          do
+            swap ((!i - 1) / 2) !i;
+            i := (!i - 1) / 2
+          done
+        end
+      in
+      let pop () =
+        let v = heap.(0) in
+        decr heap_len;
+        heap.(0) <- heap.(!heap_len);
+        let i = ref 0 in
+        let break = ref false in
+        while not !break do
+          let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+          let s = ref !i in
+          if l < !heap_len && priority.(heap.(l)) < priority.(heap.(!s)) then
+            s := l;
+          if r < !heap_len && priority.(heap.(r)) < priority.(heap.(!s)) then
+            s := r;
+          if !s = !i then break := true
+          else begin
+            swap !i !s;
+            i := !s
+          end
+        done;
+        in_q.(v) <- false;
+        v
+      in
+      let iterations = ref 0 in
+      let widenings = ref 0 in
+      let converged = ref true in
+      let max_scc = ref 0 in
+      let n_sccs = ref 0 in
+      List.iter
+        (fun comp ->
+          incr n_sccs;
+          let size_c = List.length comp in
+          if size_c > !max_scc then max_scc := size_c;
+          let bound = widen_after * (size_c + 1) in
+          let updates = ref 0 in
+          List.iter push comp;
+          while !heap_len > 0 do
+            let v = pop () in
+            incr iterations;
+            let candidate = sys.transfer env v in
+            let cur = values.(v) in
+            let next =
+              if !updates <= bound then L.join cur candidate
+              else begin
+                incr widenings;
+                L.widen cur candidate
+              end
+            in
+            if not (L.equal cur next) then begin
+              values.(v) <- next;
+              incr updates;
+              if !updates > 2 * bound then begin
+                (* Backstop: report non-convergence, drain the queue. *)
+                converged := false;
+                while !heap_len > 0 do
+                  ignore (pop ())
+                done
+              end
+              else
+                List.iter
+                  (fun w -> if comp_of.(w) = comp_of.(v) then push w)
+                  succ.(v)
+            end
+          done)
+        components;
+      ( values,
+        {
+          sccs = !n_sccs;
+          max_scc = !max_scc;
+          iterations = !iterations;
+          widenings = !widenings;
+          converged = !converged;
+        } )
+    end
+end

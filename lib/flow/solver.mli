@@ -1,0 +1,52 @@
+(** Generic monotone-framework fixpoint solver.
+
+    The netlist analyses in this repository all reduce to the same shape:
+    a finite system of equations [x_i = f_i(x)] over a join-semilattice,
+    solved to a least fixpoint.  This module is the one traversal engine:
+    it condenses the dependency graph into strongly connected components
+    (Tarjan), solves the components in topological order (producers before
+    consumers, so acyclic parts of a netlist are solved in one pass), and
+    iterates a priority worklist inside each component with a
+    bounded-iteration backstop: past the bound the solver switches from
+    [join] to [widen], and past twice the bound it gives up and reports
+    [converged = false] rather than looping forever. *)
+
+module type LATTICE = sig
+  type t
+
+  val bottom : t
+
+  val join : t -> t -> t
+
+  val equal : t -> t -> bool
+
+  (** Accelerated join used after the iteration bound; [join] itself is a
+      correct widening for finite lattices. *)
+  val widen : t -> t -> t
+end
+
+type stats = {
+  sccs : int;  (** components of the dependency graph *)
+  max_scc : int;  (** size of the largest component *)
+  iterations : int;  (** transfer-function evaluations *)
+  widenings : int;  (** updates that went through [widen] *)
+  converged : bool;  (** false = a component hit the iteration backstop *)
+}
+
+val pp_stats : Format.formatter -> stats -> unit
+
+module Make (L : LATTICE) : sig
+  (** [deps i] lists the variables [transfer _ i] may read; [transfer env i]
+      recomputes variable [i] from the current environment.  [transfer]
+      must be monotone in [env] for the result to be the least fixpoint. *)
+  type system = {
+    size : int;
+    deps : int -> int list;
+    transfer : (int -> L.t) -> int -> L.t;
+  }
+
+  (** Least fixpoint from [L.bottom]; [widen_after] scales the per-component
+      iteration bound ([widen_after * (component size + 1)] value updates
+      before widening kicks in, twice that before the backstop). *)
+  val solve : ?widen_after:int -> system -> L.t array * stats
+end

@@ -1,0 +1,292 @@
+open Ace_netlist
+
+type stats = { cells : int; instances : int; hits : int; misses : int }
+
+let pp_stats ppf s =
+  let total = s.hits + s.misses in
+  Format.fprintf ppf "cells=%d instances=%d cache=%d/%d hits" s.cells
+    s.instances s.hits total
+
+type unit_info = {
+  u_part : string;
+  u_nets : int array;  (** local -> flat *)
+  u_boundary : bool array;  (** bound or exported locals *)
+  u_devices : Circuit.device array;  (** part devices over local indices *)
+}
+
+let inner_devices_of_part (p : Hier.part) =
+  Array.of_list
+    (List.map
+       (fun (d : Hier.hdevice) ->
+         {
+           Circuit.dtype = d.dtype;
+           gate = d.gate;
+           source = d.source;
+           drain = d.drain;
+           length = d.length;
+           width = d.width;
+           location = d.location;
+           geometry = [];
+         })
+       p.devices)
+
+module Mask = struct
+  type t = int
+
+  let bottom = 0
+  let join = ( lor )
+  let equal = Int.equal
+  let widen = ( lor )
+end
+
+module M = Solver.Make (Mask)
+
+let run circuit acts (h : Hier.t) ~vdd ~gnd =
+  let n = Circuit.net_count circuit in
+  let inputs = Ternary.default_inputs circuit ~vdd ~gnd in
+  (* Phase A (always-driven) is a cheap boolean pass; run it flat. *)
+  let driven, stats_a = Ternary.always_driven circuit ~vdd ~gnd ~inputs in
+  let floating = Array.map not driven in
+  let spec = Ternary.signal_spec circuit ~vdd ~gnd ~inputs ~floating in
+  let seed = spec.Netgraph.seed and clamp = spec.Netgraph.clamp in
+  (* Select the summarisable units: leaf activations with devices and at
+     least one internal local (neither bound nor exported — such locals
+     map to flat nets no other activation touches). *)
+  let part_cache = Hashtbl.create 16 in
+  let part_devices name =
+    match Hashtbl.find_opt part_cache name with
+    | Some d -> d
+    | None ->
+        let d = inner_devices_of_part (Hier.part h name) in
+        Hashtbl.add part_cache name d;
+        d
+  in
+  let unit_act =
+    List.filter
+      (fun (a : Hier.activation) ->
+        a.act_leaf && a.act_device_count > 0
+        && Array.exists2 (fun b e -> not (b || e)) a.act_bound a.act_exports)
+      acts
+  in
+  let units =
+    Array.of_list
+      (List.map
+         (fun (a : Hier.activation) ->
+           {
+             u_part = a.act_part;
+             u_nets = a.act_nets;
+             u_boundary =
+               Array.mapi (fun l b -> b || a.act_exports.(l)) a.act_bound;
+             u_devices = part_devices a.act_part;
+           })
+         unit_act)
+  in
+  (* Ownership: internal flat nets are solved inside their unit. *)
+  let owner = Array.make n (-1) in
+  Array.iteri
+    (fun ui u ->
+      Array.iteri
+        (fun l f -> if not u.u_boundary.(l) then owner.(f) <- ui)
+        u.u_nets)
+    units;
+  (* Devices covered by a unit's inner system; the rest stay top-level. *)
+  let is_unit_device = Array.make (Array.length circuit.Circuit.devices) false in
+  List.iter
+    (fun (a : Hier.activation) ->
+      for d = a.act_device to a.act_device + a.act_device_count - 1 do
+        is_unit_device.(d) <- true
+      done)
+    unit_act;
+  let top_devices =
+    let out = ref [] in
+    Array.iteri
+      (fun i d -> if not is_unit_device.(i) then out := d :: !out)
+      circuit.Circuit.devices;
+    Array.of_list (List.rev !out)
+  in
+  let top_inc = Array.make n [] in
+  Array.iter
+    (fun (d : Circuit.device) ->
+      if d.source >= 0 && d.source < n && d.drain >= 0 && d.drain < n
+         && d.gate >= 0 && d.gate < n
+      then begin
+        top_inc.(d.drain) <- (d.source, d.gate, d.dtype) :: top_inc.(d.drain);
+        top_inc.(d.source) <- (d.drain, d.gate, d.dtype) :: top_inc.(d.source)
+      end)
+    top_devices;
+  (* Units adjacent to each flat net through a boundary local. *)
+  let adj_units = Array.make n [] in
+  Array.iteri
+    (fun ui u ->
+      Array.iteri
+        (fun l f ->
+          if u.u_boundary.(l) && not (List.mem ui adj_units.(f)) then
+            adj_units.(f) <- ui :: adj_units.(f))
+        u.u_nets)
+    units;
+  (* Memoised leaf solve: boundary locals clamped to the environment,
+     internal locals seeded/clamped as in the flat system. *)
+  let memo = Hashtbl.create 64 in
+  let hits = ref 0 and misses = ref 0 in
+  let inner_iter = ref 0 and inner_widen = ref 0 in
+  let inner_conv = ref true in
+  let solve_unit u env =
+    let nl = Array.length u.u_nets in
+    let buf = Buffer.create (16 + (4 * nl)) in
+    Buffer.add_string buf u.u_part;
+    Buffer.add_char buf ':';
+    for l = 0 to nl - 1 do
+      let f = u.u_nets.(l) in
+      if u.u_boundary.(l) then begin
+        Buffer.add_char buf 'b';
+        Buffer.add_string buf (string_of_int (env f))
+      end
+      else begin
+        Buffer.add_char buf 'i';
+        Buffer.add_string buf (string_of_int seed.(f));
+        if clamp.(f) then Buffer.add_char buf 'c'
+      end;
+      Buffer.add_char buf ';'
+    done;
+    let key = Buffer.contents buf in
+    match Hashtbl.find_opt memo key with
+    | Some r ->
+        incr hits;
+        r
+    | None ->
+        incr misses;
+        let lseed = Array.make nl 0 and lclamp = Array.make nl false in
+        for l = 0 to nl - 1 do
+          let f = u.u_nets.(l) in
+          if u.u_boundary.(l) then begin
+            lseed.(l) <- env f;
+            lclamp.(l) <- true
+          end
+          else begin
+            lseed.(l) <- seed.(f);
+            lclamp.(l) <- clamp.(f)
+          end
+        done;
+        let lspec =
+          {
+            Netgraph.lat = Ternary.mask_lattice;
+            seed = lseed;
+            clamp = lclamp;
+            attr = Array.make nl 0;
+            flow =
+              (fun dtype ~gate ~gattr:_ ~src ~sattr:_ ~dattr:_ ->
+                Ternary.device_flow dtype ~gate ~src);
+          }
+        in
+        let lvalues, linflows, lstats =
+          Netgraph.solve lspec u.u_devices ~net_count:nl
+        in
+        inner_iter := !inner_iter + lstats.Solver.iterations;
+        inner_widen := !inner_widen + lstats.Solver.widenings;
+        if not lstats.Solver.converged then inner_conv := false;
+        let r = (lvalues, linflows) in
+        Hashtbl.add memo key r;
+        r
+  in
+  (* Outer system over the flat nets: block Gauss–Seidel.  A net owned by
+     a unit is solved inside it; everything else joins its seed with
+     top-level channel inflows and the units' boundary inflows. *)
+  let system =
+    {
+      M.size = n;
+      deps =
+        (fun f ->
+          if clamp.(f) || owner.(f) >= 0 then []
+          else
+            List.concat_map (fun (other, g, _) -> [ other; g ]) top_inc.(f)
+            @ List.concat_map
+                (fun ui ->
+                  let u = units.(ui) in
+                  let out = ref [] in
+                  Array.iteri
+                    (fun l bf -> if u.u_boundary.(l) then out := bf :: !out)
+                    u.u_nets;
+                  !out)
+                adj_units.(f));
+      transfer =
+        (fun env f ->
+          if clamp.(f) then seed.(f)
+          else if owner.(f) >= 0 then 0
+          else
+            let acc = ref seed.(f) in
+            List.iter
+              (fun (other, g, dtype) ->
+                acc :=
+                  !acc
+                  lor Ternary.device_flow dtype ~gate:(env g) ~src:(env other))
+              top_inc.(f);
+            List.iter
+              (fun ui ->
+                let u = units.(ui) in
+                let _, linflows = solve_unit u env in
+                Array.iteri
+                  (fun l bf ->
+                    if u.u_boundary.(l) && bf = f then
+                      acc := !acc lor linflows.(l))
+                  u.u_nets)
+              adj_units.(f);
+            !acc);
+    }
+  in
+  let ovalues, ostats = M.solve system in
+  (* Write unit-internal values back from the final summaries, then
+     recompute inflows globally so the verdict matches the flat run. *)
+  let values = Array.copy ovalues in
+  let env f = ovalues.(f) in
+  Array.iter
+    (fun u ->
+      let lvalues, _ = solve_unit u env in
+      Array.iteri
+        (fun l f -> if not u.u_boundary.(l) then values.(f) <- lvalues.(l))
+        u.u_nets)
+    units;
+  let inflows =
+    Netgraph.inflows spec circuit.Circuit.devices ~net_count:n ~values
+  in
+  let stats_b =
+    {
+      Solver.sccs = ostats.Solver.sccs;
+      max_scc = ostats.Solver.max_scc;
+      iterations = ostats.Solver.iterations + !inner_iter;
+      widenings = ostats.Solver.widenings + !inner_widen;
+      converged = ostats.Solver.converged && !inner_conv;
+    }
+  in
+  let stats =
+    {
+      Solver.sccs = stats_b.Solver.sccs;
+      max_scc = max stats_a.Solver.max_scc stats_b.Solver.max_scc;
+      iterations = stats_a.Solver.iterations + stats_b.Solver.iterations;
+      widenings = stats_a.Solver.widenings + stats_b.Solver.widenings;
+      converged = stats_a.Solver.converged && stats_b.Solver.converged;
+    }
+  in
+  let verdict =
+    Ternary.make_verdict circuit ~vdd ~gnd ~inputs ~floating ~values ~inflows
+      ~stats
+  in
+  let cell_names =
+    Array.fold_left
+      (fun acc u -> if List.mem u.u_part acc then acc else u.u_part :: acc)
+      [] units
+  in
+  ( verdict,
+    {
+      cells = List.length cell_names;
+      instances = Array.length units;
+      hits = !hits;
+      misses = !misses;
+    } )
+
+let analyze ?(vdd = "VDD") ?(gnd = "GND") (h : Hier.t) =
+  let circuit, acts = Hier.flatten_ext h in
+  match (Circuit.find_rail circuit vdd, Circuit.find_rail circuit gnd) with
+  | Some v, Some g when v <> g ->
+      let verdict, stats = run circuit acts h ~vdd:v ~gnd:g in
+      (circuit, Some verdict, stats)
+  | _ -> (circuit, None, { cells = 0; instances = 0; hits = 0; misses = 0 })

@@ -1,0 +1,30 @@
+open Ace_netlist
+
+(** Hierarchical ternary analysis with per-leaf-cell summaries.
+
+    Instead of flattening a hierarchy and solving one monolithic system,
+    this module solves each leaf-cell activation as its own sub-system
+    (boundary nets clamped to the enclosing environment) and iterates the
+    boundary equations to a global fixpoint — a block Gauss–Seidel over
+    the same monotone system, so the result is the {e same} least
+    fixpoint as the flat analysis and the verdict is identical.
+
+    Leaf solves are memoised on (cell, boundary environment), HEXT-style:
+    an array of identical cells in identical surroundings is solved once
+    and the summary reused, which is where the speed comes from. *)
+
+type stats = {
+  cells : int;  (** distinct leaf cell types summarised *)
+  instances : int;  (** leaf activations covered by summaries *)
+  hits : int;  (** summary-cache hits *)
+  misses : int;  (** summary-cache misses (actual leaf solves) *)
+}
+
+val pp_stats : Format.formatter -> stats -> unit
+
+(** [analyze h] flattens [h] (returning the flat circuit for downstream
+    consumers) and runs the summarised ternary analysis.  The verdict is
+    [None] when either rail is missing or both names resolve to the same
+    net. *)
+val analyze :
+  ?vdd:string -> ?gnd:string -> Hier.t -> Circuit.t * Ternary.verdict option * stats

@@ -1,38 +1,36 @@
 open Ace_netlist
 
-(* Exact-name rail lookup with a case-insensitive fallback, so a chip
-   labelling its rails "Vdd"/"vdd" still gets the rail-dependent checks. *)
-let find_rail circuit name =
-  match Circuit.find_net circuit name with
-  | i -> Some i
-  | exception Not_found ->
-      let target = String.lowercase_ascii name in
-      let found = ref None in
-      Array.iteri
-        (fun i (n : Circuit.net) ->
-          if
-            !found = None
-            && List.exists
-                 (fun s -> String.lowercase_ascii s = target)
-                 n.names
-          then found := Some i)
-        circuit.Circuit.nets;
-      !found
+let find_rail = Circuit.find_rail
 
-let context ?(config = Config.default) ?(vdd = "VDD") ?(gnd = "GND") circuit =
+let context ?(config = Config.default) ?(vdd = "VDD") ?(gnd = "GND")
+    ?(flow = `Auto) circuit =
+  let vdd_net = find_rail circuit vdd in
+  let gnd_net = find_rail circuit gnd in
+  let flow =
+    match flow with
+    | `Off -> Lazy.from_val None
+    | `Pre v -> Lazy.from_val v
+    | `Auto ->
+        lazy
+          (match (vdd_net, gnd_net) with
+          | Some v, Some g when v <> g ->
+              Some (Ace_flow.Ternary.analyze circuit ~vdd:v ~gnd:g)
+          | _ -> None)
+  in
   {
     Rule.circuit;
-    vdd = find_rail circuit vdd;
-    gnd = find_rail circuit gnd;
+    vdd = vdd_net;
+    gnd = gnd_net;
     vdd_name = vdd;
     gnd_name = gnd;
     lambda = config.Config.lambda;
     max_fanout = config.Config.max_fanout;
     max_pass_depth = config.Config.max_pass_depth;
+    flow;
   }
 
-let run ?(config = Config.default) ?vdd ?gnd circuit =
-  let ctx = context ~config ?vdd ?gnd circuit in
+let run ?(config = Config.default) ?vdd ?gnd ?flow circuit =
+  let ctx = context ~config ?vdd ?gnd ?flow circuit in
   List.concat_map
     (fun (r : Rule.t) ->
       match Config.severity_for config r with

@@ -5,14 +5,30 @@ open Ace_netlist
     [run] resolves the rails once (exact net-name match, then
     case-insensitive fallback), builds the {!Rule.ctx} from the
     configuration, and concatenates each enabled rule's findings stamped
-    with its configured severity, in registry order. *)
+    with its configured severity, in registry order.
+
+    The [flow] argument controls the ternary dataflow analysis feeding
+    the flow-* rules: [`Auto] (default) computes it lazily the first
+    time an enabled flow rule asks for it; [`Off] disables those rules'
+    input entirely; [`Pre v] injects an already-computed verdict (used
+    by the hierarchical checker so the summarised analysis is reused
+    rather than recomputed flat). *)
 
 (** [find_rail circuit name] — exact match first, then case-insensitive. *)
 val find_rail : Circuit.t -> string -> int option
 
 val context :
-  ?config:Config.t -> ?vdd:string -> ?gnd:string -> Circuit.t -> Rule.ctx
+  ?config:Config.t ->
+  ?vdd:string ->
+  ?gnd:string ->
+  ?flow:[ `Auto | `Off | `Pre of Ace_flow.Ternary.verdict option ] ->
+  Circuit.t ->
+  Rule.ctx
 
 val run :
-  ?config:Config.t -> ?vdd:string -> ?gnd:string -> Circuit.t ->
+  ?config:Config.t ->
+  ?vdd:string ->
+  ?gnd:string ->
+  ?flow:[ `Auto | `Off | `Pre of Ace_flow.Ternary.verdict option ] ->
+  Circuit.t ->
   Finding.t list

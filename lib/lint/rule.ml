@@ -9,6 +9,7 @@ type ctx = {
   lambda : int;
   max_fanout : int;
   max_pass_depth : int;
+  flow : Ace_flow.Ternary.verdict option Lazy.t;
 }
 
 type draft = { message : string; device : int option; net : int option }

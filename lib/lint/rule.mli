@@ -21,6 +21,9 @@ type ctx = {
   lambda : int;  (** λ in centimicrons, for grid checks *)
   max_fanout : int;  (** gate fan-out threshold *)
   max_pass_depth : int;  (** series pass-transistor depth threshold *)
+  flow : Ace_flow.Ternary.verdict option Lazy.t;
+      (** ternary dataflow verdict, forced only when a flow-* rule is
+          enabled; [None] when a rail is missing or the rails collide *)
 }
 
 (** A finding minus code and severity (the engine adds those). *)

@@ -6,46 +6,12 @@ open Rule
 (* Shared structural helpers                                           *)
 (* ------------------------------------------------------------------ *)
 
-(* adjacency: net -> nets across a transistor channel (gate terminals do
-   not conduct) *)
-let channel_adjacency circuit =
-  let n = Circuit.net_count circuit in
-  let adj = Array.make n [] in
-  Array.iter
-    (fun (d : Circuit.device) ->
-      adj.(d.source) <- d.drain :: adj.(d.source);
-      adj.(d.drain) <- d.source :: adj.(d.drain))
-    circuit.Circuit.devices;
-  adj
-
 (* Channel-graph reachability from a seed net list.  Nets in [stop] are
    marked when touched but never expanded: a rail is a fixed potential,
    not a conductor to route through, so a VDD-origin search must not
-   continue out the far side of GND. *)
-let reachable ?(stop = []) circuit seeds =
-  let n = Circuit.net_count circuit in
-  let mark = Array.make n false in
-  let queue = Queue.create () in
-  List.iter
-    (fun s ->
-      if s >= 0 && s < n && not mark.(s) then begin
-        mark.(s) <- true;
-        Queue.add s queue
-      end)
-    seeds;
-  let adj = channel_adjacency circuit in
-  while not (Queue.is_empty queue) do
-    let x = Queue.pop queue in
-    if not (List.mem x stop) then
-      List.iter
-        (fun y ->
-          if not mark.(y) then begin
-            mark.(y) <- true;
-            Queue.add y queue
-          end)
-        adj.(x)
-  done;
-  mark
+   continue out the far side of GND.  Now solved as a boolean dataflow
+   problem on the shared fixpoint engine. *)
+let reachable = Ace_flow.Reach.reachable
 
 (* gates.(n) / channels.(n): net n appears on a gate / channel terminal *)
 let terminal_roles circuit =
@@ -392,33 +358,10 @@ let pass_depth =
                 if d.dtype = Nmos.Depletion then
                   seeds := d.source :: d.drain :: !seeds)
               circuit.Circuit.devices;
-            let dist = Array.make n max_int in
-            let queue = Queue.create () in
-            List.iter
-              (fun s ->
-                if dist.(s) = max_int then begin
-                  dist.(s) <- 0;
-                  Queue.add s queue
-                end)
-              !seeds;
-            let adj = Array.make n [] in
-            Array.iteri
-              (fun i (d : Circuit.device) ->
-                if is_pass.(i) then begin
-                  adj.(d.source) <- d.drain :: adj.(d.source);
-                  adj.(d.drain) <- d.source :: adj.(d.drain)
-                end)
-              circuit.Circuit.devices;
-            while not (Queue.is_empty queue) do
-              let x = Queue.pop queue in
-              List.iter
-                (fun y ->
-                  if dist.(y) = max_int then begin
-                    dist.(y) <- dist.(x) + 1;
-                    Queue.add y queue
-                  end)
-                adj.(x)
-            done;
+            let dist =
+              Ace_flow.Reach.distances circuit ~seeds:!seeds
+                ~use_device:(fun i _ -> is_pass.(i))
+            in
             let gates, _ = terminal_roles circuit in
             let out = ref [] in
             for net = 0 to n - 1 do
@@ -481,47 +424,39 @@ let sneak_path =
         match (ctx.vdd, ctx.gnd) with
         | Some v, Some g when v <> g ->
             let circuit = ctx.circuit in
-            let n = Circuit.net_count circuit in
             let _, pp_pullups = push_pull circuit ~vdd:v ~gnd:g in
-            (* BFS from VDD over enhancement channels, skipping recognized
-               push-pull pull-ups; remember the device used to enter each
-               net so the report can anchor on the closing edge. *)
-            let adj = Array.make n [] in
-            Array.iteri
-              (fun i (d : Circuit.device) ->
-                if
-                  d.dtype = Nmos.Enhancement
-                  && (not pp_pullups.(i))
-                  && d.source <> d.drain
-                then begin
-                  adj.(d.source) <- (d.drain, i) :: adj.(d.source);
-                  adj.(d.drain) <- (d.source, i) :: adj.(d.drain)
-                end)
-              circuit.Circuit.devices;
-            let dist = Array.make n (-1) in
-            dist.(v) <- 0;
-            let queue = Queue.create () in
-            Queue.add v queue;
-            let hit = ref None in
-            while !hit = None && not (Queue.is_empty queue) do
-              let x = Queue.pop queue in
-              List.iter
-                (fun (y, dev) ->
-                  if !hit = None && dist.(y) < 0 then begin
-                    dist.(y) <- dist.(x) + 1;
-                    if y = g then hit := Some dev else Queue.add y queue
-                  end)
-                adj.(x)
-            done;
-            (match !hit with
-            | Some dev ->
-                [
-                  draft ~device:dev
-                    "possible sneak path: %s reaches %s through %d \
-                     enhancement channels with no load"
-                    ctx.vdd_name ctx.gnd_name dist.(g);
-                ]
-            | None -> [])
+            (* Shortest-hop distances from VDD over enhancement channels,
+               skipping recognized push-pull pull-ups; the report anchors
+               on a closing edge of a shortest path into GND. *)
+            let eligible i (d : Circuit.device) =
+              d.dtype = Nmos.Enhancement
+              && (not pp_pullups.(i))
+              && d.source <> d.drain
+            in
+            let dist =
+              Ace_flow.Reach.distances circuit ~seeds:[ v ]
+                ~use_device:eligible
+            in
+            if dist.(g) = max_int then []
+            else begin
+              let hit = ref None in
+              Array.iteri
+                (fun i (d : Circuit.device) ->
+                  if !hit = None && eligible i d then
+                    match other_terminal d g with
+                    | Some m when dist.(m) = dist.(g) - 1 -> hit := Some i
+                    | Some _ | None -> ())
+                circuit.Circuit.devices;
+              match !hit with
+              | Some dev ->
+                  [
+                    draft ~device:dev
+                      "possible sneak path: %s reaches %s through %d \
+                       enhancement channels with no load"
+                      ctx.vdd_name ctx.gnd_name dist.(g);
+                  ]
+              | None -> []
+            end
         | _ -> []);
   }
 
@@ -662,6 +597,155 @@ let off_grid =
   }
 
 (* ------------------------------------------------------------------ *)
+(* Dataflow rules: ternary switch-level abstract interpretation        *)
+(* over the shared fixpoint engine                                     *)
+(* ------------------------------------------------------------------ *)
+
+module Flow = Ace_flow.Ternary
+
+let with_flow ctx f =
+  match Lazy.force ctx.flow with None -> [] | Some fv -> f fv
+
+let flow_contention =
+  {
+    code = "flow-contention";
+    summary = "an input assignment can drive strong 0 and strong 1 together";
+    doc =
+      "The ternary dataflow pass over-approximates every net's reachable \
+       drive set; a net whose inflows include both a strong high and a \
+       strong low can be fought over under some input assignment, burning \
+       static current through the pass network.  Push-pull output stages \
+       are exempt (their fight is brief and intentional); direct \
+       rail-to-rail enhancement channels are reported at the device.";
+    default = Finding.Error;
+    check =
+      (fun ctx ->
+        with_flow ctx (fun fv ->
+            let pp_nodes, _ =
+              push_pull ctx.circuit ~vdd:fv.Flow.vdd ~gnd:fv.Flow.gnd
+            in
+            let nets =
+              List.filter
+                (fun n ->
+                  n <> fv.Flow.vdd && n <> fv.Flow.gnd && not pp_nodes.(n))
+                fv.Flow.contention
+            in
+            List.map
+              (fun n ->
+                draft ~net:n
+                  "a strong 0 and a strong 1 can drive this net under the \
+                   same input assignment (possible contention)")
+              nets
+            @ List.map
+                (fun di ->
+                  draft ~device:di
+                    "enhancement channel connects %s and %s directly and its \
+                     gate can go high"
+                    ctx.vdd_name ctx.gnd_name)
+                fv.Flow.bridges));
+  }
+
+let flow_dead =
+  {
+    code = "flow-dead";
+    summary = "gate net with a provably constant logic level (dead logic)";
+    doc =
+      "A net that gates transistors but can only ever reach one logic level \
+       never switches them: the logic behind it is dead \xe2\x80\x94 \
+       typically a tied-off input that should be a rail contact, or a \
+       missing pull path.  Proved by the ternary dataflow pass (a \
+       may-analysis, so the constancy is sound).";
+    default = Finding.Warning;
+    check =
+      (fun ctx ->
+        with_flow ctx (fun fv ->
+            List.map
+              (fun (n, kind) ->
+                match kind with
+                | Flow.Never_low ->
+                    draft ~net:n
+                      "gate net can never be driven low (value always %s): \
+                       pull-down logic dead or missing"
+                      (Flow.mask_to_string fv.Flow.values.(n))
+                | Flow.Never_high ->
+                    draft ~net:n
+                      "gate net can never be driven high (value always %s): \
+                       pull-up logic dead or missing"
+                      (Flow.mask_to_string fv.Flow.values.(n)))
+              fv.Flow.dead));
+  }
+
+let flow_float =
+  {
+    code = "flow-float";
+    summary = "net driven under some inputs but floating under others";
+    doc =
+      "A net not always connected to a driver stores charge while isolated \
+       (dynamic node).  Legitimate in clocked designs, but each instance \
+       deserves review: the stored level decays, and any path that can \
+       later dump the charge into a sampling gate is a hazard.";
+    default = Finding.Warning;
+    check =
+      (fun ctx ->
+        with_flow ctx (fun fv ->
+            List.map
+              (fun n ->
+                draft ~net:n
+                  "can be isolated from all drivers (charge storage); \
+                   reachable drive set %s"
+                  (Flow.mask_to_string fv.Flow.values.(n)))
+              fv.Flow.float_nets));
+  }
+
+let flow_share =
+  {
+    code = "flow-share";
+    summary = "pass transistor can bridge two charge-storage nets";
+    doc =
+      "When a pass transistor whose gate can go high joins two nets that \
+       can both be floating, their stored charge redistributes by \
+       capacitance ratio \xe2\x80\x94 the classic charge-sharing hazard of \
+       dynamic NMOS design.";
+    default = Finding.Warning;
+    check =
+      (fun ctx ->
+        with_flow ctx (fun fv ->
+            List.map
+              (fun di ->
+                draft ~device:di
+                  "can connect two charge-storage nets (charge sharing \
+                   hazard)")
+              fv.Flow.share));
+  }
+
+let flow_x =
+  {
+    code = "flow-x";
+    summary = "transistor gated by a possibly-unknown (X) level";
+    doc =
+      "A gate that can sit at an unknown level makes the channel's state \
+       unpredictable; the trace names the floating net the X originates \
+       from, which is where the fix belongs.";
+    default = Finding.Info;
+    check =
+      (fun ctx ->
+        with_flow ctx (fun fv ->
+            List.map
+              (fun di ->
+                let d = ctx.circuit.Circuit.devices.(di) in
+                let suffix =
+                  match Flow.x_trace fv ctx.circuit d.gate with
+                  | src :: _ :: _ ->
+                      Printf.sprintf " (X originates at floating net %s)"
+                        (Circuit.net_display_name ctx.circuit src)
+                  | _ -> ""
+                in
+                draft ~device:di ~net:d.gate
+                  "gate can be at an unknown level%s" suffix)
+              fv.Flow.x_devices));
+  }
+
+(* ------------------------------------------------------------------ *)
 (* Registry                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -683,6 +767,11 @@ let all =
     name_collision;
     aliased_net;
     off_grid;
+    flow_contention;
+    flow_dead;
+    flow_float;
+    flow_share;
+    flow_x;
   ]
 
 let find code = List.find_opt (fun r -> r.code = code) all

@@ -45,6 +45,26 @@ let find_net t name =
     t.nets;
   if !found < 0 then raise Not_found else !found
 
+let find_net_opt t name =
+  match find_net t name with i -> Some i | exception Not_found -> None
+
+let find_rail t name =
+  match find_net_opt t name with
+  | Some i -> Some i
+  | None ->
+      let target = String.lowercase_ascii name in
+      let found = ref None in
+      Array.iteri
+        (fun i n ->
+          if
+            !found = None
+            && List.exists
+                 (fun s -> String.lowercase_ascii s = target)
+                 n.names
+          then found := Some i)
+        t.nets;
+      !found
+
 let net_display_name t i =
   match t.nets.(i).names with
   | [] -> Printf.sprintf "N%d" i

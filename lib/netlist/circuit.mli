@@ -39,6 +39,12 @@ val connected_net_indices : t -> int list
     Raises [Not_found]. *)
 val find_net : t -> string -> int
 
+val find_net_opt : t -> string -> int option
+
+(** Power-rail lookup: exact name match first, then a case-insensitive
+    fallback, so a chip labelling its rails "Vdd"/"vdd" still resolves. *)
+val find_rail : t -> string -> int option
+
 (** All names attached to a net, or [N<i>] when anonymous. *)
 val net_display_name : t -> int -> string
 

@@ -94,17 +94,31 @@ let flat_device_count t =
     t.parts;
   try Hashtbl.find memo t.top with Not_found -> 0
 
-let flatten t =
+type activation = {
+  act_part : string;
+  act_nets : int array;
+  act_bound : bool array;
+  act_exports : bool array;
+  act_leaf : bool;
+  act_device : int;
+  act_device_count : int;
+}
+
+let flatten_ext t =
   (match validate t with
   | [] -> ()
   | p :: _ -> fail "invalid hierarchy: %s" p);
   let uf = Union_find.create () in
   let devices = ref [] in
+  let dev_counter = ref 0 in
+  let activations = ref [] in
   let names : (int, string list) Hashtbl.t = Hashtbl.create 64 in
   let locations : (int, Point.t) Hashtbl.t = Hashtbl.create 64 in
   let rec instantiate part_def (offset : Point.t) =
     (* fresh global nets for this activation's local nets *)
     let map = Array.init part_def.net_count (fun _ -> Union_find.fresh uf) in
+    let bound = Array.make part_def.net_count false in
+    let first_device = !dev_counter in
     List.iter
       (fun (n, name) ->
         let g = map.(n) in
@@ -119,6 +133,7 @@ let flatten t =
             if not (Hashtbl.mem locations map.(net)) then
               Hashtbl.replace locations map.(net) location)
           [ d.gate; d.source; d.drain ];
+        incr dev_counter;
         devices :=
           ( d.dtype,
             map.(d.gate),
@@ -129,16 +144,33 @@ let flatten t =
             location )
           :: !devices)
       part_def.devices;
+    let own_devices = !dev_counter - first_device in
     List.iter
       (fun (inst : instance) ->
         let child = part t inst.part_name in
-        let child_map = instantiate child (Point.add offset inst.offset) in
+        let child_map, child_bound =
+          instantiate child (Point.add offset inst.offset)
+        in
         List.iter
           (fun (inner, outer) ->
+            child_bound.(inner) <- true;
             ignore (Union_find.union uf child_map.(inner) map.(outer)))
           inst.net_map)
       part_def.instances;
-    map
+    let exports = Array.make part_def.net_count false in
+    List.iter (fun e -> exports.(e) <- true) part_def.exports;
+    activations :=
+      {
+        act_part = part_def.part_name;
+        act_nets = map;
+        act_bound = bound;
+        act_exports = exports;
+        act_leaf = part_def.instances = [];
+        act_device = first_device;
+        act_device_count = own_devices;
+      }
+      :: !activations;
+    (map, bound)
   in
   ignore (instantiate (part t t.top) Point.origin);
   let dense = Union_find.compress uf in
@@ -173,7 +205,15 @@ let flatten t =
            })
          !devices)
   in
-  { Circuit.name = t.top; devices; nets }
+  let circuit = { Circuit.name = t.top; devices; nets } in
+  let activations =
+    List.rev_map
+      (fun a -> { a with act_nets = Array.map (fun g -> dense.(g)) a.act_nets })
+      !activations
+  in
+  (circuit, activations)
+
+let flatten t = fst (flatten_ext t)
 
 (* ------------------------------------------------------------------ *)
 (* Figure 2-2 dialect                                                  *)

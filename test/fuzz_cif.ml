@@ -117,9 +117,18 @@ let lint_total input design =
     match Ace_core.Extractor.extract ~name:"fuzz" design with
     | exception _ -> () (* garbage in, no circuit out: acceptable *)
     | circuit -> (
-        match Ace_lint.Engine.run circuit with
+        (match Ace_lint.Engine.run circuit with
         | _findings -> ()
-        | exception e -> fail_input "lint raised" input e)
+        | exception e -> fail_input "lint raised" input e);
+        (* property 3b: the flow analysis is total on any extracted
+           circuit, rails or not (forced rail indices) *)
+        let nc = Ace_netlist.Circuit.net_count circuit in
+        if nc > 0 then
+          match
+            Ace_flow.Ternary.analyze circuit ~vdd:0 ~gnd:(min 1 (nc - 1))
+          with
+          | _verdict -> ()
+          | exception e -> fail_input "flow raised" input e)
 
 let run_one input =
   (* property 1: totality of the lenient front end *)

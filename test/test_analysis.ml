@@ -493,12 +493,112 @@ let test_sta_feedback_detected () =
   | Some r -> check "feedback flagged" true r.Sta.has_feedback
   | None -> Alcotest.fail "expected gates"
 
+let test_sta_feedback_ring () =
+  (* three-stage ring oscillator: the gate graph is one cycle *)
+  let net names = { Circuit.names; location = Ace_geom.Point.origin; geometry = [] } in
+  let dev dtype gate source drain =
+    {
+      Circuit.dtype; gate; source; drain; length = 2; width = 2;
+      location = Ace_geom.Point.origin; geometry = [];
+    }
+  in
+  let c =
+    {
+      Circuit.name = "ring3";
+      nets = [| net [ "VDD" ]; net [ "N1" ]; net [ "N2" ]; net [ "N3" ]; net [ "GND" ] |];
+      devices =
+        [|
+          { (dev Ace_tech.Nmos.Depletion 1 0 1) with length = 8 };
+          { (dev Ace_tech.Nmos.Depletion 2 0 2) with length = 8 };
+          { (dev Ace_tech.Nmos.Depletion 3 0 3) with length = 8 };
+          dev Ace_tech.Nmos.Enhancement 3 1 4 (* N3 -> N1 stage *);
+          dev Ace_tech.Nmos.Enhancement 1 2 4 (* N1 -> N2 stage *);
+          dev Ace_tech.Nmos.Enhancement 2 3 4 (* N2 -> N3 stage *);
+        |];
+    }
+  in
+  match Sta.analyze c with
+  | Some r -> check "ring feedback flagged" true r.Sta.has_feedback
+  | None -> Alcotest.fail "expected gates"
+
+let test_sta_missing_rail_diag () =
+  let c = inverter () in
+  let result, diags = Sta.analyze_checked ~vdd:"VCC" c in
+  check "no result without rail" true (result = None);
+  check "missing-rail diagnostic" true
+    (List.exists
+       (fun (d : Ace_diag.Diag.t) -> d.Ace_diag.Diag.code = "missing-rail")
+       diags);
+  let result, diags = Sta.analyze_checked c in
+  check "clean run has no diags" true (diags = []);
+  check "clean run analyzes" true (result <> None)
+
 let test_sta_no_gates () =
   let c =
     Ace_core.Extractor.extract
       (Ace_cif.Design.of_ast (Ace_workloads.Arrays.mesh ~rows:2 ~cols:2 ()))
   in
   check "no result on pass arrays" true (Sta.analyze c = None)
+
+let test_sim_missing_rail_diag () =
+  let c = inverter () in
+  (match Sim.create_result c ~vdd:"VCC" ~gnd:"GND" with
+  | Ok _ -> Alcotest.fail "expected missing-rail error"
+  | Error d ->
+      check "missing-rail code" true (d.Ace_diag.Diag.code = "missing-rail"));
+  check "create still raises Not_found" true
+    (match Sim.create c ~vdd:"VCC" ~gnd:"GND" with
+    | exception Not_found -> true
+    | _ -> false)
+
+let test_sim_case_insensitive_rails () =
+  (* rails labelled "Vdd"/"gnd" still resolve (case-insensitive fallback) *)
+  let c = inverter () in
+  let relabelled =
+    {
+      c with
+      Circuit.nets =
+        Array.map
+          (fun (n : Circuit.net) ->
+            let swap = function
+              | "VDD" -> "Vdd"
+              | "GND" -> "gnd"
+              | s -> s
+            in
+            { n with Circuit.names = List.map swap n.Circuit.names })
+          c.Circuit.nets;
+    }
+  in
+  match Sim.create_result relabelled ~vdd:"VDD" ~gnd:"GND" with
+  | Error _ -> Alcotest.fail "case-insensitive rail lookup failed"
+  | Ok sim -> (
+      match
+        Sim.eval sim ~inputs:[ ("INP", Sim.Low) ] ~outputs:[ "OUT" ]
+      with
+      | Some [ (_, Sim.High) ] -> ()
+      | _ -> Alcotest.fail "inverter did not simulate")
+
+let test_parasitics_all_nets_total () =
+  (* extracted without geometry: every net is skipped, summarised in one
+     "no-geometry" hint, and the call never raises *)
+  let bare =
+    Ace_core.Extractor.extract
+      (Ace_cif.Design.of_ast (Ace_workloads.Chips.single_inverter ()))
+  in
+  let values, diags = Parasitics.all_nets bare in
+  check_int "aligned with nets" (Circuit.net_count bare) (Array.length values);
+  check_int "one summary diagnostic" 1 (List.length diags);
+  check "diag code" true
+    (match diags with
+    | [ d ] -> d.Ace_diag.Diag.code = "no-geometry"
+    | _ -> false);
+  check "zero estimates" true
+    (Array.for_all (fun p -> p.Parasitics.cap_ff = 0.0) values);
+  (* with geometry the connected nets get real estimates *)
+  let geo = inverter () in
+  let values, _ = Parasitics.all_nets geo in
+  check "some capacitance with geometry" true
+    (Array.exists (fun p -> p.Parasitics.cap_ff > 0.0) values)
 
 let () =
   Alcotest.run "analysis"
@@ -521,6 +621,8 @@ let () =
           Alcotest.test_case "nand truth table" `Quick test_sim_nand_truth_table;
           Alcotest.test_case "oscillation" `Quick test_sim_oscillation_detected;
           Alcotest.test_case "charge storage" `Quick test_sim_charge_storage;
+          Alcotest.test_case "missing rail diag" `Quick test_sim_missing_rail_diag;
+          Alcotest.test_case "case-insensitive rails" `Quick test_sim_case_insensitive_rails;
         ] );
       ( "gates",
         [
@@ -536,6 +638,8 @@ let () =
           Alcotest.test_case "chain depth" `Quick test_sta_chain_depth;
           Alcotest.test_case "delay monotone" `Quick test_sta_delay_monotone;
           Alcotest.test_case "feedback" `Quick test_sta_feedback_detected;
+          Alcotest.test_case "ring feedback" `Quick test_sta_feedback_ring;
+          Alcotest.test_case "missing rail diag" `Quick test_sta_missing_rail_diag;
           Alcotest.test_case "no gates" `Quick test_sta_no_gates;
         ] );
       ( "parasitics",
@@ -545,5 +649,6 @@ let () =
           Alcotest.test_case "monotone in length" `Quick test_parasitics_monotone;
           Alcotest.test_case "device values" `Quick test_device_parasitics;
           Alcotest.test_case "rc delay" `Quick test_rc_delay;
+          Alcotest.test_case "all_nets total" `Quick test_parasitics_all_nets_total;
         ] );
     ]

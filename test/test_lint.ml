@@ -545,7 +545,7 @@ let test_registry_complete () =
            (fun ch -> (ch >= 'a' && ch <= 'z') || ch = '-')
            r.code))
     Lint.Rules.all;
-  check_int "registry size" 16 (List.length Lint.Rules.all);
+  check_int "registry size" 21 (List.length Lint.Rules.all);
   check "find resolves" true (Lint.Rules.find "sneak-path" <> None);
   check "find rejects unknown" true (Lint.Rules.find "nope" = None)
 

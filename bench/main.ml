@@ -442,6 +442,12 @@ let json_phases (t : Ace_core.Timing.t) =
          (Ace_core.Timing.phase_slug p, json_float (Ace_core.Timing.seconds t p)))
        Ace_core.Timing.all_phases)
 
+let json_counters counters =
+  json_obj
+    (List.map
+       (fun (c, v) -> (Ace_trace.Trace.Counter.slug c, string_of_int v))
+       counters)
+
 let json_shard (s : Ace_core.Parallel.shard) =
   json_obj
     [
@@ -454,7 +460,21 @@ let json_shard (s : Ace_core.Parallel.shard) =
       ("partial_devices", string_of_int s.s_partials);
       ("seconds", json_float s.s_seconds);
       ("phases", json_phases s.s_timing);
+      ( "counters",
+        json_counters
+          (List.map
+             (fun c ->
+               (c, s.s_counters.(Ace_trace.Trace.Counter.index c)))
+             Ace_trace.Trace.Counter.all) );
     ]
+
+(* Per-run counter contributions: the tracer's counters are cumulative
+   across the whole process, so a run's own numbers are the delta. *)
+let counter_deltas f =
+  let before = Ace_trace.Trace.counter_totals () in
+  let r = f () in
+  let after = Ace_trace.Trace.counter_totals () in
+  (r, List.map2 (fun (c, a) (_, b) -> (c, a - b)) after before)
 
 let bench_extract suite ~jobs ~scale ~json_path =
   header
@@ -468,8 +488,10 @@ let bench_extract suite ~jobs ~scale ~json_path =
   let chips =
     List.map
       (fun ((r : Ace_workloads.Chips.recipe), design, _) ->
-        let (c1, s1), t1 =
-          time (fun () -> Ace_core.Parallel.extract_with_stats ~jobs:1 design)
+        let ((c1, s1), t1), counters =
+          counter_deltas (fun () ->
+              time (fun () ->
+                  Ace_core.Parallel.extract_with_stats ~jobs:1 design))
         in
         let (cn, sn), tn =
           time (fun () -> Ace_core.Parallel.extract_with_stats ~jobs design)
@@ -499,7 +521,7 @@ let bench_extract suite ~jobs ~scale ~json_path =
           (mmss t1) (mmss tn) speedup
           (mmss sn.Ace_core.Parallel.stitch_seconds)
           (Ace_core.Parallel.balance proj);
-        (r.chip_name, devices, s1, sn, proj, t1, tn))
+        (r.chip_name, devices, s1, sn, proj, t1, tn, counters))
       suite
   in
   (* On a machine with < jobs cores the measured wall time cannot show the
@@ -513,15 +535,15 @@ let bench_extract suite ~jobs ~scale ~json_path =
   in
   (match
      List.fold_left
-       (fun best ((_, _, s1, _, _, _, _) as c) ->
+       (fun best ((_, _, s1, _, _, _, _, _) as c) ->
          match best with
-         | Some (_, _, bs1, _, _, _, _)
+         | Some (_, _, bs1, _, _, _, _, _)
            when bs1.Ace_core.Parallel.boxes >= s1.Ace_core.Parallel.boxes ->
              best
          | _ -> Some c)
        None chips
    with
-  | Some (name, _, _, _, proj, t1, tn) when tn > 0.0 ->
+  | Some (name, _, _, _, proj, t1, tn, _) when tn > 0.0 ->
       if cores >= jobs then
         Printf.printf
           "shape check: largest chip (%s) speeds up %.2fx at -j %d — the \
@@ -540,7 +562,7 @@ let bench_extract suite ~jobs ~scale ~json_path =
   let json =
     json_obj
       [
-        ("schema", json_string "ace-bench-extract/1");
+        ("schema", json_string "ace-bench-extract/2");
         ("generator", json_string "bench/main.exe --table extract");
         ("scale", json_float scale);
         ("jobs", string_of_int jobs);
@@ -554,7 +576,8 @@ let bench_extract suite ~jobs ~scale ~json_path =
                       (sn : Ace_core.Parallel.stats),
                       (proj : Ace_core.Parallel.stats),
                       t1,
-                      tn ) ->
+                      tn,
+                      counters ) ->
                  json_obj
                    [
                      ("chip", json_string name);
@@ -578,6 +601,7 @@ let bench_extract suite ~jobs ~scale ~json_path =
                      ("balance", json_float (Ace_core.Parallel.balance proj));
                      ("phases_j1", json_phases s1.Ace_core.Parallel.timing);
                      ("phases_jn", json_phases sn.Ace_core.Parallel.timing);
+                     ("counters_j1", json_counters counters);
                      ( "shards",
                        json_arr
                          (List.map json_shard proj.Ace_core.Parallel.shards) );
@@ -590,6 +614,47 @@ let bench_extract suite ~jobs ~scale ~json_path =
   output_char oc '\n';
   close_out oc;
   Printf.printf "wrote %s (%d chips)\n" json_path (List.length chips)
+
+(* ------------------------------------------------------------------ *)
+(* Trace overhead: extraction with recording off vs on                  *)
+(* ------------------------------------------------------------------ *)
+
+(* The tracer's hot path must be near-free when no session is recording:
+   [Trace.with_span] reduces to one Atomic.get, [Trace.timed] to the two
+   clock reads Timing needed anyway.  This smoke table measures the same
+   flat extraction with recording off and on and prints the ratio, so a
+   regression that puts allocation or locking on the disabled path shows
+   up as a large "off" delta in bench output. *)
+let bench_trace_overhead suite =
+  header "Trace overhead: identical extraction, recording off vs on";
+  let module Trace = Ace_trace.Trace in
+  let reps = 3 in
+  Printf.printf "%-10s %12s %12s %9s %10s\n" "Name" "off (s)" "on (s)"
+    "on/off" "events";
+  List.iter
+    (fun ((r : Ace_workloads.Chips.recipe), design, _) ->
+      (* warm caches so the first timed run is not penalised *)
+      ignore (Ace_core.Extractor.extract design);
+      let run () =
+        for _ = 1 to reps do
+          ignore (Ace_core.Extractor.extract design)
+        done
+      in
+      let (), t_off = time run in
+      Trace.start ();
+      let (), t_on = time run in
+      let session = Trace.stop () in
+      let events =
+        List.fold_left
+          (fun a (t : Trace.track) -> a + Array.length t.t_events)
+          0 session.tracks
+      in
+      Printf.printf "%-10s %12.4f %12.4f %8.2fx %10d\n" r.chip_name
+        (t_off /. float_of_int reps)
+        (t_on /. float_of_int reps)
+        (if t_off > 0.0 then t_on /. t_off else 0.0)
+        events)
+    suite
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per paper table             *)
@@ -671,7 +736,7 @@ let () =
       ("--full", Arg.Set full, " use the paper's full chip sizes (minutes of CPU)");
       ("--bechamel", Arg.Set run_bechamel, " also run the Bechamel micro-benchmarks");
       ("--table", Arg.String (fun s -> only := s :: !only),
-       "NAME run one table (ace51 ace52 dist model hext41 hext5 extract ablations); repeatable");
+       "NAME run one table (ace51 ace52 dist model hext41 hext5 extract trace ablations); repeatable");
       ("--jobs", Arg.Set_int jobs, "N shard count for the extract table (default 4)");
       ("--json", Arg.Set_string json_path,
        "PATH where the extract table writes its JSON telemetry (default BENCH_extract.json)");
@@ -685,7 +750,7 @@ let () =
   let suite =
     if
       want "ace51" || want "ace52" || want "dist" || want "hext5"
-      || want "extract"
+      || want "extract" || want "trace"
     then build_suite !scale
     else []
   in
@@ -697,5 +762,6 @@ let () =
   if want "hext5" then hext_tables_5 suite;
   if want "extract" then
     bench_extract suite ~jobs:!jobs ~scale:!scale ~json_path:!json_path;
+  if want "trace" then bench_trace_overhead suite;
   if want "ablations" then ablations !scale;
   if !run_bechamel then bechamel_tables ()

@@ -1,7 +1,8 @@
 (* ace — flat edge-based circuit extraction: CIF in, CMU wirelist out. *)
 
 let run input output geometry spice name quantum stats jobs strict max_errors
-    diag_format =
+    diag_format trace =
+  Cli_common.setup_trace trace;
   let loaded = Cli_common.load ~strict ~max_errors ~quantum input in
   match loaded.Cli_common.design with
   | None ->
@@ -75,7 +76,8 @@ let run input output geometry spice name quantum stats jobs strict max_errors
             run_stats.shards
         end;
         Format.eprintf "layout: %a@." Ace_cif.Stats.pp
-          (Ace_cif.Stats.of_design design)
+          (Ace_cif.Stats.of_design design);
+        Cli_common.print_counters ()
       end;
       exit (Cli_common.exit_code ~diags ~usable:true)
 
@@ -118,6 +120,6 @@ let cmd =
     Term.(
       const run $ input $ output $ geometry $ spice $ part_name $ quantum
       $ stats $ jobs $ Cli_common.strict_t $ Cli_common.max_errors_t
-      $ Cli_common.diag_format_t)
+      $ Cli_common.diag_format_t $ Cli_common.trace_t)
 
 let () = exit (Cmd.eval cmd)

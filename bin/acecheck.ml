@@ -75,7 +75,8 @@ let sarif_rules () =
 
 let run input vdd gnd verbose timing flow hier stats strict max_errors
     diag_format rules_file rule_overrides baseline_file write_baseline
-    list_rules jobs =
+    list_rules jobs trace =
+  Cli_common.setup_trace trace;
   if list_rules then begin
     print_rules ();
     exit 0
@@ -208,10 +209,11 @@ let run input vdd gnd verbose timing flow hier stats strict max_errors
             | Some v ->
                 Format.eprintf "acecheck: flow %a@." Ace_flow.Solver.pp_stats
                   v.Ace_flow.Ternary.stats));
-        match cache_stats with
+        (match cache_stats with
         | Some c ->
             Format.eprintf "acecheck: hier %a@." Ace_flow.Summary.pp_stats c
-        | None -> ()
+        | None -> ());
+        Cli_common.print_counters ()
       end;
       if errors > 0 then exit 1
       else exit (Cli_common.exit_code ~diags:(diags @ timing_diags) ~usable:true)
@@ -312,6 +314,6 @@ let cmd =
       const run $ input $ vdd $ gnd $ verbose $ timing $ flow $ hier $ stats
       $ Cli_common.strict_t $ Cli_common.max_errors_t
       $ Cli_common.diag_format_t $ rules_file $ rule_overrides $ baseline_file
-      $ write_baseline $ list_rules $ jobs)
+      $ write_baseline $ list_rules $ jobs $ Cli_common.trace_t)
 
 let () = exit (Cmd.eval cmd)

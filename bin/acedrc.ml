@@ -8,7 +8,8 @@ let sarif_rules () =
       { Ace_diag.Sarif.id; summary; help = summary; level = "error" })
     Ace_drc.Checker.rule_info
 
-let run input lambda strict max_errors diag_format =
+let run input lambda strict max_errors diag_format trace =
+  Cli_common.setup_trace trace;
   let loaded = Cli_common.load ~strict ~max_errors input in
   let report =
     Cli_common.report ~format:diag_format ~tool:"acedrc" ~uri:input
@@ -46,6 +47,7 @@ let cmd =
        ~doc:"Mead-Conway design-rule checker (widths, spacings, contacts, gate overhang)")
     Term.(
       const run $ input $ lambda $ Cli_common.strict_t
-      $ Cli_common.max_errors_t $ Cli_common.diag_format_t)
+      $ Cli_common.max_errors_t $ Cli_common.diag_format_t
+      $ Cli_common.trace_t)
 
 let () = exit (Cmd.eval cmd)

@@ -1,7 +1,8 @@
 (* cifplot — plot a CIF layout as SVG or ASCII (a homage to the Berkeley
    tool of ACE Table 5-2, which was plotter and extractor in one). *)
 
-let run input output ascii grid scale strict max_errors diag_format =
+let run input output ascii grid scale strict max_errors diag_format trace =
+  Cli_common.setup_trace trace;
   let loaded = Cli_common.load ~strict ~max_errors input in
   Cli_common.report ~format:diag_format ~tool:"cifplot" ~uri:input
     ~source:loaded.Cli_common.source loaded.diags;
@@ -34,6 +35,7 @@ let cmd =
     (Cmd.info "cifplot" ~doc:"Plot a CIF layout (SVG or ASCII)")
     Term.(
       const run $ input $ output $ ascii $ grid $ scale $ Cli_common.strict_t
-      $ Cli_common.max_errors_t $ Cli_common.diag_format_t)
+      $ Cli_common.max_errors_t $ Cli_common.diag_format_t
+      $ Cli_common.trace_t)
 
 let () = exit (Cmd.eval cmd)

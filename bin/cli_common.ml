@@ -95,6 +95,26 @@ let report ~format ?source ?(tool = "ace") ?uri ?(rules = [])
 let exit_code ~diags ~usable =
   if not usable then 2 else if diags = [] then 0 else 1
 
+module Trace = Ace_trace.Trace
+
+(* --trace FILE: start a trace session now and write the Chrome JSON when
+   the process ends.  The CLIs call [exit] from arbitrary depths, so the
+   writer must ride [at_exit]; a scope-based finalizer would never run. *)
+let setup_trace = function
+  | None -> ()
+  | Some path ->
+      Trace.start ();
+      at_exit (fun () ->
+          let session = Trace.stop () in
+          try Ace_trace.Chrome.write path session
+          with Sys_error m ->
+            Printf.eprintf "warning: cannot write trace file: %s\n" m)
+
+(* The `-s` counter table (always available: counters accumulate even
+   without --trace). *)
+let print_counters ?(oc = stderr) () =
+  Trace.print_counter_table ~oc (Trace.counter_totals ())
+
 open Cmdliner
 
 let strict_t =
@@ -122,3 +142,15 @@ let diag_format_t =
            context, stderr), $(b,json) (one JSON object per line, stderr) \
            or $(b,sarif) (a complete SARIF 2.1.0 log on stdout, for CI \
            annotation).")
+
+let trace_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record a structured trace of this run (spans, counters, \
+           GC/allocation samples; one track per worker domain) and write \
+           it to $(docv) as Chrome trace-event JSON, loadable in Perfetto \
+           or chrome://tracing.  Tracing never changes outputs, \
+           diagnostics or exit codes.")

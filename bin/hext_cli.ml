@@ -8,7 +8,8 @@ let read_input = function
       close_in ic;
       s
 
-let run input output flat spice leaf_limit no_memo stats =
+let run input output flat spice leaf_limit no_memo stats trace =
+  Cli_common.setup_trace trace;
   let text = read_input input in
   match Ace_cif.Parser.parse_string text with
   | exception Ace_cif.Parser.Error { position; message } ->
@@ -31,7 +32,7 @@ let run input output flat spice leaf_limit no_memo stats =
             Ace_netlist.Wirelist.to_channel oc (Ace_netlist.Hier.flatten hier)
           else output_string oc (Ace_netlist.Hier.to_string hier);
           if output <> None then close_out oc;
-          if stats then
+          if stats then begin
             Printf.eprintf
               "hext: %d devices, %d windows extracted (%d redundant skipped), \
                %d composes (%d memoized), front-end %.3f s, back-end %.3f s \
@@ -42,7 +43,9 @@ let run input output flat spice leaf_limit no_memo stats =
               run_stats.front_end_seconds
               (Ace_hext.Hext.back_end_seconds run_stats)
               (100.0 *. Ace_hext.Hext.compose_fraction run_stats)
-              elapsed)
+              elapsed;
+            Cli_common.print_counters ()
+          end)
 
 open Cmdliner
 
@@ -70,6 +73,8 @@ let stats =
 let cmd =
   Cmd.v
     (Cmd.info "hext" ~doc:"Hierarchical NMOS circuit extractor (Gupta & Hon, 1982)")
-    Term.(const run $ input $ output $ flat $ spice $ leaf_limit $ no_memo $ stats)
+    Term.(
+      const run $ input $ output $ flat $ spice $ leaf_limit $ no_memo $ stats
+      $ Cli_common.trace_t)
 
 let () = exit (Cmd.eval cmd)

@@ -23,7 +23,8 @@ let parse_assignment s =
   | None ->
       Error (Diag.errorf ~code:"usage" "bad assignment %S (use NET=0|1|X)" s)
 
-let run input sets watches vdd gnd strict max_errors diag_format =
+let run input sets watches vdd gnd strict max_errors diag_format trace =
+  Cli_common.setup_trace trace;
   let report = Cli_common.report ~format:diag_format ~tool:"nmossim" ~uri:input in
   match Cli_common.read_input input with
   | Error d ->
@@ -112,6 +113,7 @@ let cmd =
     (Cmd.info "nmossim" ~doc:"Switch-level simulation of an extracted NMOS layout")
     Term.(
       const run $ input $ sets $ watches $ vdd $ gnd $ Cli_common.strict_t
-      $ Cli_common.max_errors_t $ Cli_common.diag_format_t)
+      $ Cli_common.max_errors_t $ Cli_common.diag_format_t
+      $ Cli_common.trace_t)
 
 let () = exit (Cmd.eval cmd)

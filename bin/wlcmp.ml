@@ -5,7 +5,8 @@
 
 module Diag = Ace_diag.Diag
 
-let run a b with_sizes with_names diag_format =
+let run a b with_sizes with_names diag_format trace =
+  Cli_common.setup_trace trace;
   let report = Cli_common.report ~format:diag_format ~tool:"wlcmp" in
   let load path =
     match Cli_common.read_input path with
@@ -47,6 +48,8 @@ let with_names =
 let cmd =
   Cmd.v
     (Cmd.info "wlcmp" ~doc:"Compare two wirelists for circuit equivalence")
-    Term.(const run $ a $ b $ with_sizes $ with_names $ Cli_common.diag_format_t)
+    Term.(
+      const run $ a $ b $ with_sizes $ with_names $ Cli_common.diag_format_t
+      $ Cli_common.trace_t)
 
 let () = exit (Cmd.eval cmd)

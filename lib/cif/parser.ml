@@ -446,10 +446,12 @@ let parse ?collector src =
   { Ast.symbols = List.rev !symbols; top_level = List.rev !top }
 
 let parse_string src =
+  Ace_trace.Trace.with_span "cif.parse" @@ fun () ->
   try parse src
   with Perror { position; message; _ } -> raise (Error { position; message })
 
 let parse_string_lenient ?max_errors src =
+  Ace_trace.Trace.with_span "cif.parse" @@ fun () ->
   let collector = Collector.create ?max_errors () in
   let file = parse ~collector src in
   (file, Collector.to_list collector)

@@ -149,6 +149,7 @@ let push_direct_boxes t tr sym_id =
     (direct_geometry t sym_id)
 
 let expand_call t sym_id tr =
+  Ace_trace.Trace.incr Ace_trace.Trace.Counter.Expansions;
   t.expansions <- t.expansions + 1;
   push_direct_boxes t tr sym_id;
   push_elements t tr (Design.symbol t.design sym_id).Ast.elements
@@ -209,7 +210,9 @@ let pop_at t y =
     if t.size = 0 || t.keys.(0) < y then acc
     else
       match pop t with
-      | Item_box (lyr, bx) -> go ((lyr, bx) :: acc)
+      | Item_box (lyr, bx) ->
+          Ace_trace.Trace.incr Ace_trace.Trace.Counter.Boxes_popped;
+          go ((lyr, bx) :: acc)
       | Item_call (sym, tr) ->
           expand_call t sym tr;
           go acc

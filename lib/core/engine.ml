@@ -1,6 +1,7 @@
 open Ace_geom
 open Ace_tech
 open Ace_netlist
+module Trace = Ace_trace.Trace
 
 type source = {
   peek : unit -> int option;
@@ -156,6 +157,7 @@ type abox = { al : int; ar : int; ab : int }
 (* Insert sorted-by-[al] newcomers into a sorted active list — the paper's
    insertion sort of step 2.a/2.b. *)
 let insert_sorted actives newcomers =
+  Trace.count Trace.Counter.Active_merges (List.length newcomers);
   let newcomers = List.sort (fun a b -> Int.compare a.al b.al) newcomers in
   let rec merge a b =
     match (a, b) with
@@ -223,6 +225,7 @@ let iter_tagged_overlaps a b ~f =
   go a b
 
 let run config source ~labels =
+  Trace.with_span "engine.run" @@ fun () ->
   (* In window mode, clip lazily: tops at or above the window top pool
      into one stop at [w.t]; every other stop keeps its y, so the stream
      stays sorted without draining the design into a list (the paper's
@@ -283,7 +286,12 @@ let run config source ~labels =
     Hashtbl.replace net_locations e (Point.make span.lo y);
     e
   in
-  let union_nets a b = ignore (Union_find.union nets a b) in
+  let union_nets a b =
+    let before = Union_find.class_count nets in
+    ignore (Union_find.union nets a b);
+    if Union_find.class_count nets < before then
+      Trace.incr Trace.Counter.Net_merges
+  in
   let fresh_dev (span : Interval.span) y =
     let e = Union_find.fresh dev_uf in
     ignore span;
@@ -669,6 +677,7 @@ let run config source ~labels =
           contact_len;
         Hashtbl.fold (fun root r acc -> (root, !r) :: acc) by_root [])
   in
+  Trace.count Trace.Counter.Transistors (List.length devices);
   {
     nets;
     net_names = !net_names;

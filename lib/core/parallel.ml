@@ -1,5 +1,6 @@
 open Ace_geom
 open Ace_netlist
+module Trace = Ace_trace.Trace
 
 type shard = {
   s_window : Box.t;
@@ -10,6 +11,7 @@ type shard = {
   s_timing : Timing.t;
   s_devices : int;
   s_partials : int;
+  s_counters : int array;
 }
 
 type stats = {
@@ -71,6 +73,12 @@ let shard_labels wins labels =
    design, clipped to the strip, run in window mode, and folded down to a
    fragment — all inside the worker domain. *)
 let run_shard design window labels idx =
+  (* Each shard gets its own trace track whether it runs on a spawned
+     domain or (worker 0, or sequential mode) on the calling one; the
+     track's counters start at zero, so the snapshot at the end is the
+     shard's own contribution. *)
+  Trace.with_track ~tid:(idx + 1) ~name:(Printf.sprintf "shard %d" idx)
+  @@ fun () ->
   let t0 = Unix.gettimeofday () in
   let stream = Ace_cif.Stream.create ~window design in
   let seen = ref 0 in
@@ -102,6 +110,7 @@ let run_shard design window labels idx =
       s_timing = raw.Engine.timing;
       s_devices = List.length frag.Fragment.part.Hier.devices;
       s_partials = List.length frag.Fragment.partials;
+      s_counters = Trace.counters_snapshot ();
     }
   in
   (frag, shard, raw.Engine.warnings)
@@ -170,6 +179,8 @@ let extract_with_stats ?(sequential = false) ?(jobs = 1) ?(name = "chip")
         in
         let stitch_timing = Timing.create () in
         let circuit =
+          (* the stitch gets its own track, after the per-shard ones *)
+          Trace.with_track ~tid:(n + 1) ~name:"stitch" @@ fun () ->
           Timing.charge stitch_timing Timing.Stitch (fun () ->
               let next = ref n in
               let parts = ref [] in

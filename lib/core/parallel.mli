@@ -32,6 +32,9 @@ type shard = {
   s_timing : Timing.t;  (** per-phase split of the shard's engine run *)
   s_devices : int;  (** transistors completed inside the strip *)
   s_partials : int;  (** partial transistors open at the strip boundary *)
+  s_counters : int array;
+      (** the shard's own {!Ace_trace.Trace.Counter} contributions,
+          [Counter.index]-indexed (its trace track starts at zero) *)
 }
 
 type stats = {

@@ -27,10 +27,13 @@ type t = float array
 
 let create () = Array.make 5 0.0
 
+(* Phase accounting rides the tracer: the same clock samples feed the
+   accumulated seconds and (when --trace is recording) the exported
+   span, so trace-derived phase timings agree exactly with these. *)
 let charge t phase f =
-  let start = Unix.gettimeofday () in
-  let finally () = t.(index phase) <- t.(index phase) +. Unix.gettimeofday () -. start in
-  Fun.protect ~finally f
+  Ace_trace.Trace.timed (phase_slug phase)
+    (fun dt -> t.(index phase) <- t.(index phase) +. dt)
+    f
 
 let add t phase s = t.(index phase) <- t.(index phase) +. s
 let seconds t phase = t.(index phase)

@@ -26,7 +26,11 @@ type t
 
 val create : unit -> t
 
-(** [charge t phase f] runs [f ()], adding its wall time to [phase]. *)
+(** [charge t phase f] runs [f ()], adding its wall time to [phase] (also
+    on exceptions).  Rides {!Ace_trace.Trace.timed}: when a trace session
+    is recording, the same clock samples are also emitted as a span named
+    {!phase_slug}[ phase], so phase timings reconstructed from the trace
+    agree exactly with the accumulated seconds. *)
 val charge : t -> phase -> (unit -> 'a) -> 'a
 
 (** Add externally measured seconds to a phase (e.g. CIF text parsing,

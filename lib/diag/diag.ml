@@ -9,7 +9,9 @@ type t = {
   message : string;
 }
 
-let make ?span severity ~code message = { severity; code; span; message }
+let make ?span severity ~code message =
+  Ace_trace.Trace.incr Ace_trace.Trace.Counter.Diags;
+  { severity; code; span; message }
 let error ?span ~code message = make ?span Error ~code message
 let warning ?span ~code message = make ?span Warning ~code message
 let hint ?span ~code message = make ?span Hint ~code message

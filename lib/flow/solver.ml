@@ -92,6 +92,7 @@ module Make (L : LATTICE) = struct
   }
 
   let solve ?(widen_after = 8) sys =
+    Ace_trace.Trace.with_span "flow.solve" @@ fun () ->
     let n = sys.size in
     let values = Array.make n L.bottom in
     if n = 0 then
@@ -206,6 +207,8 @@ module Make (L : LATTICE) = struct
             end
           done)
         components;
+      Ace_trace.Trace.count Ace_trace.Trace.Counter.Solver_iterations
+        !iterations;
       ( values,
         {
           sccs = !n_sccs;

@@ -152,9 +152,11 @@ let run circuit acts (h : Hier.t) ~vdd ~gnd =
     match Hashtbl.find_opt memo key with
     | Some r ->
         incr hits;
+        Ace_trace.Trace.incr Ace_trace.Trace.Counter.Summary_hits;
         r
     | None ->
         incr misses;
+        Ace_trace.Trace.incr Ace_trace.Trace.Counter.Summary_misses;
         let lseed = Array.make nl 0 and lclamp = Array.make nl false in
         for l = 0 to nl - 1 do
           let f = u.u_nets.(l) in

@@ -196,6 +196,7 @@ let reachable_parts registry root_part =
   List.rev !acc
 
 let extract ?(leaf_limit = 512) ?(memoize = true) ?cache design =
+  Ace_trace.Trace.with_span "hext.extract" @@ fun () ->
   let cache =
     match cache with
     | Some c -> c

@@ -30,6 +30,7 @@ let context ?(config = Config.default) ?(vdd = "VDD") ?(gnd = "GND")
   }
 
 let run ?(config = Config.default) ?vdd ?gnd ?flow circuit =
+  Ace_trace.Trace.with_span "lint.run" @@ fun () ->
   let ctx = context ~config ?vdd ?gnd ?flow circuit in
   List.concat_map
     (fun (r : Rule.t) ->

@@ -25,19 +25,26 @@ let fresh t =
 
 let count t = t.size
 
-let rec find t x =
+let rec find_root t x =
   let p = t.parent.(x) in
   if p = x then x
   else begin
-    let root = find t p in
+    let root = find_root t p in
     t.parent.(x) <- root;
     root
   end
 
+(* Only the public entry points count: internal root lookups (union's
+   own, compress) stay out of the telemetry. *)
+let find t x =
+  Ace_trace.Trace.incr Ace_trace.Trace.Counter.Uf_finds;
+  find_root t x
+
 let same t a b = find t a = find t b
 
 let union t a b =
-  let ra = find t a and rb = find t b in
+  Ace_trace.Trace.incr Ace_trace.Trace.Counter.Uf_unions;
+  let ra = find_root t a and rb = find_root t b in
   if ra = rb then ra
   else begin
     t.classes <- t.classes - 1;
@@ -62,7 +69,7 @@ let compress t =
   let mapping = Array.make t.size (-1) in
   let next = ref 0 in
   for x = 0 to t.size - 1 do
-    let r = find t x in
+    let r = find_root t x in
     if mapping.(r) = -1 then begin
       mapping.(r) <- !next;
       incr next

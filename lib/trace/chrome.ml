@@ -1,0 +1,195 @@
+(* Chrome trace-event export (chrome://tracing, Perfetto) and the
+   validator the tests and fuzz harness run over every exported trace.
+
+   One track per Trace tid: a "thread_name" metadata record, the B/E/i
+   span events with timestamps in microseconds relative to the session
+   start, allocation deltas attached to span ends, and one "C" counter
+   sample per non-zero counter at the end of the track.  [~zero] zeroes
+   wall times, pids and allocation figures (counters stay real) so the
+   goldens under test/ are byte-stable. *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let render ?(zero = false) (s : Trace.session) =
+  let pid = if zero then 0 else Unix.getpid () in
+  let us ts = if zero then 0.0 else Int64.to_float (Int64.sub ts s.t0) /. 1e3 in
+  let b = Buffer.create 4096 in
+  let first = ref true in
+  let event line =
+    if not !first then Buffer.add_string b ",\n";
+    first := false;
+    Buffer.add_string b "  ";
+    Buffer.add_string b line
+  in
+  Buffer.add_string b "{\"traceEvents\": [\n";
+  List.iter
+    (fun (t : Trace.track) ->
+      event
+        (Printf.sprintf
+           "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": %d, \"tid\": \
+            %d, \"ts\": 0, \"args\": {\"name\": \"%s\"}}"
+           pid t.t_tid (escape t.t_name));
+      (* stack of Begin alloc figures, to report per-span alloc deltas *)
+      let begins = ref [] in
+      let last_ts = ref 0.0 in
+      Array.iter
+        (fun (e : Trace.event) ->
+          last_ts := us e.ts;
+          match e.kind with
+          | Trace.Begin ->
+              begins := e.alloc :: !begins;
+              event
+                (Printf.sprintf
+                   "{\"name\": \"%s\", \"cat\": \"ace\", \"ph\": \"B\", \
+                    \"pid\": %d, \"tid\": %d, \"ts\": %.3f}"
+                   (escape e.ename) pid t.t_tid (us e.ts))
+          | Trace.End ->
+              let alloc =
+                match !begins with
+                | a :: rest ->
+                    begins := rest;
+                    if zero then 0.0 else e.alloc -. a
+                | [] -> 0.0
+              in
+              event
+                (Printf.sprintf
+                   "{\"name\": \"%s\", \"cat\": \"ace\", \"ph\": \"E\", \
+                    \"pid\": %d, \"tid\": %d, \"ts\": %.3f, \"args\": \
+                    {\"alloc_w\": %.0f}}"
+                   (escape e.ename) pid t.t_tid (us e.ts) alloc)
+          | Trace.Instant ->
+              event
+                (Printf.sprintf
+                   "{\"name\": \"%s\", \"cat\": \"ace\", \"ph\": \"i\", \
+                    \"pid\": %d, \"tid\": %d, \"ts\": %.3f, \"s\": \"t\"}"
+                   (escape e.ename) pid t.t_tid (us e.ts)))
+        t.t_events;
+      Array.iteri
+        (fun i v ->
+          if v <> 0 then
+            event
+              (Printf.sprintf
+                 "{\"name\": \"%s\", \"ph\": \"C\", \"pid\": %d, \"tid\": \
+                  %d, \"ts\": %.3f, \"args\": {\"value\": %d}}"
+                 (Trace.Counter.slug (List.nth Trace.Counter.all i))
+                 pid t.t_tid !last_ts v))
+        t.t_counters)
+    s.tracks;
+  Buffer.add_string b "\n], \"displayTimeUnit\": \"ms\"}\n";
+  Buffer.contents b
+
+let write ?zero path session =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (render ?zero session))
+
+(* --- validation --- *)
+
+type stacks = (int * int, string list ref * float ref) Hashtbl.t
+
+let validate text =
+  match Json.parse text with
+  | Error msg -> Error ("trace is not valid JSON: " ^ msg)
+  | Ok root -> (
+      match Json.member "traceEvents" root with
+      | Some (Json.Arr events) -> (
+          let stacks : stacks = Hashtbl.create 8 in
+          let checked = ref 0 in
+          let check e =
+            let str name =
+              match Json.member name e with
+              | Some (Json.Str s) -> Ok s
+              | _ -> Error (Printf.sprintf "event missing string %S" name)
+            in
+            let num name =
+              match Json.member name e with
+              | Some (Json.Num f) -> Ok f
+              | _ -> Error (Printf.sprintf "event missing number %S" name)
+            in
+            let ( let* ) = Result.bind in
+            let* ph = str "ph" in
+            let* name = str "name" in
+            let* pid = num "pid" in
+            let* tid = num "tid" in
+            let* ts = num "ts" in
+            if ph = "M" then Ok ()
+            else begin
+              let key = (int_of_float pid, int_of_float tid) in
+              let stack, last =
+                match Hashtbl.find_opt stacks key with
+                | Some v -> v
+                | None ->
+                    let v = (ref [], ref neg_infinity) in
+                    Hashtbl.add stacks key v;
+                    v
+              in
+              if ts < !last then
+                Error
+                  (Printf.sprintf
+                     "timestamps not monotone on track %d: %.3f after %.3f"
+                     (snd key) ts !last)
+              else begin
+                last := ts;
+                incr checked;
+                match ph with
+                | "B" ->
+                    stack := name :: !stack;
+                    Ok ()
+                | "E" -> (
+                    match !stack with
+                    | top :: rest when top = name ->
+                        stack := rest;
+                        Ok ()
+                    | top :: _ ->
+                        Error
+                          (Printf.sprintf
+                             "span end %S does not match open span %S on \
+                              track %d"
+                             name top (snd key))
+                    | [] ->
+                        Error
+                          (Printf.sprintf
+                             "span end %S with no open span on track %d" name
+                             (snd key)))
+                | "i" | "I" | "C" -> Ok ()
+                | _ -> Error (Printf.sprintf "unknown event phase %S" ph)
+              end
+            end
+          in
+          let rec all = function
+            | [] -> Ok ()
+            | e :: rest -> (
+                match check e with Ok () -> all rest | Error _ as err -> err)
+          in
+          match all events with
+          | Error _ as err -> err
+          | Ok () ->
+              Hashtbl.fold
+                (fun (_, tid) (stack, _) acc ->
+                  match acc with
+                  | Error _ -> acc
+                  | Ok n ->
+                      if !stack = [] then Ok n
+                      else
+                        Error
+                          (Printf.sprintf
+                             "track %d ends with %d unclosed span(s): %s" tid
+                             (List.length !stack)
+                             (String.concat ", " !stack)))
+                stacks (Ok !checked))
+      | _ -> Error "trace has no \"traceEvents\" array")

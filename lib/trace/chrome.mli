@@ -1,0 +1,16 @@
+(** Chrome trace-event JSON export and validation. *)
+
+val render : ?zero:bool -> Trace.session -> string
+(** Renders a session as Chrome trace-event JSON (loadable in Perfetto /
+    chrome://tracing).  With [~zero:true] wall times, pids and allocation
+    figures are zeroed (counter values stay real) so the output is
+    byte-stable for golden tests. *)
+
+val write : ?zero:bool -> string -> Trace.session -> unit
+
+val validate : string -> (int, string) result
+(** Structural check used by the tests and the fuzz harness: the text is
+    valid JSON with a [traceEvents] array; every event carries
+    [ph]/[name]/[pid]/[tid]/[ts]; per-track timestamps are monotone
+    non-decreasing; B/E events balance with matching names.  Returns the
+    number of non-metadata events on success. *)

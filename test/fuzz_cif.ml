@@ -12,7 +12,12 @@
       ends produce the same AST (likewise for the semantic phase);
    3. lint totality — on every input small enough to extract, the full
       Ace_lint rule battery runs over the extracted circuit without
-      raising (extraction itself is allowed to fail on fuzz garbage).
+      raising (extraction itself is allowed to fail on fuzz garbage);
+   4. tracing transparency — re-running the front end and the extractor
+      with a recording Ace_trace session yields byte-identical
+      diagnostics and wirelists (hence identical exit codes), the
+      strict/lenient agreement of (2) still holds, and the exported
+      Chrome trace parses and balances.
 
    Runs as a bounded smoke test under `dune runtest` (fixed seed, ~500
    inputs, well under 5 s).  Set ACE_FUZZ_N / ACE_FUZZ_SEED to scale it
@@ -101,11 +106,46 @@ let fail_input what input e =
 
 let has_error diags = List.exists Diag.is_error diags
 
+(* property 4: tracing is an observer.  With a recording session active
+   the lenient parse must report exactly the diagnostics it reported
+   untraced (so CLI exit codes cannot change), strict/lenient agreement
+   must still hold, extraction must yield the identical wirelist, and the
+   trace we then export must be structurally valid. *)
+let traced_transparent input untraced_pdiags design untraced_wl =
+  Ace_trace.Trace.start ();
+  (try
+     let _, tdiags = Parser.parse_string_lenient input in
+     if tdiags <> untraced_pdiags then
+       fail_input "tracing changed the parse diagnostics" input
+         (Failure "diag mismatch");
+     let strict_fails =
+       match Parser.parse_string input with
+       | _ -> false
+       | exception Parser.Error _ -> true
+       | exception e ->
+           fail_input "traced strict parse raised non-Error" input e;
+           true
+     in
+     if strict_fails <> has_error tdiags then
+       fail_input "strict/lenient disagreement with tracing on" input
+         (Failure "disagreement");
+     match Ace_core.Extractor.extract ~name:"fuzz" design with
+     | exception e -> fail_input "traced extract raised" input e
+     | c ->
+         if Ace_netlist.Wirelist.to_string c <> untraced_wl then
+           fail_input "tracing changed the wirelist" input
+             (Failure "wirelist mismatch")
+   with e -> fail_input "traced run raised" input e);
+  let session = Ace_trace.Trace.stop () in
+  match Ace_trace.Chrome.validate (Ace_trace.Chrome.render session) with
+  | Ok _ -> ()
+  | Error m -> fail_input "exported trace invalid" input (Failure m)
+
 (* property 3: the lint battery is total over whatever the extractor
    produces.  Extraction failures on fuzz garbage are tolerated (and the
    design is size-guarded so pathological inputs cannot stall the run),
    but [Ace_lint.Engine.run] itself must never raise. *)
-let lint_total input design =
+let lint_total input pdiags design =
   let small =
     match Design.bbox design with
     | None -> true
@@ -120,6 +160,8 @@ let lint_total input design =
         (match Ace_lint.Engine.run circuit with
         | _findings -> ()
         | exception e -> fail_input "lint raised" input e);
+        traced_transparent input pdiags design
+          (Ace_netlist.Wirelist.to_string circuit);
         (* property 3b: the flow analysis is total on any extracted
            circuit, rails or not (forced rail indices) *)
         let nc = Ace_netlist.Circuit.net_count circuit in
@@ -137,7 +179,7 @@ let run_one input =
   | lenient_ast, pdiags -> (
       (match Design.of_ast_lenient lenient_ast with
       | exception e -> fail_input "of_ast_lenient raised" input e
-      | design, _sdiags -> lint_total input design);
+      | design, _sdiags -> lint_total input pdiags design);
       (* property 2: strict/lenient agreement *)
       match Parser.parse_string input with
       | exception Parser.Error _ ->

@@ -1,0 +1,23 @@
+#!/bin/sh
+# CI coverage step: run the whole test suite with lib/core and lib/trace
+# instrumented by bisect_ppx and gate the line coverage of those
+# libraries against coverage.expected (see tools/coverage_gate.sh for the
+# comparison; only the libraries carrying an (instrumentation) stanza
+# contribute, so the summary *is* lib/core + lib/trace).
+#
+# Skips with success when bisect_ppx is not installed so the script is
+# safe to call unconditionally from CI and from minimal dev containers.
+
+set -e
+cd "$(dirname "$0")/.."
+
+if ! command -v bisect-ppx-report >/dev/null 2>&1; then
+  echo "coverage: bisect-ppx-report not installed; skipping gate"
+  exit 0
+fi
+
+rm -rf _coverage
+mkdir -p _coverage
+BISECT_FILE="$PWD/_coverage/bisect" \
+  dune runtest --instrument-with bisect_ppx --force
+sh tools/coverage_gate.sh _coverage coverage.expected

@@ -657,6 +657,62 @@ let bench_trace_overhead suite =
     suite
 
 (* ------------------------------------------------------------------ *)
+(* aced request latency: cold compute vs warm cache hit                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Drives the daemon's request handler in-process (no socket, no
+   subprocess) so the table isolates what the persistent cache buys: a
+   cold extract request parses, extracts and stores; a warm one reads
+   the entry back, checksums it and splices the payload bytes.  The
+   cold/warm ratio is the headline number for editor-integration
+   latency. *)
+let bench_serve suite =
+  header "aced request latency: cold extract vs warm cache hit";
+  let module Serve = Ace_serve.Server in
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "aced-bench-%d" (Unix.getpid ()))
+  in
+  let cache =
+    match Ace_serve.Cache.open_dir ~faults:(Ace_serve.Faults.none ()) dir with
+    | Ok c -> c
+    | Error m -> failwith m
+  in
+  let t = Serve.create (Serve.config ~cache ()) in
+  let reps = 5 in
+  Printf.printf "%-10s %12s %12s %10s\n" "Name" "cold (ms)" "warm (ms)"
+    "cold/warm";
+  List.iter
+    (fun ((r : Ace_workloads.Chips.recipe), design, _) ->
+      let cif = Ace_cif.Writer.to_string (Ace_cif.Design.ast design) in
+      let req =
+        Ace_serve.Proto.obj
+          [
+            ("id", Ace_serve.Proto.str r.chip_name);
+            ("op", Ace_serve.Proto.str "extract");
+            ("cif", Ace_serve.Proto.str cif);
+          ]
+      in
+      let (), t_cold = time (fun () -> ignore (Serve.handle_line t req)) in
+      let (), t_warm =
+        time (fun () ->
+            for _ = 1 to reps do
+              ignore (Serve.handle_line t req)
+            done)
+      in
+      let t_warm = t_warm /. float_of_int reps in
+      Printf.printf "%-10s %12.2f %12.2f %9.1fx\n" r.chip_name
+        (t_cold *. 1000.0) (t_warm *. 1000.0)
+        (if t_warm > 0.0 then t_cold /. t_warm else 0.0))
+    suite;
+  (* scratch cache: remove entries, then the directory *)
+  Array.iter
+    (fun n -> try Sys.remove (Filename.concat dir n) with Sys_error _ -> ())
+    (try Sys.readdir dir with Sys_error _ -> [||]);
+  (try Unix.rmdir dir with Unix.Unix_error _ -> ())
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per paper table             *)
 (* ------------------------------------------------------------------ *)
 
@@ -736,7 +792,7 @@ let () =
       ("--full", Arg.Set full, " use the paper's full chip sizes (minutes of CPU)");
       ("--bechamel", Arg.Set run_bechamel, " also run the Bechamel micro-benchmarks");
       ("--table", Arg.String (fun s -> only := s :: !only),
-       "NAME run one table (ace51 ace52 dist model hext41 hext5 extract trace ablations); repeatable");
+       "NAME run one table (ace51 ace52 dist model hext41 hext5 extract trace serve ablations); repeatable");
       ("--jobs", Arg.Set_int jobs, "N shard count for the extract table (default 4)");
       ("--json", Arg.Set_string json_path,
        "PATH where the extract table writes its JSON telemetry (default BENCH_extract.json)");
@@ -750,7 +806,7 @@ let () =
   let suite =
     if
       want "ace51" || want "ace52" || want "dist" || want "hext5"
-      || want "extract" || want "trace"
+      || want "extract" || want "trace" || want "serve"
     then build_suite !scale
     else []
   in
@@ -763,5 +819,6 @@ let () =
   if want "extract" then
     bench_extract suite ~jobs:!jobs ~scale:!scale ~json_path:!json_path;
   if want "trace" then bench_trace_overhead suite;
+  if want "serve" then bench_serve suite;
   if want "ablations" then ablations !scale;
   if !run_bechamel then bechamel_tables ()

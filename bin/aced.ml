@@ -1,0 +1,192 @@
+(* aced — the extraction daemon: newline-JSON requests (extract / lint /
+   flow / ping / stats / cache-gc / shutdown) over a Unix-domain socket,
+   or over stdin/stdout with --once.  Results are cached crash-safely on
+   disk; see Ace_serve for the protocol and robustness contracts. *)
+
+module Serve = Ace_serve
+
+let fail_usage msg =
+  prerr_endline ("aced: " ^ msg);
+  exit 2
+
+let build_faults specs =
+  match Serve.Faults.of_specs (Serve.Faults.env_specs () @ specs) with
+  | Ok f -> f
+  | Error m -> fail_usage m
+
+let open_cache ~no_cache ~cache_dir ~cache_max_mb ~faults =
+  if no_cache then None
+  else
+    match
+      Serve.Cache.open_dir ?max_mb:cache_max_mb ~faults cache_dir
+    with
+    | Ok c -> Some c
+    | Error m -> fail_usage m
+
+let serve socket once cache_dir no_cache cache_max_mb jobs max_inflight
+    max_request_bytes deadline_ms retry_after_ms fault_specs vdd gnd trace =
+  Cli_common.setup_trace trace;
+  let faults = build_faults fault_specs in
+  let cache = open_cache ~no_cache ~cache_dir ~cache_max_mb ~faults in
+  let config =
+    Serve.Server.config ~jobs ?cache ~max_request_bytes ~max_inflight
+      ~default_deadline_ms:deadline_ms ~retry_after_ms ~faults ~vdd ~gnd ()
+  in
+  let t = Serve.Server.create config in
+  match (socket, once) with
+  | None, false -> fail_usage "specify --socket PATH or --once"
+  | Some _, true -> fail_usage "--socket and --once are mutually exclusive"
+  | None, true ->
+      Serve.Server.serve_once t;
+      0
+  | Some path, false -> (
+      match Serve.Server.serve_socket t path with
+      | () -> 0
+      | exception Unix.Unix_error (e, _, _) ->
+          fail_usage
+            (Printf.sprintf "cannot listen on %s: %s" path
+               (Unix.error_message e)))
+
+let cache_gc cache_dir cache_max_mb =
+  let faults = Serve.Faults.none () in
+  match Serve.Cache.open_dir ?max_mb:cache_max_mb ~faults cache_dir with
+  | Error m -> fail_usage m
+  | Ok c ->
+      let g = Serve.Cache.gc c in
+      Printf.printf
+        "{\"removed_tmp\":%d,\"removed_quarantined\":%d,\"evicted\":%d,\"kept\":%d,\"bytes\":%d}\n"
+        g.Serve.Cache.removed_tmp g.Serve.Cache.removed_quarantined
+        g.Serve.Cache.evicted g.Serve.Cache.kept g.Serve.Cache.bytes;
+      0
+
+open Cmdliner
+
+let cache_dir_t =
+  Arg.(
+    value & opt string ".aced-cache"
+    & info [ "cache-dir" ] ~docv:"DIR"
+        ~doc:
+          "Directory for the persistent extraction cache (created if \
+           missing).  Entries are content-addressed and checksummed; \
+           corrupted entries are quarantined and recomputed.")
+
+let cache_max_mb_t =
+  Arg.(
+    value & opt (some int) None
+    & info [ "cache-max-mb" ] ~docv:"MB"
+        ~doc:
+          "Cap the cache at $(docv) mebibytes; least-recently-used \
+           entries are evicted after each store (default: unbounded).")
+
+let socket_t =
+  Arg.(
+    value & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:
+          "Listen on a Unix-domain socket at $(docv) (a stale socket \
+           file is replaced), one thread per connection.")
+
+let once_t =
+  Arg.(
+    value & flag
+    & info [ "once" ]
+        ~doc:
+          "Serve a single session on stdin/stdout instead of a socket: \
+           one JSON request per input line, one reply per output line, \
+           until EOF.")
+
+let no_cache_t =
+  Arg.(value & flag & info [ "no-cache" ] ~doc:"Disable the persistent cache.")
+
+let jobs_t =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Default (and maximum) parallel extraction shards per request \
+           (see $(b,ace -j)); requests may ask for fewer.")
+
+let max_inflight_t =
+  Arg.(
+    value & opt int 4
+    & info [ "max-inflight" ] ~docv:"N"
+        ~doc:
+          "Admit at most $(docv) concurrent compute requests; beyond \
+           that, reply $(b,overloaded) with a $(b,retry_after_ms) hint.")
+
+let max_request_bytes_t =
+  Arg.(
+    value & opt int (8 * 1024 * 1024)
+    & info [ "max-request-bytes" ] ~docv:"N"
+        ~doc:
+          "Reject request lines longer than $(docv) bytes (they are \
+           drained, never buffered).")
+
+let deadline_ms_t =
+  Arg.(
+    value & opt int 0
+    & info [ "deadline-ms" ] ~docv:"MS"
+        ~doc:
+          "Default per-request deadline; requests may override with \
+           their $(b,deadline_ms) field.  0 disables.")
+
+let retry_after_ms_t =
+  Arg.(
+    value & opt int 100
+    & info [ "retry-after-ms" ] ~docv:"MS"
+        ~doc:"The back-off hint carried by $(b,overloaded) replies.")
+
+let fault_t =
+  Arg.(
+    value & opt_all string []
+    & info [ "fault" ] ~docv:"SPEC"
+        ~doc:
+          "Inject a fault for robustness testing (repeatable; also read \
+           comma-separated from $(b,ACE_FAULTS)): \
+           $(b,cache-torn-write), $(b,cache-bit-flip), \
+           $(b,slow-request=MS), $(b,shard-raise), $(b,oom-soft).")
+
+let vdd_t =
+  Arg.(
+    value & opt string "VDD"
+    & info [ "vdd" ] ~docv:"NET" ~doc:"Default power rail for lint/flow.")
+
+let gnd_t =
+  Arg.(
+    value & opt string "GND"
+    & info [ "gnd" ] ~docv:"NET" ~doc:"Default ground rail for lint/flow.")
+
+let serve_term =
+  Term.(
+    const serve $ socket_t $ once_t $ cache_dir_t $ no_cache_t
+    $ cache_max_mb_t $ jobs_t $ max_inflight_t $ max_request_bytes_t
+    $ deadline_ms_t $ retry_after_ms_t $ fault_t $ vdd_t $ gnd_t
+    $ Cli_common.trace_t)
+
+let serve_cmd =
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the extraction daemon (the default command).")
+    serve_term
+
+let gc_cmd =
+  Cmd.v
+    (Cmd.info "gc"
+       ~doc:
+         "Sweep the cache offline: remove temp and quarantined files and \
+          enforce the byte cap; prints a JSON summary.")
+    Term.(const cache_gc $ cache_dir_t $ cache_max_mb_t)
+
+let cache_cmd =
+  Cmd.group (Cmd.info "cache" ~doc:"Cache maintenance.") [ gc_cmd ]
+
+let cmd =
+  Cmd.group ~default:serve_term
+    (Cmd.info "aced"
+       ~doc:
+         "Fault-tolerant extraction daemon: newline-JSON protocol, \
+          per-request deadlines, overload backpressure, and a crash-safe \
+          persistent result cache")
+    [ serve_cmd; cache_cmd ]
+
+let () = exit (Cmd.eval' cmd)

@@ -8,10 +8,16 @@ type source = {
   pop : int -> (Layer.t * Box.t) list;
 }
 
-let source_of_stream stream =
+let source_of_stream ?(cancel = Cancel.never) stream =
   {
     peek = (fun () -> Ace_cif.Stream.peek_top stream);
-    pop = (fun y -> Ace_cif.Stream.pop_at stream y);
+    pop =
+      (fun y ->
+        (* checkpoint at the Stream.pop hot site: a pop can expand an
+           arbitrarily deep symbol subtree, so deadline trips must be
+           noticed before the next batch is pulled *)
+        Cancel.check cancel;
+        Ace_cif.Stream.pop_at stream y);
   }
 
 let source_of_boxes boxes =
@@ -224,7 +230,7 @@ let iter_tagged_overlaps a b ~f =
   in
   go a b
 
-let run config source ~labels =
+let run ?(cancel = Cancel.never) config source ~labels =
   Trace.with_span "engine.run" @@ fun () ->
   (* In window mode, clip lazily: tops at or above the window top pool
      into one stop at [w.t]; every other stop keeps its y, so the stream
@@ -546,6 +552,9 @@ let run config source ~labels =
     Array.fold_left (fun acc l -> acc + List.length l) 0 active
   in
   let rec loop y_top =
+    (* the per-stop cancellation checkpoint: one atomic load when the
+       token is inert, a clock read when a deadline is armed *)
+    Cancel.check cancel;
     incr stops;
     Timing.charge timing Timing.List_update (fun () ->
         for i = 0 to Layer.count - 1 do

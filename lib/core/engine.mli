@@ -24,8 +24,9 @@ type source = {
   pop : int -> (Layer.t * Box.t) list;  (** all boxes with that exact top *)
 }
 
-(** Source from ACE's lazy front-end. *)
-val source_of_stream : Ace_cif.Stream.t -> source
+(** Source from ACE's lazy front-end.  [cancel] is checked on every pop,
+    before the stream expands the next batch of symbols. *)
+val source_of_stream : ?cancel:Cancel.t -> Ace_cif.Stream.t -> source
 
 (** Source from a pre-flattened box list (stable-sorts it first:
     descending top, input order at equal tops). *)
@@ -111,5 +112,9 @@ type raw = {
 }
 
 (** Run the scanline over a source.  [labels] must be sorted by decreasing
-    y (as {!Ace_cif.Stream.labels} returns them). *)
-val run : config -> source -> labels:Ace_cif.Design.label list -> raw
+    y (as {!Ace_cif.Stream.labels} returns them).  [cancel] (default
+    {!Cancel.never}) is checked at every scanline stop — both before the
+    front-end pop and before the strip is processed — so a tripped token
+    raises {!Cancel.Cancelled} within one strip of work. *)
+val run :
+  ?cancel:Cancel.t -> config -> source -> labels:Ace_cif.Design.label list -> raw

@@ -135,11 +135,14 @@ let circuit_of_raw ~name ~include_partial (raw : Engine.raw) =
   in
   { Circuit.name; devices; nets = nets_arr }
 
-let extract_with_stats ?(emit_geometry = false) ?(name = "chip") design =
+let extract_with_stats ?(cancel = Cancel.never) ?(emit_geometry = false)
+    ?(name = "chip") design =
   let stream = Ace_cif.Stream.create design in
   let labels = Ace_cif.Stream.labels stream in
-  let source = Engine.source_of_stream stream in
-  let raw = Engine.run { Engine.emit_geometry; window = None } source ~labels in
+  let source = Engine.source_of_stream ~cancel stream in
+  let raw =
+    Engine.run ~cancel { Engine.emit_geometry; window = None } source ~labels
+  in
   let circuit = circuit_of_raw ~name ~include_partial:true raw in
   ( circuit,
     {
@@ -153,8 +156,8 @@ let extract_with_stats ?(emit_geometry = false) ?(name = "chip") design =
           raw.warnings;
     } )
 
-let extract ?emit_geometry ?name design =
-  fst (extract_with_stats ?emit_geometry ?name design)
+let extract ?cancel ?emit_geometry ?name design =
+  fst (extract_with_stats ?cancel ?emit_geometry ?name design)
 
 let extract_boxes ?(emit_geometry = false) ?(name = "chip") ?(labels = []) boxes =
   let source = Engine.source_of_boxes boxes in

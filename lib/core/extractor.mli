@@ -23,12 +23,18 @@ type stats = {
 
 (** Extract a parsed-and-checked design.  [emit_geometry] populates per-net
     and per-device geometry (the paper's user option, default off).  [name]
-    is the wirelist part name. *)
+    is the wirelist part name.  [cancel] is checked at every stream pop
+    and scanline stop; a tripped token raises {!Cancel.Cancelled}. *)
 val extract :
-  ?emit_geometry:bool -> ?name:string -> Ace_cif.Design.t -> Circuit.t
+  ?cancel:Cancel.t ->
+  ?emit_geometry:bool ->
+  ?name:string ->
+  Ace_cif.Design.t ->
+  Circuit.t
 
 (** Same, returning run statistics alongside. *)
 val extract_with_stats :
+  ?cancel:Cancel.t ->
   ?emit_geometry:bool ->
   ?name:string ->
   Ace_cif.Design.t ->

@@ -72,18 +72,20 @@ let shard_labels wins labels =
 (* One shard: its own lazy stream over the shared (pre-warmed, read-only)
    design, clipped to the strip, run in window mode, and folded down to a
    fragment — all inside the worker domain. *)
-let run_shard design window labels idx =
+let run_shard ~cancel ~on_shard design window labels idx =
   (* Each shard gets its own trace track whether it runs on a spawned
      domain or (worker 0, or sequential mode) on the calling one; the
      track's counters start at zero, so the snapshot at the end is the
      shard's own contribution. *)
   Trace.with_track ~tid:(idx + 1) ~name:(Printf.sprintf "shard %d" idx)
   @@ fun () ->
-  let t0 = Unix.gettimeofday () in
+  on_shard idx;
+  (* monotonic clock: shard telemetry must survive wall-clock steps *)
+  let t0 = Trace.now_ns () in
   let stream = Ace_cif.Stream.create ~window design in
   let seen = ref 0 in
   let clipped =
-    Engine.source_clipped (Engine.source_of_stream stream) ~window
+    Engine.source_clipped (Engine.source_of_stream ~cancel stream) ~window
   in
   let source =
     {
@@ -96,8 +98,9 @@ let run_shard design window labels idx =
     }
   in
   let raw =
-    Engine.run { Engine.emit_geometry = false; window = Some window } source
-      ~labels
+    Engine.run ~cancel
+      { Engine.emit_geometry = false; window = Some window }
+      source ~labels
   in
   let frag = Fragment.leaf_of_raw ~next_id:idx ~window raw in
   let shard =
@@ -106,7 +109,7 @@ let run_shard design window labels idx =
       s_boxes = !seen;
       s_stops = raw.Engine.stops;
       s_max_active = raw.Engine.max_active;
-      s_seconds = Unix.gettimeofday () -. t0;
+      s_seconds = Int64.to_float (Int64.sub (Trace.now_ns ()) t0) /. 1e9;
       s_timing = raw.Engine.timing;
       s_devices = List.length frag.Fragment.part.Hier.devices;
       s_partials = List.length frag.Fragment.partials;
@@ -141,10 +144,11 @@ let stats_of_flat (st : Extractor.stats) =
     warnings = st.warnings;
   }
 
-let extract_with_stats ?(sequential = false) ?(jobs = 1) ?(name = "chip")
-    design =
+let extract_with_stats ?(sequential = false) ?(cancel = Cancel.never)
+    ?(on_shard = fun _ -> ()) ?(jobs = 1) ?(name = "chip") design =
   let flat () =
-    let circuit, st = Extractor.extract_with_stats ~name design in
+    on_shard 0;
+    let circuit, st = Extractor.extract_with_stats ~cancel ~name design in
     (circuit, stats_of_flat st)
   in
   match Ace_cif.Design.bbox design with
@@ -162,19 +166,36 @@ let extract_with_stats ?(sequential = false) ?(jobs = 1) ?(name = "chip")
           (Ace_cif.Design.symbol_ids design);
         ignore (Ace_cif.Design.count_boxes design);
         let buckets = shard_labels wins (Ace_cif.Design.labels design) in
-        let work i = run_shard design wins.(i) buckets.(i) i in
+        let work i = run_shard ~cancel ~on_shard design wins.(i) buckets.(i) i in
         let results =
           if sequential then Array.init n work
           else begin
+            (* Capture instead of letting exceptions escape the spawned
+               thunks: Domain.join re-raises a worker's exception, and a
+               raise from the calling domain's own work (or from an early
+               join) would leave later domains unjoined — leaked domains
+               and a wedged runtime at exit.  Every domain is therefore
+               joined unconditionally before any failure propagates; the
+               lowest-indexed shard's exception wins, with its original
+               backtrace. *)
+            let capture f =
+              match f () with
+              | r -> Ok r
+              | exception e -> Error (e, Printexc.get_raw_backtrace ())
+            in
             let doms =
               Array.init (n - 1) (fun k ->
-                  Domain.spawn (fun () -> work (k + 1)))
+                  Domain.spawn (fun () -> capture (fun () -> work (k + 1))))
             in
             (* the calling domain is the pool's first worker *)
-            let first = work 0 in
-            let results = Array.make n first in
-            Array.iteri (fun k d -> results.(k + 1) <- Domain.join d) doms;
-            results
+            let first = capture (fun () -> work 0) in
+            let outcomes = Array.make n first in
+            Array.iteri (fun k d -> outcomes.(k + 1) <- Domain.join d) doms;
+            Array.map
+              (function
+                | Ok r -> r
+                | Error (e, bt) -> Printexc.raise_with_backtrace e bt)
+              outcomes
           end
         in
         let stitch_timing = Timing.create () in
@@ -247,5 +268,5 @@ let extract_with_stats ?(sequential = false) ?(jobs = 1) ?(name = "chip")
           } )
       end
 
-let extract ?sequential ?jobs ?name design =
-  fst (extract_with_stats ?sequential ?jobs ?name design)
+let extract ?sequential ?cancel ?on_shard ?jobs ?name design =
+  fst (extract_with_stats ?sequential ?cancel ?on_shard ?jobs ?name design)

@@ -64,9 +64,22 @@ val windows : jobs:int -> Box.t -> Box.t array
     output.  Benches use it on hosts with fewer cores than [jobs], where
     timeslicing inflates every spawned shard's wall clock, to get
     uncontended per-shard timings; tests use it for simpler failure
-    traces. *)
+    traces.
+
+    [cancel] is threaded into every shard's engine run; a deadline trip
+    raises {!Cancel.Cancelled} out of this call.  [on_shard] is invoked
+    with the shard index at the start of each shard's work, on that
+    shard's domain (fault injection and tests hook it; default no-op).
+
+    If any shard's work raises — including [on_shard], and including on a
+    spawned domain — every sibling domain is still joined before the
+    exception propagates, so no domain is leaked and the calling process
+    stays consistent; the lowest-indexed shard's exception wins, with its
+    original backtrace. *)
 val extract_with_stats :
   ?sequential:bool ->
+  ?cancel:Cancel.t ->
+  ?on_shard:(int -> unit) ->
   ?jobs:int ->
   ?name:string ->
   Ace_cif.Design.t ->
@@ -74,6 +87,8 @@ val extract_with_stats :
 
 val extract :
   ?sequential:bool ->
+  ?cancel:Cancel.t ->
+  ?on_shard:(int -> unit) ->
   ?jobs:int ->
   ?name:string ->
   Ace_cif.Design.t ->

@@ -50,7 +50,7 @@ let inflows (spec : 'a spec) devices ~net_count ~values =
   let inc = incidence devices net_count in
   Array.init net_count (inflow_at spec inc (fun v -> values.(v)))
 
-let solve (type a) ?widen_after (spec : a spec) devices ~net_count =
+let solve (type a) ?cancel ?widen_after (spec : a spec) devices ~net_count =
   let module L = struct
     type t = a
 
@@ -78,6 +78,6 @@ let solve (type a) ?widen_after (spec : a spec) devices ~net_count =
           else spec.lat.join spec.seed.(n) (inflow_of env n));
     }
   in
-  let values, stats = S.solve ?widen_after system in
+  let values, stats = S.solve ?cancel ?widen_after system in
   let inflows = Array.init net_count (inflow_of (fun v -> values.(v))) in
   (values, inflows, stats)

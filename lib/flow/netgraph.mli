@@ -39,6 +39,7 @@ type 'a spec = {
     of what the net holds), and solver statistics.  All arrays in [spec]
     must have length [net_count]. *)
 val solve :
+  ?cancel:Ace_core.Cancel.t ->
   ?widen_after:int ->
   'a spec ->
   Circuit.device array ->

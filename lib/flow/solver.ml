@@ -91,7 +91,7 @@ module Make (L : LATTICE) = struct
     transfer : (int -> L.t) -> int -> L.t;
   }
 
-  let solve ?(widen_after = 8) sys =
+  let solve ?(cancel = Ace_core.Cancel.never) ?(widen_after = 8) sys =
     Ace_trace.Trace.with_span "flow.solve" @@ fun () ->
     let n = sys.size in
     let values = Array.make n L.bottom in
@@ -181,6 +181,9 @@ module Make (L : LATTICE) = struct
           while !heap_len > 0 do
             let v = pop () in
             incr iterations;
+            (* stride the cancellation poll: a transfer evaluation is far
+               cheaper than a clock read, so check every 256 iterations *)
+            if !iterations land 255 = 0 then Ace_core.Cancel.check cancel;
             let candidate = sys.transfer env v in
             let cur = values.(v) in
             let next =

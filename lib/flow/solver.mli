@@ -47,6 +47,9 @@ module Make (L : LATTICE) : sig
 
   (** Least fixpoint from [L.bottom]; [widen_after] scales the per-component
       iteration bound ([widen_after * (component size + 1)] value updates
-      before widening kicks in, twice that before the backstop). *)
-  val solve : ?widen_after:int -> system -> L.t array * stats
+      before widening kicks in, twice that before the backstop).  [cancel]
+      is polled every 256 iterations; a tripped token raises
+      {!Ace_core.Cancel.Cancelled} mid-solve. *)
+  val solve :
+    ?cancel:Ace_core.Cancel.t -> ?widen_after:int -> system -> L.t array * stats
 end

@@ -71,7 +71,7 @@ let default_inputs (c : Circuit.t) ~vdd ~gnd =
       gates.(i) && (not channels.(i)) && i <> vdd && i <> gnd
       && c.nets.(i).Circuit.names <> [])
 
-let always_driven (c : Circuit.t) ~vdd ~gnd ~inputs =
+let always_driven ?cancel (c : Circuit.t) ~vdd ~gnd ~inputs =
   let n = Circuit.net_count c in
   let seed = Array.make n false in
   let clamp = Array.make n false in
@@ -102,7 +102,7 @@ let always_driven (c : Circuit.t) ~vdd ~gnd ~inputs =
           src && (dtype = Nmos.Depletion || gattr = 1));
     }
   in
-  let driven, _, stats = Netgraph.solve spec c.devices ~net_count:n in
+  let driven, _, stats = Netgraph.solve ?cancel spec c.devices ~net_count:n in
   (driven, stats)
 
 let signal_spec (c : Circuit.t) ~vdd ~gnd ~inputs ~floating =
@@ -240,16 +240,16 @@ let merge_stats (a : Solver.stats) (b : Solver.stats) =
     converged = a.Solver.converged && b.Solver.converged;
   }
 
-let analyze ?inputs ?widen_after (c : Circuit.t) ~vdd ~gnd =
+let analyze ?cancel ?inputs ?widen_after (c : Circuit.t) ~vdd ~gnd =
   let n = Circuit.net_count c in
   let inputs =
     match inputs with Some a -> a | None -> default_inputs c ~vdd ~gnd
   in
-  let driven, stats_a = always_driven c ~vdd ~gnd ~inputs in
+  let driven, stats_a = always_driven ?cancel c ~vdd ~gnd ~inputs in
   let floating = Array.map not driven in
   let spec = signal_spec c ~vdd ~gnd ~inputs ~floating in
   let values, inflows, stats_b =
-    Netgraph.solve ?widen_after spec c.devices ~net_count:n
+    Netgraph.solve ?cancel ?widen_after spec c.devices ~net_count:n
   in
   make_verdict c ~vdd ~gnd ~inputs ~floating ~values ~inflows
     ~stats:(merge_stats stats_a stats_b)

@@ -49,7 +49,12 @@ val default_inputs : Circuit.t -> vdd:int -> gnd:int -> bool array
     from a rail or input through depletion channels and enhancement
     channels gated by VDD).  The complement is the charge-storage set. *)
 val always_driven :
-  Circuit.t -> vdd:int -> gnd:int -> inputs:bool array -> bool array * Solver.stats
+  ?cancel:Ace_core.Cancel.t ->
+  Circuit.t ->
+  vdd:int ->
+  gnd:int ->
+  inputs:bool array ->
+  bool array * Solver.stats
 
 (** Phase-B equation system (seeds, clamps, channel transfer) for a
     circuit whose floating set is already known.  Exposed so the
@@ -100,9 +105,15 @@ val make_verdict :
 
 (** Flat analysis: phase A then phase B on the whole circuit.  Total for
     any well-formed circuit, including [vdd = gnd] (the shared net is
-    then clamped to [s0 ∨ s1]). *)
+    then clamped to [s0 ∨ s1]).  [cancel] is polled inside both solves. *)
 val analyze :
-  ?inputs:bool array -> ?widen_after:int -> Circuit.t -> vdd:int -> gnd:int -> verdict
+  ?cancel:Ace_core.Cancel.t ->
+  ?inputs:bool array ->
+  ?widen_after:int ->
+  Circuit.t ->
+  vdd:int ->
+  gnd:int ->
+  verdict
 
 (** [x_trace v c net] walks inflows backwards from [net] to a floating
     X source and returns the chain source-first ([[net]] when the net is

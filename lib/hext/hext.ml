@@ -1,6 +1,10 @@
 open Ace_geom
 open Ace_netlist
 
+(* Monotonic seconds for the phase-time accumulators: immune to wall-clock
+   steps, same timebase as the trace spans. *)
+let mono_s () = Int64.to_float (Ace_trace.Trace.now_ns ()) /. 1e9
+
 type stats = {
   leaf_extractions : int;
   compose_calls : int;
@@ -98,10 +102,10 @@ let make_compose st a b ~offset =
    caller places them at the window's min corner. *)
 let rec analyze st (w : Content.window) : Fragment.t =
   let canon =
-    let t0 = Unix.gettimeofday () in
+    let t0 = mono_s () in
     let c = Content.canonicalize w in
     st.front_end_seconds <-
-      st.front_end_seconds +. (Unix.gettimeofday () -. t0);
+      st.front_end_seconds +. (mono_s () -. t0);
     c
   in
   match
@@ -119,10 +123,10 @@ let rec analyze st (w : Content.window) : Fragment.t =
 and analyze_uncached st w =
   if Content.has_instances w then begin
     let cut =
-      let t0 = Unix.gettimeofday () in
+      let t0 = mono_s () in
       let c = Content.choose_cut st.design w in
       st.front_end_seconds <-
-        st.front_end_seconds +. (Unix.gettimeofday () -. t0);
+        st.front_end_seconds +. (mono_s () -. t0);
       c
     in
     match cut with
@@ -130,10 +134,10 @@ and analyze_uncached st w =
     | None ->
         (* overlapping bounding boxes: expand one level and retry *)
         let expanded =
-          let t0 = Unix.gettimeofday () in
+          let t0 = mono_s () in
           let e = Content.expand_instances st.design w in
           st.front_end_seconds <-
-            st.front_end_seconds +. (Unix.gettimeofday () -. t0);
+            st.front_end_seconds +. (mono_s () -. t0);
           e
         in
         analyze st expanded
@@ -146,15 +150,15 @@ and analyze_uncached st w =
   else timed_leaf st w
 
 and timed_leaf st w =
-  let t0 = Unix.gettimeofday () in
+  let t0 = mono_s () in
   let frag = make_leaf st w in
-  st.leaf_seconds <- st.leaf_seconds +. (Unix.gettimeofday () -. t0);
+  st.leaf_seconds <- st.leaf_seconds +. (mono_s () -. t0);
   frag
 
 and subdivide st w cut =
-  let t0 = Unix.gettimeofday () in
+  let t0 = mono_s () in
   let low, high = Content.split st.design w cut in
-  st.front_end_seconds <- st.front_end_seconds +. (Unix.gettimeofday () -. t0);
+  st.front_end_seconds <- st.front_end_seconds +. (mono_s () -. t0);
   let fa = analyze st low in
   let fb = analyze st high in
   let offset =
@@ -170,9 +174,9 @@ and subdivide st w cut =
       st.compose_hits <- st.compose_hits + 1;
       frag
   | None ->
-      let t0 = Unix.gettimeofday () in
+      let t0 = mono_s () in
       let frag = make_compose st fa fb ~offset in
-      st.compose_seconds <- st.compose_seconds +. (Unix.gettimeofday () -. t0);
+      st.compose_seconds <- st.compose_seconds +. (mono_s () -. t0);
       if st.memoize then Hashtbl.replace st.cache.compose_table key frag;
       frag
 

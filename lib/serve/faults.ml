@@ -1,0 +1,68 @@
+type t = {
+  mutable torn_write : bool;
+  mutable bit_flip : bool;
+  mutable slow_ms : int;
+  mutable shard_raise : bool;
+  mutable oom_soft : bool;
+}
+
+let none () =
+  {
+    torn_write = false;
+    bit_flip = false;
+    slow_ms = 0;
+    shard_raise = false;
+    oom_soft = false;
+  }
+
+let apply t spec =
+  match spec with
+  | "cache-torn-write" ->
+      t.torn_write <- true;
+      Ok ()
+  | "cache-bit-flip" ->
+      t.bit_flip <- true;
+      Ok ()
+  | "shard-raise" ->
+      t.shard_raise <- true;
+      Ok ()
+  | "oom-soft" ->
+      t.oom_soft <- true;
+      Ok ()
+  | _ -> (
+      match String.index_opt spec '=' with
+      | Some i when String.sub spec 0 i = "slow-request" -> (
+          let v = String.sub spec (i + 1) (String.length spec - i - 1) in
+          match int_of_string_opt v with
+          | Some ms when ms >= 0 ->
+              t.slow_ms <- ms;
+              Ok ()
+          | _ -> Error (Printf.sprintf "bad slow-request delay %S" v))
+      | _ -> Error (Printf.sprintf "unknown fault %S" spec))
+
+let of_specs specs =
+  let t = none () in
+  let rec go = function
+    | [] -> Ok t
+    | s :: rest -> ( match apply t s with Ok () -> go rest | Error e -> Error e)
+  in
+  go specs
+
+let env_specs () =
+  match Sys.getenv_opt "ACE_FAULTS" with
+  | None -> []
+  | Some s ->
+      String.split_on_char ',' s
+      |> List.map String.trim
+      |> List.filter (fun x -> x <> "")
+
+let to_specs t =
+  List.concat
+    [
+      (if t.torn_write then [ "cache-torn-write" ] else []);
+      (if t.bit_flip then [ "cache-bit-flip" ] else []);
+      (if t.slow_ms > 0 then [ Printf.sprintf "slow-request=%d" t.slow_ms ]
+       else []);
+      (if t.shard_raise then [ "shard-raise" ] else []);
+      (if t.oom_soft then [ "oom-soft" ] else []);
+    ]

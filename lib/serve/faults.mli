@@ -1,0 +1,41 @@
+(** Fault injection for the daemon's robustness tests.
+
+    A fault set is parsed from repeated [--fault SPEC] flags and from the
+    comma-separated [ACE_FAULTS] environment variable, and threaded into
+    the cache and the request handlers.  Faults simulate the failure
+    modes the daemon must survive, without needing kill -9 timing luck:
+
+    - ["cache-torn-write"]: cache entries are written truncated, directly
+      at their final path (no temp file, no fsync, no rename) — the
+      on-disk state a crash mid-write leaves behind;
+    - ["cache-bit-flip"]: one payload byte is flipped after the checksum
+      is computed — silent media corruption;
+    - ["slow-request=MS"]: every compute request sleeps [MS]
+      milliseconds while holding its admission slot — lets tests drive
+      the overload path deterministically;
+    - ["shard-raise"]: every spawned extraction shard (index > 0) raises
+      mid-flight — exercises worker isolation and the parallel join;
+    - ["oom-soft"]: compute requests raise [Out_of_memory] — exercises
+      the internal-error path with an asynchronous-looking exception. *)
+
+type t = {
+  mutable torn_write : bool;
+  mutable bit_flip : bool;
+  mutable slow_ms : int;  (** 0 = off *)
+  mutable shard_raise : bool;
+  mutable oom_soft : bool;
+}
+
+val none : unit -> t
+(** Fresh fault set with everything off. *)
+
+val apply : t -> string -> (unit, string) result
+(** Enable one fault from its spec string. *)
+
+val of_specs : string list -> (t, string) result
+
+val env_specs : unit -> string list
+(** Specs from [ACE_FAULTS] (comma-separated; empty items ignored). *)
+
+val to_specs : t -> string list
+(** Active faults, rendered back to spec strings (for the stats reply). *)

@@ -1,0 +1,72 @@
+(** The aced wire protocol: newline-delimited JSON.
+
+    One request per line, one reply per line, in order.  A request is a
+    JSON object with an ["op"] field (["extract"], ["lint"], ["flow"],
+    ["ping"], ["stats"], ["cache-gc"], ["shutdown"]) and an optional
+    ["id"] of any JSON type, echoed verbatim in the reply.  Replies are
+    objects with ["id"], ["ok"], and either per-op result fields or an
+    ["error"] object carrying a stable kebab-case ["code"] (the same
+    namespace the diagnostics use) and a human ["message"].
+
+    This module is pure data: request parsing (on top of the minimal
+    {!Ace_trace.Json} reader) and reply rendering.  Rendering builds
+    JSON text directly — values passed to {!obj}/{!arr} are already
+    rendered fragments — so replies can splice cached payload bytes
+    without a decode/re-encode round trip (the warm-equals-cold
+    byte-identity contract depends on that). *)
+
+module Json = Ace_trace.Json
+
+(** {1 Error codes} *)
+
+val err_bad_request : string
+val err_too_large : string
+val err_deadline : string
+val err_overloaded : string
+val err_internal : string
+
+(** {1 Rendering} *)
+
+val str : string -> string
+(** A JSON string literal (escaped). *)
+
+val int : int -> string
+
+val bool : bool -> string
+
+val arr : string list -> string
+(** Elements are pre-rendered JSON fragments. *)
+
+val obj : (string * string) list -> string
+(** Values are pre-rendered JSON fragments; keys are escaped. *)
+
+val render : Json.t -> string
+(** Re-render a parsed value (used to echo request ids). *)
+
+(** {1 Requests} *)
+
+type request = {
+  id : Json.t;  (** echoed verbatim; [Null] when absent *)
+  op : string;
+  cif : string option;  (** the layout, as CIF text *)
+  name : string;  (** wirelist part name, default ["chip"] *)
+  jobs : int option;  (** shard-count override, clamped by the server *)
+  deadline_ms : int option;  (** per-request deadline *)
+  use_cache : bool;  (** default [true] *)
+  vdd : string option;  (** rail-name override for lint/flow *)
+  gnd : string option;
+}
+
+(** [parse line] — [Error (code, message)] on malformed input; never
+    raises.  The only code it produces is {!err_bad_request}. *)
+val parse : string -> (request, string * string) result
+
+(** {1 Replies} *)
+
+(** [ok ~id ~op fields] — [{"id":…,"ok":true,"op":…,…fields}]. *)
+val ok : id:Json.t -> op:string -> (string * string) list -> string
+
+(** [error ~id ~code ?extra message] — [{"id":…,"ok":false,"error":
+    {"code":…,"message":…,…extra}}]. *)
+val error :
+  id:Json.t -> code:string -> ?extra:(string * string) list -> string -> string

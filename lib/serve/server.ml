@@ -1,0 +1,497 @@
+module Trace = Ace_trace.Trace
+module Json = Ace_trace.Json
+module Diag = Ace_diag.Diag
+module Cancel = Ace_core.Cancel
+module Parallel = Ace_core.Parallel
+module Circuit = Ace_netlist.Circuit
+module Wirelist = Ace_netlist.Wirelist
+
+type config = {
+  jobs : int;
+  cache : Cache.t option;
+  max_request_bytes : int;
+  max_inflight : int;
+  default_deadline_ms : int;
+  retry_after_ms : int;
+  faults : Faults.t;
+  vdd : string;
+  gnd : string;
+}
+
+let config ?(jobs = 1) ?cache ?(max_request_bytes = 8 * 1024 * 1024)
+    ?(max_inflight = 4) ?(default_deadline_ms = 0) ?(retry_after_ms = 100)
+    ?faults ?(vdd = "VDD") ?(gnd = "GND") () =
+  {
+    jobs = max 1 jobs;
+    cache;
+    max_request_bytes;
+    max_inflight = max 1 max_inflight;
+    default_deadline_ms;
+    retry_after_ms;
+    faults = (match faults with Some f -> f | None -> Faults.none ());
+    vdd;
+    gnd;
+  }
+
+type t = {
+  config : config;
+  inflight : int Atomic.t;
+  served : int Atomic.t;
+  rejected : int Atomic.t;
+  failed : int Atomic.t;
+  stop : bool Atomic.t;
+  started_ns : int64;
+  extract_lock : Mutex.t;
+  socket_path : string option Atomic.t;
+}
+
+let create config =
+  {
+    config;
+    inflight = Atomic.make 0;
+    served = Atomic.make 0;
+    rejected = Atomic.make 0;
+    failed = Atomic.make 0;
+    stop = Atomic.make false;
+    started_ns = Trace.now_ns ();
+    extract_lock = Mutex.create ();
+    socket_path = Atomic.make None;
+  }
+
+let stopping t = Atomic.get t.stop
+
+(* ------------------------------------------------------------------ *)
+(* Replies                                                            *)
+
+let fingerprint_of_exn e = Cache.fnv1a64_hex (Printexc.to_string e)
+
+let internal_error ~id e =
+  Proto.error ~id ~code:Proto.err_internal
+    ~extra:[ ("fingerprint", Proto.str (fingerprint_of_exn e)) ]
+    (Printexc.to_string e)
+
+let too_large t =
+  Proto.error ~id:Json.Null ~code:Proto.err_too_large
+    (Printf.sprintf "request exceeds %d bytes" t.config.max_request_bytes)
+
+let diags_json diags = Proto.arr (List.map (fun d -> Diag.to_json d) diags)
+
+(* ------------------------------------------------------------------ *)
+(* Compute path                                                       *)
+
+(* Serialize heavy work: shards of concurrent requests would otherwise
+   multiply domains.  Waiters poll their cancel token, so a queued
+   request still honours its deadline. *)
+let with_extract_lock t cancel f =
+  let rec acquire () =
+    if Mutex.try_lock t.extract_lock then ()
+    else begin
+      Cancel.check cancel;
+      Thread.yield ();
+      Unix.sleepf 0.001;
+      acquire ()
+    end
+  in
+  acquire ();
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.extract_lock) f
+
+let run_extract t ~cancel ~jobs ~name design =
+  let on_shard idx =
+    if t.config.faults.Faults.shard_raise && idx > 0 then
+      failwith (Printf.sprintf "injected shard fault (shard %d)" idx)
+  in
+  with_extract_lock t cancel @@ fun () ->
+  Parallel.extract_with_stats ~cancel ~on_shard ~jobs ~name design
+
+(* The cached payload: the complete per-op result object, so a warm
+   reply can splice it verbatim.  Byte-identity between warm and cold
+   replies is the contract the restart tests check. *)
+let payload_of_circuit circuit warnings =
+  Proto.obj
+    [
+      ("wirelist", Proto.str (Wirelist.to_string circuit));
+      ("nets", Proto.int (Circuit.net_count circuit));
+      ("devices", Proto.int (Array.length circuit.Circuit.devices));
+      ("warnings", diags_json warnings);
+    ]
+
+let circuit_of_payload payload =
+  match Json.parse payload with
+  | Error _ -> None
+  | Ok j -> (
+      match Json.member "wirelist" j with
+      | Some (Json.Str wl) -> (
+          try Some (Wirelist.of_string wl) with _ -> None)
+      | _ -> None)
+
+let cache_key design ~name ~jobs =
+  let canonical = Ace_cif.Writer.to_string (Ace_cif.Design.ast design) in
+  Cache.fnv1a64_hex
+    (String.concat "\x00"
+       [
+         string_of_int Cache.format_version;
+         string_of_int (Ace_cif.Design.quantum design);
+         name;
+         string_of_int jobs;
+         canonical;
+       ])
+
+(* (payload, cached?).  Cache misses — including quarantined corrupt
+   entries — fall through to a recomputation that heals the cache. *)
+let obtain_payload t ~cancel ~use_cache ~jobs ~name design =
+  let cache = if use_cache then t.config.cache else None in
+  let key = Option.map (fun _ -> cache_key design ~name ~jobs) cache in
+  let hit =
+    match (cache, key) with
+    | Some c, Some k -> Cache.find c k
+    | _ -> None
+  in
+  match hit with
+  | Some payload -> (payload, true)
+  | None ->
+      let circuit, stats = run_extract t ~cancel ~jobs ~name design in
+      let payload = payload_of_circuit circuit stats.Parallel.warnings in
+      (match (cache, key) with
+      | Some c, Some k -> Cache.store c k payload
+      | _ -> ());
+      (payload, false)
+
+(* Like [obtain_payload] but materializes the circuit (lint/flow).  A
+   warm payload round-trips through the wirelist reader; the reader
+   failing on our own checksummed output degrades to a recompute. *)
+let obtain_circuit t ~cancel ~use_cache ~jobs ~name design =
+  let cache = if use_cache then t.config.cache else None in
+  let key = Option.map (fun _ -> cache_key design ~name ~jobs) cache in
+  let hit =
+    match (cache, key) with
+    | Some c, Some k -> Option.bind (Cache.find c k) circuit_of_payload
+    | _ -> None
+  in
+  match hit with
+  | Some circuit -> (circuit, true)
+  | None ->
+      let circuit, _ = run_extract t ~cancel ~jobs ~name design in
+      (circuit, false)
+
+let front_end cif =
+  let ast, pdiags = Ace_cif.Parser.parse_string_lenient cif in
+  let design, sdiags = Ace_cif.Design.of_ast_lenient ast in
+  (design, pdiags @ sdiags)
+
+let request_params t (r : Proto.request) =
+  let jobs =
+    match r.Proto.jobs with
+    | None -> t.config.jobs
+    | Some j -> max 1 (min j t.config.jobs)
+  in
+  let deadline_ms =
+    match r.Proto.deadline_ms with
+    | Some ms -> ms
+    | None -> t.config.default_deadline_ms
+  in
+  let cancel =
+    if deadline_ms > 0 then Cancel.with_deadline_ms deadline_ms
+    else Cancel.never
+  in
+  (jobs, cancel)
+
+let do_extract t (r : Proto.request) cif =
+  let jobs, cancel = request_params t r in
+  let design, diags = front_end cif in
+  let payload, cached =
+    obtain_payload t ~cancel ~use_cache:r.Proto.use_cache ~jobs
+      ~name:r.Proto.name design
+  in
+  Proto.ok ~id:r.Proto.id ~op:"extract"
+    [
+      ("cached", Proto.bool cached);
+      ("result", payload);
+      ("diags", diags_json diags);
+    ]
+
+let do_lint t (r : Proto.request) cif =
+  let jobs, cancel = request_params t r in
+  let design, diags = front_end cif in
+  let circuit, cached =
+    obtain_circuit t ~cancel ~use_cache:r.Proto.use_cache ~jobs
+      ~name:r.Proto.name design
+  in
+  let vdd = Option.value r.Proto.vdd ~default:t.config.vdd in
+  let gnd = Option.value r.Proto.gnd ~default:t.config.gnd in
+  let findings = Ace_lint.Engine.run ~vdd ~gnd circuit in
+  let finding_json f =
+    let d = Ace_lint.Finding.to_diag circuit f in
+    Proto.obj
+      [
+        ("code", Proto.str d.Diag.code);
+        ("severity", Proto.str (Diag.severity_to_string d.Diag.severity));
+        ("message", Proto.str d.Diag.message);
+        ("fingerprint", Proto.str (Ace_lint.Finding.fingerprint circuit f));
+      ]
+  in
+  let errors, warnings, infos = Ace_lint.Finding.summarize findings in
+  Proto.ok ~id:r.Proto.id ~op:"lint"
+    [
+      ("cached", Proto.bool cached);
+      ("findings", Proto.arr (List.map finding_json findings));
+      ("errors", Proto.int errors);
+      ("warnings", Proto.int warnings);
+      ("infos", Proto.int infos);
+      ("diags", diags_json diags);
+    ]
+
+let do_flow t (r : Proto.request) cif =
+  let jobs, cancel = request_params t r in
+  let design, diags = front_end cif in
+  let circuit, cached =
+    obtain_circuit t ~cancel ~use_cache:r.Proto.use_cache ~jobs
+      ~name:r.Proto.name design
+  in
+  let vdd_name = Option.value r.Proto.vdd ~default:t.config.vdd in
+  let gnd_name = Option.value r.Proto.gnd ~default:t.config.gnd in
+  match
+    ( Ace_lint.Engine.find_rail circuit vdd_name,
+      Ace_lint.Engine.find_rail circuit gnd_name )
+  with
+  | None, _ ->
+      Proto.error ~id:r.Proto.id ~code:"missing-rail"
+        (Printf.sprintf "no net named %s" vdd_name)
+  | _, None ->
+      Proto.error ~id:r.Proto.id ~code:"missing-rail"
+        (Printf.sprintf "no net named %s" gnd_name)
+  | Some vdd, Some gnd ->
+      let v = Ace_flow.Ternary.analyze ~cancel circuit ~vdd ~gnd in
+      let nets ns =
+        Proto.arr
+          (List.map
+             (fun n -> Proto.str (Circuit.net_display_name circuit n))
+             ns)
+      in
+      Proto.ok ~id:r.Proto.id ~op:"flow"
+        [
+          ("cached", Proto.bool cached);
+          ("contention", nets v.Ace_flow.Ternary.contention);
+          ("bridges", Proto.int (List.length v.Ace_flow.Ternary.bridges));
+          ("dead", Proto.int (List.length v.Ace_flow.Ternary.dead));
+          ("float", nets v.Ace_flow.Ternary.float_nets);
+          ("charge_sharing", Proto.int (List.length v.Ace_flow.Ternary.share));
+          ("x_nets", Proto.int (List.length v.Ace_flow.Ternary.x_nets));
+          ( "converged",
+            Proto.bool v.Ace_flow.Ternary.stats.Ace_flow.Solver.converged );
+          ("diags", diags_json diags);
+        ]
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch                                                           *)
+
+let stats_reply t id =
+  let counters =
+    Proto.obj
+      (List.map
+         (fun (c, n) -> (Trace.Counter.slug c, Proto.int n))
+         (Trace.counter_totals ()))
+  in
+  let cache =
+    match t.config.cache with
+    | None -> "null"
+    | Some c ->
+        let s = Cache.stats c in
+        Proto.obj
+          [
+            ("dir", Proto.str (Cache.dir c));
+            ("entries", Proto.int s.Cache.entries);
+            ("bytes", Proto.int s.Cache.bytes);
+            ("hits", Proto.int s.Cache.hits);
+            ("misses", Proto.int s.Cache.misses);
+            ("stores", Proto.int s.Cache.stores);
+            ("quarantined", Proto.int s.Cache.quarantined);
+            ("evictions", Proto.int s.Cache.evictions);
+          ]
+  in
+  let uptime_ms =
+    Int64.to_int (Int64.div (Int64.sub (Trace.now_ns ()) t.started_ns) 1_000_000L)
+  in
+  Proto.ok ~id ~op:"stats"
+    [
+      ("served", Proto.int (Atomic.get t.served));
+      ("inflight", Proto.int (Atomic.get t.inflight));
+      ("rejected", Proto.int (Atomic.get t.rejected));
+      ("failed", Proto.int (Atomic.get t.failed));
+      ("uptime_ms", Proto.int uptime_ms);
+      ("jobs", Proto.int t.config.jobs);
+      ("faults", Proto.arr (List.map Proto.str (Faults.to_specs t.config.faults)));
+      ("counters", counters);
+      ("cache", cache);
+    ]
+
+let gc_reply t id =
+  match t.config.cache with
+  | None ->
+      Proto.ok ~id ~op:"cache-gc" [ ("enabled", "false") ]
+  | Some c ->
+      let g = Cache.gc c in
+      Proto.ok ~id ~op:"cache-gc"
+        [
+          ("enabled", "true");
+          ("removed_tmp", Proto.int g.Cache.removed_tmp);
+          ("removed_quarantined", Proto.int g.Cache.removed_quarantined);
+          ("evicted", Proto.int g.Cache.evicted);
+          ("kept", Proto.int g.Cache.kept);
+          ("bytes", Proto.int g.Cache.bytes);
+        ]
+
+(* Admission control for compute ops: beyond [max_inflight], reject
+   immediately — bounded queue depth and memory under overload. *)
+let with_admission t (r : Proto.request) f =
+  let n = Atomic.fetch_and_add t.inflight 1 in
+  if n >= t.config.max_inflight then begin
+    ignore (Atomic.fetch_and_add t.inflight (-1));
+    Atomic.incr t.rejected;
+    Trace.incr Trace.Counter.Overloads;
+    Proto.error ~id:r.Proto.id ~code:Proto.err_overloaded
+      ~extra:[ ("retry_after_ms", Proto.int t.config.retry_after_ms) ]
+      "server at capacity"
+  end
+  else
+    Fun.protect
+      ~finally:(fun () -> ignore (Atomic.fetch_and_add t.inflight (-1)))
+      f
+
+let compute t (r : Proto.request) f =
+  with_admission t r @@ fun () ->
+  (* slow-request sits inside admission on purpose: it holds an inflight
+     slot, so tests can drive the overload path deterministically. *)
+  if t.config.faults.Faults.slow_ms > 0 then
+    Unix.sleepf (float_of_int t.config.faults.Faults.slow_ms /. 1000.0);
+  if t.config.faults.Faults.oom_soft then raise Out_of_memory;
+  match r.Proto.cif with
+  | None ->
+      Proto.error ~id:r.Proto.id ~code:Proto.err_bad_request
+        "missing field \"cif\""
+  | Some cif -> f t r cif
+
+let handle_request t (r : Proto.request) =
+  match r.Proto.op with
+  | "ping" -> Proto.ok ~id:r.Proto.id ~op:"ping" [ ("pong", "true") ]
+  | "stats" -> stats_reply t r.Proto.id
+  | "cache-gc" -> gc_reply t r.Proto.id
+  | "shutdown" ->
+      Atomic.set t.stop true;
+      Proto.ok ~id:r.Proto.id ~op:"shutdown" [ ("stopping", "true") ]
+  | "extract" -> compute t r do_extract
+  | "lint" -> compute t r do_lint
+  | "flow" -> compute t r do_flow
+  | op ->
+      Proto.error ~id:r.Proto.id ~code:Proto.err_bad_request
+        (Printf.sprintf "unknown op %S" op)
+
+let handle_line t line =
+  try
+    if String.length line > t.config.max_request_bytes then too_large t
+    else begin
+      match Proto.parse line with
+      | Error (code, msg) ->
+          Atomic.incr t.failed;
+          Proto.error ~id:Json.Null ~code msg
+      | Ok r -> (
+          match handle_request t r with
+          | reply ->
+              Atomic.incr t.served;
+              reply
+          | exception Cancel.Cancelled reason ->
+              Atomic.incr t.failed;
+              if reason = Proto.err_deadline then
+                Trace.incr Trace.Counter.Deadline_kills;
+              Proto.error ~id:r.Proto.id ~code:reason
+                "request cancelled before completion"
+          | exception e ->
+              Atomic.incr t.failed;
+              internal_error ~id:r.Proto.id e)
+    end
+  with e -> (* belt and braces: handle_line is total *)
+    internal_error ~id:Json.Null e
+
+(* ------------------------------------------------------------------ *)
+(* Serving                                                            *)
+
+type line_in = Line of string | Too_long | Eof
+
+(* Bounded line reader: a line longer than [limit] is drained to its
+   newline without being buffered, so a hostile client cannot balloon
+   the daemon's memory. *)
+let read_line_bounded ic limit =
+  let b = Buffer.create 256 in
+  let rec go n =
+    match input_char ic with
+    | exception End_of_file ->
+        if n = 0 then Eof
+        else if n > limit then Too_long
+        else Line (Buffer.contents b)
+    | '\n' -> if n > limit then Too_long else Line (Buffer.contents b)
+    | c ->
+        if n < limit then Buffer.add_char b c;
+        go (n + 1)
+  in
+  go 0
+
+let serve_channel t ic oc =
+  let rec loop () =
+    if not (stopping t) then
+      match read_line_bounded ic t.config.max_request_bytes with
+      | Eof -> ()
+      | Too_long ->
+          output_string oc (too_large t);
+          output_char oc '\n';
+          flush oc;
+          loop ()
+      | Line l ->
+          output_string oc (handle_line t l);
+          output_char oc '\n';
+          flush oc;
+          loop ()
+  in
+  try loop () with Sys_error _ | End_of_file -> ()
+
+let serve_once t = serve_channel t stdin stdout
+
+(* Wake a blocked [accept] after shutdown by connecting to ourselves
+   (closing the listening fd does not reliably interrupt accept). *)
+let wake_listener t =
+  match Atomic.get t.socket_path with
+  | None -> ()
+  | Some path -> (
+      match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
+      | exception Unix.Unix_error _ -> ()
+      | s ->
+          (try Unix.connect s (Unix.ADDR_UNIX path)
+           with Unix.Unix_error _ -> ());
+          (try Unix.close s with Unix.Unix_error _ -> ()))
+
+let handle_connection t fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  (try serve_channel t ic oc with _ -> ());
+  (try close_out_noerr oc with _ -> ());
+  (try close_in_noerr ic with _ -> ());
+  if stopping t then wake_listener t
+
+let serve_socket t path =
+  (try ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore)
+   with Invalid_argument _ -> ());
+  let sock = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  Unix.bind sock (Unix.ADDR_UNIX path);
+  Unix.listen sock 64;
+  Atomic.set t.socket_path (Some path);
+  let rec accept_loop () =
+    if not (stopping t) then
+      match Unix.accept ~cloexec:true sock with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+      | exception Unix.Unix_error _ -> ()
+      | fd, _ ->
+          ignore (Thread.create (fun () -> handle_connection t fd) ());
+          accept_loop ()
+  in
+  accept_loop ();
+  (try Unix.close sock with Unix.Unix_error _ -> ());
+  (try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())

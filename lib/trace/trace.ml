@@ -27,8 +27,13 @@ module Counter = struct
     | Summary_hits
     | Summary_misses
     | Diags
+    | Cache_hits
+    | Cache_misses
+    | Cache_evictions
+    | Deadline_kills
+    | Overloads
 
-  let cardinal = 11
+  let cardinal = 16
 
   let index = function
     | Boxes_popped -> 0
@@ -42,6 +47,11 @@ module Counter = struct
     | Summary_hits -> 8
     | Summary_misses -> 9
     | Diags -> 10
+    | Cache_hits -> 11
+    | Cache_misses -> 12
+    | Cache_evictions -> 13
+    | Deadline_kills -> 14
+    | Overloads -> 15
 
   let all =
     [
@@ -56,6 +66,11 @@ module Counter = struct
       Summary_hits;
       Summary_misses;
       Diags;
+      Cache_hits;
+      Cache_misses;
+      Cache_evictions;
+      Deadline_kills;
+      Overloads;
     ]
 
   let slug = function
@@ -70,6 +85,11 @@ module Counter = struct
     | Summary_hits -> "summary_hits"
     | Summary_misses -> "summary_misses"
     | Diags -> "diags"
+    | Cache_hits -> "cache_hits"
+    | Cache_misses -> "cache_misses"
+    | Cache_evictions -> "cache_evictions"
+    | Deadline_kills -> "deadline_kills"
+    | Overloads -> "overloads"
 
   let describe = function
     | Boxes_popped -> "boxes delivered by the lazy front-end stream"
@@ -83,6 +103,11 @@ module Counter = struct
     | Summary_hits -> "hierarchical summary-cache hits"
     | Summary_misses -> "hierarchical summary-cache misses"
     | Diags -> "diagnostics constructed"
+    | Cache_hits -> "persistent extraction-cache hits"
+    | Cache_misses -> "persistent extraction-cache misses"
+    | Cache_evictions -> "persistent extraction-cache entries evicted"
+    | Deadline_kills -> "requests cancelled at their deadline"
+    | Overloads -> "requests rejected with an overload reply"
 end
 
 (* --- clock --- *)

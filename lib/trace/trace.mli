@@ -19,6 +19,11 @@ module Counter : sig
     | Summary_hits  (** hierarchical summary-cache hits *)
     | Summary_misses  (** hierarchical summary-cache misses *)
     | Diags  (** diagnostics constructed *)
+    | Cache_hits  (** persistent extraction-cache hits *)
+    | Cache_misses  (** persistent extraction-cache misses *)
+    | Cache_evictions  (** persistent extraction-cache entries evicted *)
+    | Deadline_kills  (** requests cancelled at their deadline *)
+    | Overloads  (** requests rejected with an overload reply *)
 
   val cardinal : int
   val index : t -> int
@@ -26,6 +31,14 @@ module Counter : sig
   val slug : t -> string
   val describe : t -> string
 end
+
+(** {1 Clock} *)
+
+val now_ns : unit -> int64
+(** The monotonic clock every span timestamp uses, in nanoseconds.
+    Unaffected by wall-clock steps; only differences are meaningful.
+    Exposed so shard telemetry and request deadlines share the same
+    timebase as the trace. *)
 
 (** {1 Counters (always on)} *)
 

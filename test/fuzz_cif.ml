@@ -17,7 +17,11 @@
       with a recording Ace_trace session yields byte-identical
       diagnostics and wirelists (hence identical exit codes), the
       strict/lenient agreement of (2) still holds, and the exported
-      Chrome trace parses and balances.
+      Chrome trace parses and balances;
+   5. protocol totality — the aced daemon's request handler never raises
+      and always returns one well-formed JSON reply, whether the fuzz
+      input arrives as a raw protocol line or embedded as the CIF
+      payload of an extract request.
 
    Runs as a bounded smoke test under `dune runtest` (fixed seed, ~500
    inputs, well under 5 s).  Set ACE_FUZZ_N / ACE_FUZZ_SEED to scale it
@@ -233,17 +237,51 @@ let run_one input =
                                 input (Failure "disagreement")))
               | exception e -> fail_input "of_ast_lenient raised" input e)))
 
+(* property 5: one shared in-process server (no cache, no faults), fed
+   the same fuzz inputs the front-end properties use *)
+let serve_state =
+  lazy
+    (Ace_serve.Server.create (Ace_serve.Server.config ~max_inflight:2 ()))
+
+let protocol_total input ~as_request =
+  let t = Lazy.force serve_state in
+  let line =
+    if as_request then
+      Ace_serve.Proto.obj
+        [
+          ("id", "0");
+          ("op", Ace_serve.Proto.str "extract");
+          ("cif", Ace_serve.Proto.str input);
+          ("cache", "false");
+        ]
+    else input
+  in
+  match Ace_serve.Server.handle_line t line with
+  | reply -> (
+      match Ace_trace.Json.parse reply with
+      | Ok (Ace_trace.Json.Obj fields) ->
+          if not (List.mem_assoc "ok" fields) then
+            fail_input "protocol reply missing \"ok\"" input (Failure reply)
+      | Ok _ ->
+          fail_input "protocol reply not a JSON object" input (Failure reply)
+      | Error m -> fail_input "protocol reply unparseable" input (Failure m))
+  | exception e -> fail_input "Server.handle_line raised" input e
+
 let () =
   let n_corpus = List.length corpus in
   let t0 = Unix.gettimeofday () in
   (* the clean corpus itself, un-mutated *)
   List.iter run_one corpus;
+  List.iter (fun c -> protocol_total c ~as_request:true) corpus;
   for i = 0 to n_inputs - 1 do
     let input =
       if i mod 4 = 3 then random_soup ()
       else mutate (List.nth corpus (Random.State.int rng n_corpus))
     in
-    run_one input
+    run_one input;
+    protocol_total input ~as_request:false;
+    (* wrapped extraction is the expensive path; sample it *)
+    if i mod 8 = 0 then protocol_total input ~as_request:true
   done;
   let elapsed = Unix.gettimeofday () -. t0 in
   Printf.printf

@@ -283,6 +283,36 @@ let test_stats () =
   check_int "flat fallback: no shards" 0 (List.length st1.Parallel.shards);
   check "flat fallback: no stitch" true (st1.Parallel.stitch_seconds = 0.0)
 
+(* A shard that raises (via the on_shard hook, including on a spawned
+   domain) must neither wedge the join nor leak domains: the exception
+   propagates with every sibling joined, the lowest-indexed raiser wins,
+   and the very next extraction on the same process succeeds. *)
+let test_shard_raise_joins () =
+  let design = data_design "mesh4x4.cif" in
+  let reference = flat design in
+  let raised =
+    match
+      Parallel.extract ~jobs:4
+        ~on_shard:(fun idx -> if idx > 0 then failwith "boom")
+        design
+    with
+    | _ -> None
+    | exception Failure m -> Some m
+  in
+  check "raising shard propagates" true (raised = Some "boom");
+  (* deadline trips on shards propagate as Cancelled, also after joining *)
+  let cancel = Ace_core.Cancel.create () in
+  Ace_core.Cancel.cancel ~reason:"test-stop" cancel;
+  let cancelled =
+    match Parallel.extract ~jobs:4 ~cancel design with
+    | _ -> false
+    | exception Ace_core.Cancel.Cancelled r -> r = "test-stop"
+  in
+  check "cancelled shards propagate the reason" true cancelled;
+  (* the process is left consistent: a fresh parallel run still matches *)
+  check "extraction works after a raising shard" true
+    (equiv reference (Parallel.extract ~jobs:4 design))
+
 let prop_random_designs =
   Tutil.qtest ~count:60 "parallel ≡ flat on random hierarchical designs"
     Tutil.gen_design (fun ast ->
@@ -318,6 +348,8 @@ let () =
           Alcotest.test_case "determinism" `Quick
             test_deterministic_and_sequential;
           Alcotest.test_case "stats" `Quick test_stats;
+          Alcotest.test_case "raising shard joins" `Quick
+            test_shard_raise_joins;
           prop_random_designs;
         ] );
     ]

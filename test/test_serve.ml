@@ -1,0 +1,744 @@
+(* test_serve — the fault-injection harness for the aced daemon.
+
+   Drives the real aced binary (path in the ACED environment variable,
+   falling back to the in-tree build path) as a subprocess, over both
+   --once pipes and a Unix-domain socket, and asserts the robustness
+   contracts end to end:
+
+   - protocol totality: garbage in, exactly one well-formed JSON error
+     reply per line out;
+   - warm-equals-cold: a cache hit's result field is byte-identical to
+     the cold computation (and to an in-process -j1 extraction);
+   - deadline expiry cancels a large extraction and the daemon stays
+     healthy;
+   - injected torn writes and bit flips are quarantined and healed;
+   - a raising shard domain becomes an internal-error reply, not a
+     wedged or dead daemon;
+   - SIGKILL + restart: stale temp files are swept and the persisted
+     cache serves byte-identical warm results;
+   - sustained overload yields structured overloaded rejections;
+   - oversized request lines are drained and rejected without ballooning
+     memory, and the connection stays usable.
+
+   The crash-safe cache and the fault-spec parser also get direct
+   in-process unit coverage (eviction order needs planted mtimes). *)
+
+module Json = Ace_trace.Json
+module Serve = Ace_serve
+module Chips = Ace_workloads.Chips
+
+let aced_exe =
+  match Sys.getenv_opt "ACED" with
+  | Some p -> p
+  | None ->
+      List.find Sys.file_exists
+        [ "../bin/aced.exe"; "_build/default/bin/aced.exe" ]
+
+let failures = ref 0
+
+let check name ok =
+  if ok then Printf.printf "PASS %s\n%!" name
+  else begin
+    incr failures;
+    Printf.printf "FAIL %s\n%!" name
+  end
+
+let check_s name got expected =
+  if got = expected then Printf.printf "PASS %s\n%!" name
+  else begin
+    incr failures;
+    Printf.printf "FAIL %s\n  expected: %s\n  got:      %s\n%!" name
+      (String.sub expected 0 (min 200 (String.length expected)))
+      (String.sub got 0 (min 200 (String.length got)))
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Scratch space                                                      *)
+
+let scratch_base =
+  let d = Printf.sprintf "/tmp/aced-test-%d" (Unix.getpid ()) in
+  (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  d
+
+let scratch_n = ref 0
+
+let scratch () =
+  incr scratch_n;
+  let d = Printf.sprintf "%s/t%d" scratch_base !scratch_n in
+  (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  d
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | exception Unix.Unix_error _ -> ()
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+      (try Unix.rmdir path with Unix.Unix_error _ -> ())
+  | _ -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+(* ------------------------------------------------------------------ *)
+(* JSON helpers                                                       *)
+
+let jparse line =
+  match Json.parse line with
+  | Ok j -> j
+  | Error m -> failwith (Printf.sprintf "unparseable reply %S: %s" line m)
+
+let jget j k =
+  match Json.member k j with
+  | Some v -> v
+  | None -> failwith (Printf.sprintf "reply missing field %S" k)
+
+let jstr = function Json.Str s -> s | _ -> failwith "expected string"
+let jbool = function Json.Bool b -> b | _ -> failwith "expected bool"
+let jnum = function Json.Num f -> int_of_float f | _ -> failwith "expected num"
+let err_code j = jstr (jget (jget j "error") "code")
+
+(* The raw result fragment of an ok extract reply, for byte-identity
+   checks that bypass any JSON re-rendering. *)
+let result_fragment reply =
+  let marker = "\"result\":" in
+  let stop_marker = ",\"diags\":" in
+  let find sub from =
+    let n = String.length sub in
+    let rec go i =
+      if i + n > String.length reply then raise Not_found
+      else if String.sub reply i n = sub then i
+      else go (i + 1)
+    in
+    go from
+  in
+  let i = find marker 0 + String.length marker in
+  let j = find stop_marker i in
+  String.sub reply i (j - i)
+
+(* ------------------------------------------------------------------ *)
+(* Subprocess plumbing                                                *)
+
+let devnull () = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0
+
+let start_daemon args =
+  let null = devnull () in
+  let pid =
+    Unix.create_process aced_exe
+      (Array.of_list (aced_exe :: args))
+      null Unix.stdout Unix.stderr
+  in
+  Unix.close null;
+  pid
+
+let connect path =
+  let s = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  try
+    Unix.connect s (Unix.ADDR_UNIX path);
+    (Unix.in_channel_of_descr s, Unix.out_channel_of_descr s, s)
+  with e ->
+    (try Unix.close s with Unix.Unix_error _ -> ());
+    raise e
+
+let close_conn (_, _, fd) = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let wait_for_socket path =
+  let deadline = Unix.gettimeofday () +. 20.0 in
+  let rec go () =
+    if Unix.gettimeofday () > deadline then
+      failwith ("daemon did not come up on " ^ path)
+    else
+      match connect path with
+      | conn ->
+          close_conn conn
+      | exception _ ->
+          Unix.sleepf 0.02;
+          go ()
+  in
+  go ()
+
+let start_socket_daemon args sock =
+  let pid = start_daemon (("--socket" :: sock :: args)) in
+  wait_for_socket sock;
+  pid
+
+let rpc (ic, oc, _) line =
+  output_string oc line;
+  output_char oc '\n';
+  flush oc;
+  input_line ic
+
+let reap ?(timeout = 20.0) pid =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec go () =
+    match Unix.waitpid [ Unix.WNOHANG ] pid with
+    | 0, _ ->
+        if Unix.gettimeofday () > deadline then begin
+          Unix.kill pid Sys.sigkill;
+          ignore (Unix.waitpid [] pid)
+        end
+        else begin
+          Unix.sleepf 0.02;
+          go ()
+        end
+    | _ -> ()
+  in
+  go ()
+
+let shutdown_daemon pid sock =
+  (match connect sock with
+  | conn ->
+      (try ignore (rpc conn {|{"op":"shutdown"}|}) with _ -> ());
+      close_conn conn
+  | exception _ -> ());
+  reap pid
+
+(* Run `aced --once` (plus extra args) over a list of request lines and
+   return the reply lines.  Input is written first, then the pipe is
+   closed: replies are only produced per complete line, so no deadlock
+   as long as one batch fits the pipe buffers (ours do). *)
+let run_once ?(args = []) lines =
+  (* cloexec: the child must NOT inherit our pipe ends (beyond the dup2'd
+     stdio), or it never sees EOF on its stdin *)
+  let r_in, w_in = Unix.pipe ~cloexec:true () in
+  let r_out, w_out = Unix.pipe ~cloexec:true () in
+  let null = devnull () in
+  let pid =
+    Unix.create_process aced_exe
+      (Array.of_list ((aced_exe :: "--once" :: args)))
+      r_in w_out Unix.stderr
+  in
+  Unix.close null;
+  Unix.close r_in;
+  Unix.close w_out;
+  let oc = Unix.out_channel_of_descr w_in in
+  List.iter
+    (fun l ->
+      output_string oc l;
+      output_char oc '\n')
+    lines;
+  close_out oc;
+  let ic = Unix.in_channel_of_descr r_out in
+  let rec read acc =
+    match input_line ic with
+    | l -> read (l :: acc)
+    | exception End_of_file -> List.rev acc
+  in
+  let replies = read [] in
+  close_in_noerr ic;
+  reap pid;
+  replies
+
+(* ------------------------------------------------------------------ *)
+(* Fixtures                                                           *)
+
+let data_file name =
+  let dir =
+    List.find Sys.file_exists [ "../data"; "data"; "_build/default/data" ]
+  in
+  let ic = open_in_bin (Filename.concat dir name) in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let inverter_cif = data_file "inverter.cif"
+
+let chain_cif n =
+  Ace_cif.Writer.to_string (Chips.inverter_chain ~n ())
+
+let ram_cif side =
+  Ace_cif.Writer.to_string (Chips.ram_array ~rows:side ~cols:side ())
+
+let extract_req ?(id = 1) ?jobs ?deadline_ms ?(cache = true) cif =
+  let fields =
+    [
+      ("id", Serve.Proto.int id);
+      ("op", Serve.Proto.str "extract");
+      ("cif", Serve.Proto.str cif);
+    ]
+    @ (match jobs with Some j -> [ ("jobs", Serve.Proto.int j) ] | None -> [])
+    @ (match deadline_ms with
+      | Some ms -> [ ("deadline_ms", Serve.Proto.int ms) ]
+      | None -> [])
+    @ if cache then [] else [ ("cache", "false") ]
+  in
+  Serve.Proto.obj fields
+
+(* The -j1 one-shot reference the daemon's replies must match. *)
+let reference_wirelist cif =
+  let ast, _ = Ace_cif.Parser.parse_string_lenient cif in
+  let design, _ = Ace_cif.Design.of_ast_lenient ast in
+  Ace_netlist.Wirelist.to_string
+    (Ace_core.Parallel.extract ~jobs:1 ~name:"chip" design)
+
+(* ------------------------------------------------------------------ *)
+(* 1. --once basics: ping, typed errors, totality                     *)
+
+let test_once_basics () =
+  let replies =
+    run_once
+      [
+        {|{"id":1,"op":"ping"}|};
+        {|{"id":2,"op":"nonsense"}|};
+        {|not json at all|};
+        {|{"id":3,"op":"extract"}|};
+        {|{"id":4,"op":"extract","cif":42}|};
+        "";
+      ]
+  in
+  check "once: one reply per line" (List.length replies = 6);
+  let r = List.map jparse replies in
+  check "once: ping pongs"
+    (jbool (jget (List.nth r 0) "pong") && jbool (jget (List.nth r 0) "ok"));
+  check "once: unknown op -> bad-request"
+    (err_code (List.nth r 1) = "bad-request");
+  check "once: garbage -> bad-request"
+    (err_code (List.nth r 2) = "bad-request");
+  check "once: missing cif -> bad-request"
+    (err_code (List.nth r 3) = "bad-request");
+  check "once: non-string cif -> bad-request"
+    (err_code (List.nth r 4) = "bad-request");
+  check "once: empty line -> bad-request"
+    (err_code (List.nth r 5) = "bad-request")
+
+(* ------------------------------------------------------------------ *)
+(* 2. --once protocol garbage batch (subprocess fuzz smoke)           *)
+
+let test_once_garbage () =
+  let rng = Random.State.make [| 0xD0E5 |] in
+  let valid = extract_req inverter_cif in
+  let garbage () =
+    match Random.State.int rng 3 with
+    | 0 ->
+        (* truncated valid request: never complete JSON *)
+        String.sub valid 0 (1 + Random.State.int rng (String.length valid - 2))
+    | 1 ->
+        String.init
+          (1 + Random.State.int rng 60)
+          (fun _ ->
+            (* printable noise, newline-free *)
+            Char.chr (32 + Random.State.int rng 95))
+    | _ ->
+        String.concat ""
+          [ "{\"op\":"; String.make (Random.State.int rng 5) '['; "}" ]
+  in
+  let lines = List.init 120 (fun _ -> garbage ()) in
+  let replies = run_once lines in
+  check "garbage: one reply per line" (List.length replies = List.length lines);
+  let all_wellformed =
+    List.for_all
+      (fun l ->
+        match Json.parse l with
+        | Ok j -> not (jbool (jget j "ok"))
+        | Error _ -> false)
+      replies
+  in
+  check "garbage: every reply is well-formed JSON with ok:false"
+    all_wellformed
+
+(* ------------------------------------------------------------------ *)
+(* 3. Socket extract: cold, warm, byte-identity vs one-shot           *)
+
+let test_socket_extract () =
+  let dir = scratch () in
+  let sock = Filename.concat dir "s.sock" in
+  let cache_dir = Filename.concat dir "cache" in
+  let pid = start_socket_daemon [ "--cache-dir"; cache_dir ] sock in
+  let conn = connect sock in
+  let cold = rpc conn (extract_req ~id:1 inverter_cif) in
+  let warm = rpc conn (extract_req ~id:2 inverter_cif) in
+  let jc = jparse cold and jw = jparse warm in
+  check "extract: cold reply ok, not cached"
+    (jbool (jget jc "ok") && not (jbool (jget jc "cached")));
+  check "extract: warm reply ok, cached"
+    (jbool (jget jw "ok") && jbool (jget jw "cached"));
+  check_s "extract: warm result byte-identical to cold"
+    (result_fragment warm) (result_fragment cold);
+  check_s "extract: daemon wirelist = -j1 one-shot wirelist"
+    (jstr (jget (jget jc "result") "wirelist"))
+    (reference_wirelist inverter_cif);
+  (* lint and flow ride the same cache *)
+  let lint =
+    jparse
+      (rpc conn
+         (Serve.Proto.obj
+            [
+              ("id", "3");
+              ("op", Serve.Proto.str "lint");
+              ("cif", Serve.Proto.str inverter_cif);
+            ]))
+  in
+  check "lint: ok reply with findings array"
+    (jbool (jget lint "ok")
+    && match jget lint "findings" with Json.Arr _ -> true | _ -> false);
+  let chain = chain_cif 4 in
+  let flow =
+    jparse
+      (rpc conn
+         (Serve.Proto.obj
+            [
+              ("id", "4");
+              ("op", Serve.Proto.str "flow");
+              ("cif", Serve.Proto.str chain);
+            ]))
+  in
+  check "flow: ok reply with convergence flag"
+    (jbool (jget flow "ok") && jbool (jget flow "converged"));
+  let stats = jparse (rpc conn {|{"id":5,"op":"stats"}|}) in
+  let cache_stats = jget stats "cache" in
+  check "stats: cache hits and stores counted"
+    (jnum (jget cache_stats "hits") >= 1 && jnum (jget cache_stats "stores") >= 1);
+  close_conn conn;
+  shutdown_daemon pid sock;
+  check "shutdown: socket file removed" (not (Sys.file_exists sock))
+
+(* ------------------------------------------------------------------ *)
+(* 4. Deadline expiry cancels a large extraction; daemon stays up     *)
+
+let test_deadline () =
+  let dir = scratch () in
+  let sock = Filename.concat dir "s.sock" in
+  let pid = start_socket_daemon [ "--no-cache" ] sock in
+  let conn = connect sock in
+  let tripped =
+    List.exists
+      (fun side ->
+        let t0 = Unix.gettimeofday () in
+        let reply =
+          jparse (rpc conn (extract_req ~id:side ~deadline_ms:5 (ram_cif side)))
+        in
+        let elapsed_ms = int_of_float ((Unix.gettimeofday () -. t0) *. 1000.) in
+        if jbool (jget reply "ok") then false
+        else begin
+          check "deadline: error code is deadline-exceeded"
+            (err_code reply = "deadline-exceeded");
+          (* cancellation latency is polling-stride bound, far under the
+             cold extraction time; allow generous scheduler slack *)
+          check "deadline: reply came back promptly" (elapsed_ms < 2000);
+          true
+        end)
+      [ 30; 60; 120 ]
+  in
+  check "deadline: a 5ms deadline trips on a big chip" tripped;
+  let pong = jparse (rpc conn {|{"id":9,"op":"ping"}|}) in
+  check "deadline: daemon healthy afterwards" (jbool (jget pong "pong"));
+  let ok = jparse (rpc conn (extract_req ~id:10 inverter_cif)) in
+  check "deadline: subsequent undeadlined request succeeds"
+    (jbool (jget ok "ok"));
+  let stats = jparse (rpc conn {|{"id":11,"op":"stats"}|}) in
+  check "deadline: deadline_kills counter ticked"
+    (jnum (jget (jget stats "counters") "deadline_kills") >= 1);
+  close_conn conn;
+  shutdown_daemon pid sock
+
+(* ------------------------------------------------------------------ *)
+(* 5+6. Cache corruption faults: torn writes and bit flips heal       *)
+
+let test_corruption fault =
+  let dir = scratch () in
+  let sock = Filename.concat dir "s.sock" in
+  let cache_dir = Filename.concat dir "cache" in
+  let pid =
+    start_socket_daemon [ "--cache-dir"; cache_dir; "--fault"; fault ] sock
+  in
+  let conn = connect sock in
+  let r1 = rpc conn (extract_req ~id:1 inverter_cif) in
+  let r2 = rpc conn (extract_req ~id:2 inverter_cif) in
+  let j1 = jparse r1 and j2 = jparse r2 in
+  check (fault ^ ": first reply ok (computed)") (jbool (jget j1 "ok"));
+  check
+    (fault ^ ": second reply recomputed, not served corrupt")
+    (jbool (jget j2 "ok") && not (jbool (jget j2 "cached")));
+  check_s (fault ^ ": recomputed result byte-identical")
+    (result_fragment r2) (result_fragment r1);
+  let stats = jparse (rpc conn {|{"id":3,"op":"stats"}|}) in
+  check
+    (fault ^ ": corrupt entry quarantined")
+    (jnum (jget (jget stats "cache") "quarantined") >= 1);
+  let quarantined =
+    Sys.readdir cache_dir |> Array.to_list
+    |> List.exists (fun n -> Filename.check_suffix n ".quarantined")
+  in
+  check (fault ^ ": quarantine file kept for post-mortem") quarantined;
+  close_conn conn;
+  shutdown_daemon pid sock
+
+(* ------------------------------------------------------------------ *)
+(* 7. A raising shard domain -> internal-error reply, healthy daemon  *)
+
+let test_shard_raise () =
+  let dir = scratch () in
+  let sock = Filename.concat dir "s.sock" in
+  let pid =
+    start_socket_daemon [ "--no-cache"; "-j"; "2"; "--fault"; "shard-raise" ]
+      sock
+  in
+  let conn = connect sock in
+  let reply = jparse (rpc conn (extract_req ~id:1 inverter_cif)) in
+  check "shard-raise: internal-error reply"
+    ((not (jbool (jget reply "ok"))) && err_code reply = "internal-error");
+  check "shard-raise: carries an exception fingerprint"
+    (String.length (jstr (jget (jget reply "error") "fingerprint")) = 16);
+  let pong = jparse (rpc conn {|{"id":2,"op":"ping"}|}) in
+  check "shard-raise: daemon survives its shard" (jbool (jget pong "pong"));
+  (* a -j1 request takes the flat path: no spawned shard, no injection *)
+  let flat = jparse (rpc conn (extract_req ~id:3 ~jobs:1 inverter_cif)) in
+  check "shard-raise: flat fallback still works" (jbool (jget flat "ok"));
+  close_conn conn;
+  shutdown_daemon pid sock
+
+(* ------------------------------------------------------------------ *)
+(* 8. SIGKILL, stale temp, restart: warm cache byte-identical         *)
+
+let test_kill_restart () =
+  let dir = scratch () in
+  let cache_dir = Filename.concat dir "cache" in
+  let chip = ram_cif 8 in
+  let sock1 = Filename.concat dir "s1.sock" in
+  let pid1 = start_socket_daemon [ "--cache-dir"; cache_dir ] sock1 in
+  let conn1 = connect sock1 in
+  let cold = rpc conn1 (extract_req ~id:1 chip) in
+  check "restart: cold reply ok" (jbool (jget (jparse cold) "ok"));
+  close_conn conn1;
+  (* no clean shutdown: the daemon dies hard *)
+  Unix.kill pid1 Sys.sigkill;
+  ignore (Unix.waitpid [] pid1);
+  (* a writer killed mid-store leaves a temp file; plant one *)
+  write_file
+    (Filename.concat cache_dir ".tmp.deadbeefdeadbeef.1")
+    "half-written garbage";
+  let sock2 = Filename.concat dir "s2.sock" in
+  let pid2 = start_socket_daemon [ "--cache-dir"; cache_dir ] sock2 in
+  let conn2 = connect sock2 in
+  let warm = rpc conn2 (extract_req ~id:1 chip) in
+  let jw = jparse warm in
+  check "restart: warm reply served from the persisted cache"
+    (jbool (jget jw "ok") && jbool (jget jw "cached"));
+  check_s "restart: warm result byte-identical to pre-kill cold"
+    (result_fragment warm) (result_fragment cold);
+  check_s "restart: warm wirelist = -j1 one-shot wirelist"
+    (jstr (jget (jget jw "result") "wirelist"))
+    (reference_wirelist chip);
+  check "restart: stale temp file swept"
+    (not (Sys.file_exists (Filename.concat cache_dir ".tmp.deadbeefdeadbeef.1")));
+  close_conn conn2;
+  shutdown_daemon pid2 sock2
+
+(* ------------------------------------------------------------------ *)
+(* 9. Sustained overload: structured rejections with retry hints      *)
+
+let test_overload () =
+  let dir = scratch () in
+  let sock = Filename.concat dir "s.sock" in
+  let pid =
+    start_socket_daemon
+      [ "--no-cache"; "--max-inflight"; "1"; "--fault"; "slow-request=600" ]
+      sock
+  in
+  let results = Array.make 4 "" in
+  let threads =
+    Array.init 4 (fun i ->
+        Thread.create
+          (fun () ->
+            let conn = connect sock in
+            (* stagger slightly so one request reliably wins the slot *)
+            if i > 0 then Unix.sleepf 0.15;
+            results.(i) <- rpc conn (extract_req ~id:i inverter_cif);
+            close_conn conn)
+          ())
+  in
+  Array.iter Thread.join threads;
+  let parsed = Array.to_list (Array.map jparse results) in
+  let ok_count = List.length (List.filter (fun j -> jbool (jget j "ok")) parsed) in
+  let overloaded =
+    List.filter
+      (fun j -> (not (jbool (jget j "ok"))) && err_code j = "overloaded")
+      parsed
+  in
+  check "overload: at least one request served" (ok_count >= 1);
+  check "overload: at least one structured rejection"
+    (List.length overloaded >= 1);
+  check "overload: rejections carry retry_after_ms"
+    (List.for_all
+       (fun j -> jnum (jget (jget j "error") "retry_after_ms") > 0)
+       overloaded);
+  let stats = jparse (rpc (connect sock) {|{"id":9,"op":"stats"}|}) in
+  check "overload: overloads counter ticked"
+    (jnum (jget (jget stats "counters") "overloads") >= 1);
+  shutdown_daemon pid sock
+
+(* ------------------------------------------------------------------ *)
+(* 10. Oversized request lines: drained, rejected, connection usable  *)
+
+let test_too_large () =
+  let dir = scratch () in
+  let sock = Filename.concat dir "s.sock" in
+  let pid =
+    start_socket_daemon [ "--no-cache"; "--max-request-bytes"; "500" ] sock
+  in
+  let conn = connect sock in
+  let big = "{\"op\":\"extract\",\"cif\":\"" ^ String.make 4000 'B' ^ "\"}" in
+  let r1 = jparse (rpc conn big) in
+  check "too-large: typed rejection" (err_code r1 = "request-too-large");
+  let r2 = jparse (rpc conn {|{"id":2,"op":"ping"}|}) in
+  check "too-large: connection still usable" (jbool (jget r2 "pong"));
+  close_conn conn;
+  shutdown_daemon pid sock
+
+(* ------------------------------------------------------------------ *)
+(* 11. Cache unit tests (in-process)                                  *)
+
+let test_cache_unit () =
+  let module Cache = Serve.Cache in
+  let dir = scratch () in
+  (* a stale temp file from a "crashed" writer is swept at open *)
+  write_file (Filename.concat dir ".tmp.cafe.1") "junk";
+  let c =
+    match Cache.open_dir ~faults:(Serve.Faults.none ()) dir with
+    | Ok c -> c
+    | Error m -> failwith m
+  in
+  check "cache: open sweeps stale temp files"
+    (not (Sys.file_exists (Filename.concat dir ".tmp.cafe.1")));
+  Cache.store c "aaaaaaaaaaaaaaaa" "payload-a";
+  check "cache: roundtrip" (Cache.find c "aaaaaaaaaaaaaaaa" = Some "payload-a");
+  check "cache: miss on unknown key" (Cache.find c "ffffffffffffffff" = None);
+  (* truncation -> quarantine *)
+  let path_a = Filename.concat dir "aaaaaaaaaaaaaaaa.ace" in
+  let full = In_channel.with_open_bin path_a In_channel.input_all in
+  write_file path_a (String.sub full 0 (String.length full - 3));
+  check "cache: truncated entry is a miss" (Cache.find c "aaaaaaaaaaaaaaaa" = None);
+  check "cache: truncated entry quarantined"
+    (Sys.file_exists (path_a ^ ".quarantined"));
+  (* version mismatch -> silent delete, no quarantine *)
+  write_file path_a "ace-cache/0 0123456789abcdef 4\nold!";
+  check "cache: old version is a miss" (Cache.find c "aaaaaaaaaaaaaaaa" = None);
+  check "cache: old version deleted, not quarantined"
+    (not (Sys.file_exists path_a));
+  (* gc clears quarantine *)
+  let g = Cache.gc c in
+  check "cache: gc removes quarantined files"
+    (g.Cache.removed_quarantined >= 1
+    && not (Sys.file_exists (path_a ^ ".quarantined")));
+  (* LRU eviction under a byte cap, with planted mtimes *)
+  let dir2 = scratch () in
+  let c2 =
+    match
+      Cache.open_dir ~max_bytes:250 ~faults:(Serve.Faults.none ()) dir2
+    with
+    | Ok c -> c
+    | Error m -> failwith m
+  in
+  let payload = String.make 60 'x' in
+  Cache.store c2 "0000000000000001" payload;
+  Cache.store c2 "0000000000000002" payload;
+  (* age both entries: key 1 older than key 2, both older than key 3 *)
+  Unix.utimes (Filename.concat dir2 "0000000000000001.ace") 1000.0 1000.0;
+  Unix.utimes (Filename.concat dir2 "0000000000000002.ace") 2000.0 2000.0;
+  Cache.store c2 "0000000000000003" payload;
+  (* three ~95-byte entries > 250-byte cap: the oldest must go *)
+  check "cache: LRU evicts the oldest entry"
+    (Cache.find c2 "0000000000000001" = None);
+  check "cache: newer entries survive eviction"
+    (Cache.find c2 "0000000000000002" = Some payload
+    && Cache.find c2 "0000000000000003" = Some payload);
+  let s = Cache.stats c2 in
+  check "cache: eviction counted" (s.Cache.evictions >= 1);
+  (* a hit refreshes LRU position: touch 2, add 4, 3 must be evicted *)
+  Unix.utimes (Filename.concat dir2 "0000000000000002.ace") 1000.0 1000.0;
+  Unix.utimes (Filename.concat dir2 "0000000000000003.ace") 2000.0 2000.0;
+  ignore (Cache.find c2 "0000000000000002");
+  Cache.store c2 "0000000000000004" payload;
+  check "cache: touch-on-hit protects hot entries"
+    (Cache.find c2 "0000000000000002" = Some payload
+    && Cache.find c2 "0000000000000003" = None)
+
+(* ------------------------------------------------------------------ *)
+(* 12. Fault-spec parsing                                             *)
+
+let test_fault_specs () =
+  let module F = Serve.Faults in
+  (match F.of_specs [ "cache-torn-write"; "slow-request=250"; "oom-soft" ] with
+  | Ok f ->
+      check "faults: specs parsed"
+        (f.F.torn_write && f.F.slow_ms = 250 && f.F.oom_soft
+        && (not f.F.bit_flip) && not f.F.shard_raise);
+      check "faults: render roundtrip"
+        (F.to_specs f = [ "cache-torn-write"; "slow-request=250"; "oom-soft" ])
+  | Error m -> check ("faults: specs parsed: " ^ m) false);
+  check "faults: unknown spec rejected"
+    (match F.of_specs [ "set-on-fire" ] with Error _ -> true | Ok _ -> false);
+  check "faults: bad delay rejected"
+    (match F.of_specs [ "slow-request=soon" ] with
+    | Error _ -> true
+    | Ok _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* 13. oom-soft: internal-error reply, daemon healthy                 *)
+
+let test_oom_soft () =
+  let replies =
+    run_once
+      ~args:[ "--no-cache"; "--fault"; "oom-soft" ]
+      [ extract_req ~id:1 inverter_cif; {|{"id":2,"op":"ping"}|} ]
+  in
+  match List.map jparse replies with
+  | [ r1; r2 ] ->
+      check "oom-soft: internal-error reply" (err_code r1 = "internal-error");
+      check "oom-soft: daemon healthy afterwards" (jbool (jget r2 "pong"))
+  | _ -> check "oom-soft: two replies" false
+
+(* ------------------------------------------------------------------ *)
+(* 14. aced cache gc subcommand                                       *)
+
+let test_cache_gc_cli () =
+  let dir = scratch () in
+  write_file (Filename.concat dir ".tmp.beef.2") "junk";
+  write_file (Filename.concat dir "dead.ace.quarantined") "junk";
+  let r_out, w_out = Unix.pipe ~cloexec:true () in
+  let null = devnull () in
+  let pid =
+    Unix.create_process aced_exe
+      [| aced_exe; "cache"; "gc"; "--cache-dir"; dir |]
+      null w_out Unix.stderr
+  in
+  Unix.close null;
+  Unix.close w_out;
+  let ic = Unix.in_channel_of_descr r_out in
+  let out = try input_line ic with End_of_file -> "" in
+  close_in_noerr ic;
+  reap pid;
+  match Json.parse out with
+  | Ok j ->
+      check "cache gc: reports the sweep"
+        (jnum (jget j "removed_tmp") = 1
+        && jnum (jget j "removed_quarantined") = 1);
+      check "cache gc: files removed"
+        ((not (Sys.file_exists (Filename.concat dir ".tmp.beef.2")))
+        && not (Sys.file_exists (Filename.concat dir "dead.ace.quarantined")))
+  | Error m -> check ("cache gc: JSON output: " ^ m) false
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  test_once_basics ();
+  test_once_garbage ();
+  test_socket_extract ();
+  test_deadline ();
+  test_corruption "cache-torn-write";
+  test_corruption "cache-bit-flip";
+  test_shard_raise ();
+  test_kill_restart ();
+  test_overload ();
+  test_too_large ();
+  test_cache_unit ();
+  test_fault_specs ();
+  test_oom_soft ();
+  test_cache_gc_cli ();
+  rm_rf scratch_base;
+  if !failures > 0 then begin
+    Printf.printf "test_serve: %d FAILED\n%!" !failures;
+    exit 1
+  end
+  else Printf.printf "test_serve: all passed\n%!"

@@ -38,6 +38,34 @@ let inverter_cmd =
   Cmd.v (Cmd.info "inverter" ~doc:"the single labeled inverter of ACE Fig. 3-3")
     Term.(const (fun output -> emit output (Ace_workloads.Chips.single_inverter ())) $ output)
 
+let cell_cmd =
+  let cell_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"NAME"
+          ~doc:"One of: inverter nand2 nor2 mux2 latch.")
+  in
+  let generate name output =
+    let file =
+      match name with
+      | "inverter" -> Some (Ace_workloads.Chips.single_inverter ())
+      | "nand2" -> Some (Ace_workloads.Chips.single_nand2 ())
+      | "nor2" -> Some (Ace_workloads.Chips.single_nor2 ())
+      | "mux2" -> Some (Ace_workloads.Chips.single_mux2 ())
+      | "latch" -> Some (Ace_workloads.Chips.latch ())
+      | _ -> None
+    in
+    match file with
+    | None ->
+        Printf.eprintf "unknown cell %s\n" name;
+        exit 2
+    | Some f -> emit output f
+  in
+  Cmd.v
+    (Cmd.info "cell" ~doc:"a single labeled leaf cell (LVS golden fixtures)")
+    Term.(const generate $ cell_arg $ output)
+
 let random_cmd =
   let cells = Arg.(value & opt int 100 & info [ "cells" ] ~docv:"N") in
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED") in
@@ -81,5 +109,5 @@ let () =
     (Cmd.eval
        (Cmd.group
           (Cmd.info "chipgen" ~doc:"Generate synthetic NMOS benchmark chips")
-          [ mesh_cmd; array_cmd; chain_cmd; inverter_cmd; random_cmd;
-            datapath_cmd; chip_cmd ]))
+          [ mesh_cmd; array_cmd; chain_cmd; inverter_cmd; cell_cmd;
+            random_cmd; datapath_cmd; chip_cmd ]))

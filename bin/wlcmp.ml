@@ -27,8 +27,21 @@ let run a b with_sizes with_names diag_format trace =
         (Ace_netlist.Circuit.device_count ca)
         (Ace_netlist.Circuit.net_count ca);
       exit 0
-  | Ace_netlist.Compare.Distinct why ->
-      report [ Diag.errorf ~code:"wl-distinct" "%s vs %s: %s" a b why ];
+  | Ace_netlist.Compare.Distinct reason ->
+      (* Count mismatches get their own stable code so CI can tell "the
+         extractor dropped devices" from "same counts, different graph". *)
+      let code =
+        match reason with
+        | Ace_netlist.Compare.Device_counts _ | Ace_netlist.Compare.Net_counts _
+          ->
+            "wl-count-mismatch"
+        | Ace_netlist.Compare.Structure _ -> "wl-distinct"
+      in
+      report
+        [
+          Diag.errorf ~code "%s vs %s: %s" a b
+            (Ace_netlist.Compare.reason_to_string reason);
+        ];
       exit 1
   | Ace_netlist.Compare.Inconclusive why ->
       report [ Diag.warningf ~code:"wl-inconclusive" "%s vs %s: %s" a b why ];

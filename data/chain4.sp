@@ -1,0 +1,17 @@
+* chain4.sp — reference netlist for data/chain4.cif
+* (four depletion-load inverters in a chain, written hierarchically)
+.MODEL ENH NMOS (LEVEL=1 VTO=1.0)
+.MODEL DEP NMOS (LEVEL=1 VTO=-3.0)
+.GLOBAL VDD
+
+.SUBCKT INV IN OUT
+M1 OUT IN 0 0 ENH L=5U W=5U
+M2 VDD OUT OUT 0 DEP L=20U W=5U
+.ENDS INV
+
+X1 INP N1 INV
+X2 N1 N2 INV
+X3 N2 N3 INV
+X4 N3 OUT INV
+
+.END

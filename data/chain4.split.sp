@@ -1,0 +1,17 @@
+* chain4.split.sp — seeded-mismatch fixture for data/chain4.cif:
+* the reference shorts the chain input INP to the second stage output
+* (every N2 below is INP), so one reference net corresponds to two
+* separate layout nets (lvs-net-split)
+.MODEL ENH NMOS (LEVEL=1 VTO=1.0)
+.MODEL DEP NMOS (LEVEL=1 VTO=-3.0)
+
+M1 N1 INP 0 0 ENH L=5U W=5U
+M2 INP N1 0 0 ENH L=5U W=5U
+M3 N3 INP 0 0 ENH L=5U W=5U
+M4 OUT N3 0 0 ENH L=5U W=5U
+M5 VDD N1 N1 0 DEP L=20U W=5U
+M6 VDD INP INP 0 DEP L=20U W=5U
+M7 VDD N3 N3 0 DEP L=20U W=5U
+M8 VDD OUT OUT 0 DEP L=20U W=5U
+
+.END

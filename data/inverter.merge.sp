@@ -1,0 +1,11 @@
+* inverter.merge.sp — seeded-mismatch fixture for data/inverter.cif:
+* the reference keeps the pull-up source (OUTA) and the pull-down drain
+* (OUTB) as separate nets where the layout connects them, so one layout
+* net matches two reference nets (lvs-net-merge)
+.MODEL ENH NMOS (LEVEL=1 VTO=1.0)
+.MODEL DEP NMOS (LEVEL=1 VTO=-3.0)
+
+M1 OUTB INP 0 0 ENH L=5U W=5U
+M2 VDD OUTA OUTA 0 DEP L=20U W=5U
+
+.END

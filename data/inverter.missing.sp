@@ -1,0 +1,11 @@
+* inverter.missing.sp — seeded-mismatch fixture for data/inverter.cif:
+* the reference has a second pull-down (gate INP2) that the layout does
+* not implement (lvs-missing-device)
+.MODEL ENH NMOS (LEVEL=1 VTO=1.0)
+.MODEL DEP NMOS (LEVEL=1 VTO=-3.0)
+
+M1 OUT INP 0 0 ENH L=5U W=5U
+M2 VDD OUT OUT 0 DEP L=20U W=5U
+M3 OUT INP2 0 0 ENH L=5U W=5U
+
+.END

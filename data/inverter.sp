@@ -1,0 +1,9 @@
+* inverter.sp — reference netlist for data/inverter.cif
+* (depletion-load NMOS inverter, ACE Figure 3-3)
+.MODEL ENH NMOS (LEVEL=1 VTO=1.0)
+.MODEL DEP NMOS (LEVEL=1 VTO=-3.0)
+
+M1 OUT INP 0 0 ENH L=5U W=5U
+M2 VDD OUT OUT 0 DEP L=20U W=5U
+
+.END

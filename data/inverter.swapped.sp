@@ -1,0 +1,9 @@
+* inverter.swapped.sp — seeded-mismatch fixture for data/inverter.cif:
+* the pull-up's L and W are transposed (lvs-size-mismatch)
+.MODEL ENH NMOS (LEVEL=1 VTO=1.0)
+.MODEL DEP NMOS (LEVEL=1 VTO=-3.0)
+
+M1 OUT INP 0 0 ENH L=5U W=5U
+M2 VDD OUT OUT 0 DEP L=5U W=20U
+
+.END

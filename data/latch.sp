@@ -1,0 +1,15 @@
+* latch.sp — reference netlist for data/latch.cif
+* (cross-coupled inverter pair, written hierarchically)
+.MODEL ENH NMOS (LEVEL=1 VTO=1.0)
+.MODEL DEP NMOS (LEVEL=1 VTO=-3.0)
+.GLOBAL VDD
+
+.SUBCKT INV IN OUT
+M1 OUT IN 0 0 ENH L=5U W=5U
+M2 VDD OUT OUT 0 DEP L=20U W=5U
+.ENDS
+
+X1 Q QB INV
+X2 QB Q INV
+
+.END

@@ -1,0 +1,9 @@
+* mux2.sp — reference netlist for data/mux2.cif
+* (2:1 pass-transistor multiplexer; no rails, no sizes on purpose —
+* unspecified L/W is never size-checked)
+.MODEL ENH NMOS (LEVEL=1 VTO=1.0)
+
+M1 A S Y 0 ENH
+M2 B SB Y 0 ENH
+
+.END

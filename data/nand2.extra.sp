@@ -1,0 +1,10 @@
+* nand2.extra.sp — seeded-mismatch fixture for data/nand2.cif:
+* the B pull-down is missing from the reference, so the layout reports
+* an extra enhancement transistor (lvs-extra-device)
+.MODEL ENH NMOS (LEVEL=1 VTO=1.0)
+.MODEL DEP NMOS (LEVEL=1 VTO=-3.0)
+
+M1 OUT A 0 0 ENH L=5U W=5U
+M3 VDD OUT OUT 0 DEP L=20U W=5U
+
+.END

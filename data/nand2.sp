@@ -1,0 +1,10 @@
+* nand2.sp — reference netlist for data/nand2.cif
+* (two series pull-downs through the internal node MID)
+.MODEL ENH NMOS (LEVEL=1 VTO=1.0)
+.MODEL DEP NMOS (LEVEL=1 VTO=-3.0)
+
+M1 MID A 0 0 ENH L=5U W=5U
+M2 OUT B MID 0 ENH L=5U W=5U
+M3 VDD OUT OUT 0 DEP L=20U W=5U
+
+.END

@@ -1,0 +1,10 @@
+* nor2.sp — reference netlist for data/nor2.cif
+* (two parallel pull-downs)
+.MODEL ENH NMOS (LEVEL=1 VTO=1.0)
+.MODEL DEP NMOS (LEVEL=1 VTO=-3.0)
+
+M1 OUT A 0 0 ENH L=5U W=5U
+M2 OUT B 0 0 ENH L=5U W=5U
+M3 VDD OUT OUT 0 DEP L=20U W=5U
+
+.END

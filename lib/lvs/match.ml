@@ -1,0 +1,693 @@
+open Ace_netlist
+module Diag = Ace_diag.Diag
+module Cancel = Ace_core.Cancel
+module Trace = Ace_trace.Trace
+module Point = Ace_geom.Point
+module Nmos = Ace_tech.Nmos
+
+type finding = {
+  code : string;
+  severity : Diag.severity;
+  message : string;
+  anchor : string;
+  layout_net : int option;
+}
+
+type stats = {
+  layout_devices : int;
+  ref_devices : int;
+  layout_nets : int;
+  ref_nets : int;
+  reductions : int;
+  rounds : int;
+  matched : int;
+}
+
+type outcome = Clean | Mismatch | Inconclusive
+type result = { outcome : outcome; findings : finding list; stats : stats }
+
+(* Same hashing discipline as Ace_netlist.Compare, so the two comparators
+   agree on what "same structure" means. *)
+let mix h x = (h * 1000003) + x + 0x9e3779b9
+
+let hash_sorted ints =
+  List.fold_left mix 0x1234567 (List.sort Int.compare ints) land max_int
+
+let str_code s =
+  String.fold_left (fun h c -> mix h (Char.code c)) 0x5EED s land max_int
+
+let type_code = function Nmos.Enhancement -> 3 | Nmos.Depletion -> 4
+
+(* One side of the comparison: the reduced circuit restricted to nets
+   carrying at least one device terminal (deviceless nets contribute no
+   structure to a switch-level comparison), with per-round color history
+   (newest first) for the localization pairing. *)
+type side = {
+  c : Circuit.t;
+  mult : int array;
+  nets : int array;
+  net_pos : (int, int) Hashtbl.t;
+  mutable net_color : int array;
+  mutable dev_color : int array;
+  mutable net_hist : int array list;
+  mutable dev_hist : int array list;
+}
+
+let side_of (r : Reduce.t) =
+  let c = r.Reduce.circuit in
+  let used = Array.make (Array.length c.Circuit.nets) false in
+  Array.iter
+    (fun (d : Circuit.device) ->
+      used.(d.gate) <- true;
+      used.(d.source) <- true;
+      used.(d.drain) <- true)
+    c.Circuit.devices;
+  let nets = ref [] in
+  Array.iteri (fun i u -> if u then nets := i :: !nets) used;
+  let nets = Array.of_list (List.rev !nets) in
+  let net_pos = Hashtbl.create (Array.length nets) in
+  Array.iteri (fun i n -> Hashtbl.replace net_pos n i) nets;
+  {
+    c;
+    mult = r.Reduce.mult;
+    nets;
+    net_pos;
+    net_color = [||];
+    dev_color = [||];
+    net_hist = [];
+    dev_hist = [];
+  }
+
+(* Net-name seeds: a (case-insensitive) name attached to exactly one
+   comparison net on EACH side pins those two nets to the same initial
+   color; the power rails are pinned through Circuit.find_rail.  Names
+   present on only one side are ignored — they must not be able to turn an
+   isomorphic pair into a mismatch. *)
+let seed_table a b ~vdd ~gnd =
+  let names_of side =
+    let tbl = Hashtbl.create 32 in
+    Array.iter
+      (fun n ->
+        List.iter
+          (fun name ->
+            let key = String.uppercase_ascii name in
+            Hashtbl.replace tbl key
+              (match Hashtbl.find_opt tbl key with
+              | None -> `One n
+              | Some _ -> `Many))
+          side.c.Circuit.nets.(n).Circuit.names)
+      side.nets;
+    tbl
+  in
+  let ta = names_of a and tb = names_of b in
+  let seeds = Hashtbl.create 32 (* (side-id, net) -> color *) in
+  Hashtbl.iter
+    (fun key va ->
+      match (va, Hashtbl.find_opt tb key) with
+      | `One na, Some (`One nb) ->
+          let color = str_code key in
+          Hashtbl.replace seeds (`A, na) color;
+          Hashtbl.replace seeds (`B, nb) color
+      | _ -> ())
+    ta;
+  List.iter
+    (fun (rail, color) ->
+      match (Circuit.find_rail a.c rail, Circuit.find_rail b.c rail) with
+      | Some na, Some nb
+        when Hashtbl.mem a.net_pos na && Hashtbl.mem b.net_pos nb ->
+          Hashtbl.replace seeds (`A, na) color;
+          Hashtbl.replace seeds (`B, nb) color
+      | _ -> ())
+    [ (vdd, 0x56DD); (gnd, 0x06ED) ];
+  seeds
+
+let init_colors tag seeds side =
+  side.net_color <-
+    Array.map
+      (fun n ->
+        match Hashtbl.find_opt seeds (tag, n) with Some c -> c | None -> 0)
+      side.nets;
+  side.dev_color <-
+    Array.map
+      (fun (d : Circuit.device) -> type_code d.dtype)
+      side.c.Circuit.devices;
+  side.net_hist <- [ Array.copy side.net_color ];
+  side.dev_hist <- [ Array.copy side.dev_color ]
+
+let distinct a = List.length (List.sort_uniq Int.compare (Array.to_list a))
+
+(* One refinement round, identical in shape to Compare.refine: devices
+   rehash from gate color and the unordered source/drain pair, nets from
+   the incident device colors with terminal roles. *)
+let round side =
+  let c = side.c in
+  let pos net = Hashtbl.find side.net_pos net in
+  let dev_color' =
+    Array.mapi
+      (fun i (d : Circuit.device) ->
+        let g = side.net_color.(pos d.gate) in
+        let s = side.net_color.(pos d.source)
+        and dr = side.net_color.(pos d.drain) in
+        let sd = hash_sorted [ s; dr ] in
+        mix (mix (mix side.dev_color.(i) g) sd) 17)
+      c.Circuit.devices
+  in
+  let incidences = Array.make (Array.length side.nets) [] in
+  Array.iteri
+    (fun i (d : Circuit.device) ->
+      let add role net =
+        let p = pos net in
+        incidences.(p) <- mix dev_color'.(i) role :: incidences.(p)
+      in
+      add 1 d.gate;
+      add 2 d.source;
+      add 2 d.drain)
+    c.Circuit.devices;
+  let net_color' =
+    Array.mapi
+      (fun i _ -> mix side.net_color.(i) (hash_sorted incidences.(i)))
+      side.nets
+  in
+  side.dev_color <- dev_color';
+  side.net_color <- net_color';
+  side.dev_hist <- Array.copy dev_color' :: side.dev_hist;
+  side.net_hist <- Array.copy net_color' :: side.net_hist
+
+let multiset a = List.sort Int.compare (Array.to_list a)
+
+(* ---------- rendering helpers ------------------------------------------ *)
+
+let um v = Printf.sprintf "%.2f" (float_of_int v /. 100.)
+let tname t = Nmos.device_type_name t
+
+let dev_site side i =
+  let d = side.c.Circuit.devices.(i) in
+  Printf.sprintf "%s@%d,%d" (tname d.dtype) d.location.Point.x
+    d.location.Point.y
+
+let net_name side n = Circuit.net_display_name side.c n
+
+(* Cap per-code finding floods at [cap]; the overflow note keeps a stable
+   anchor so it too can be waived. *)
+let cap_findings cap fs =
+  let n = List.length fs in
+  if n <= cap then fs
+  else
+    match fs with
+    | [] -> fs
+    | { code; severity; _ } :: _ ->
+        List.filteri (fun i _ -> i < cap) fs
+        @ [
+            {
+              code;
+              severity;
+              message = Printf.sprintf "... and %d more %s findings" (n - cap) code;
+              anchor = "more";
+              layout_net = None;
+            };
+          ]
+
+(* ---------- main -------------------------------------------------------- *)
+
+let run ?(cancel = Cancel.never) ?(with_sizes = true) ?(tolerance = 0.)
+    ?(vdd = "VDD") ?(gnd = "GND") ~layout ~reference () =
+  (* A name only one side knows carries no matching information, so it
+     must not block the series rule either — a SPICE round trip
+     auto-names every net, and reduction has to stay symmetric under
+     that.  Names present on both sides are potential hints and
+     protect their nets from reduction. *)
+  let name_set (c : Circuit.t) =
+    let s = Hashtbl.create 32 in
+    Array.iter
+      (fun (n : Circuit.net) ->
+        List.iter
+          (fun nm -> Hashtbl.replace s (String.uppercase_ascii nm) ())
+          n.Circuit.names)
+      c.Circuit.nets;
+    s
+  in
+  let sa = name_set layout and sb = name_set reference in
+  let anonymous (n : Circuit.net) =
+    not
+      (List.exists
+         (fun nm ->
+           let k = String.uppercase_ascii nm in
+           Hashtbl.mem sa k && Hashtbl.mem sb k)
+         n.Circuit.names)
+  in
+  let ra = Reduce.reduce ~cancel ~anonymous layout
+  and rb = Reduce.reduce ~cancel ~anonymous reference in
+  let a = side_of ra and b = side_of rb in
+  let seeds = seed_table a b ~vdd ~gnd in
+  init_colors `A seeds a;
+  init_colors `B seeds b;
+  let rounds = ref 0 in
+  let cap =
+    Array.length a.nets + Array.length a.c.Circuit.devices
+    + Array.length b.nets
+    + Array.length b.c.Circuit.devices + 2
+  in
+  let stable = ref false in
+  while not !stable do
+    Cancel.check cancel;
+    incr rounds;
+    let before =
+      distinct a.net_color + distinct a.dev_color + distinct b.net_color
+      + distinct b.dev_color
+    in
+    round a;
+    round b;
+    let after =
+      distinct a.net_color + distinct a.dev_color + distinct b.net_color
+      + distinct b.dev_color
+    in
+    if after <= before || !rounds > cap then stable := true
+  done;
+  Trace.count Trace.Counter.Lvs_rounds !rounds;
+  let stats matched =
+    {
+      layout_devices = Array.length a.c.Circuit.devices;
+      ref_devices = Array.length b.c.Circuit.devices;
+      layout_nets = Array.length a.nets;
+      ref_nets = Array.length b.nets;
+      reductions = ra.Reduce.merged + rb.Reduce.merged;
+      rounds = !rounds;
+      matched;
+    }
+  in
+  let size_ok la lb =
+    lb = 0 || la = lb
+    || float_of_int (abs (la - lb)) <= tolerance *. float_of_int (max la lb)
+  in
+  if
+    multiset a.dev_color = multiset b.dev_color
+    && multiset a.net_color = multiset b.net_color
+  then begin
+    (* Structurally equivalent.  Verify the induced mapping exactly when
+       refinement individuated everything, then audit multiplicities and
+       sizes class by class (class memberships correspond because the
+       color multisets agree). *)
+    let matched = Array.length a.c.Circuit.devices in
+    Trace.count Trace.Counter.Lvs_matches matched;
+    let singleton colors =
+      let tbl = Hashtbl.create 64 in
+      Array.iter
+        (fun c ->
+          Hashtbl.replace tbl c
+            (1 + try Hashtbl.find tbl c with Not_found -> 0))
+        colors;
+      Hashtbl.fold (fun _ n acc -> acc && n = 1) tbl true
+    in
+    let verify_failed =
+      if
+        singleton a.net_color && singleton a.dev_color
+        && singleton b.net_color && singleton b.dev_color
+      then begin
+        let index_by colors =
+          let tbl = Hashtbl.create 64 in
+          Array.iteri (fun i c -> Hashtbl.replace tbl c i) colors;
+          tbl
+        in
+        let net_of_b = index_by b.net_color
+        and dev_of_b = index_by b.dev_color in
+        let ok = ref true in
+        Array.iteri
+          (fun i (d : Circuit.device) ->
+            match Hashtbl.find_opt dev_of_b a.dev_color.(i) with
+            | None -> ok := false
+            | Some j ->
+                let d' = b.c.Circuit.devices.(j) in
+                let net_maps na nb =
+                  match
+                    ( Hashtbl.find_opt net_of_b
+                        a.net_color.(Hashtbl.find a.net_pos na),
+                      Hashtbl.find_opt b.net_pos nb )
+                  with
+                  | Some x, Some y -> x = y
+                  | _ -> false
+                in
+                if
+                  not
+                    (net_maps d.gate d'.gate
+                    && (net_maps d.source d'.source
+                        && net_maps d.drain d'.drain
+                       || net_maps d.source d'.drain
+                          && net_maps d.drain d'.source))
+                then ok := false)
+          a.c.Circuit.devices;
+        not !ok
+      end
+      else false
+    in
+    if verify_failed then
+      {
+        outcome = Inconclusive;
+        findings =
+          [
+            {
+              code = "lvs-inconclusive";
+              severity = Diag.Warning;
+              message =
+                "color multisets agree but the induced device mapping does \
+                 not verify (likely hash collision); treat as inconclusive";
+              anchor = "verify";
+              layout_net = None;
+            };
+          ];
+        stats = stats matched;
+      }
+    else begin
+      (* class-by-class multiplicity and size audit *)
+      let classes = Hashtbl.create 64 in
+      let add tbl_key i side_sel =
+        let la, lb =
+          match Hashtbl.find_opt classes tbl_key with
+          | Some p -> p
+          | None -> ([], [])
+        in
+        Hashtbl.replace classes tbl_key
+          (match side_sel with
+          | `A -> (i :: la, lb)
+          | `B -> (la, i :: lb))
+      in
+      Array.iteri (fun i c -> add c i `A) a.dev_color;
+      Array.iteri (fun i c -> add c i `B) b.dev_color;
+      let findings = ref [] in
+      let colors =
+        Hashtbl.fold (fun c _ acc -> c :: acc) classes []
+        |> List.sort Int.compare
+      in
+      List.iter
+        (fun color ->
+          let la, lb = Hashtbl.find classes color in
+          let key side i =
+            let d = side.c.Circuit.devices.(i) in
+            (d.Circuit.length, d.Circuit.width, side.mult.(i), i)
+          in
+          let la =
+            List.sort (fun x y -> compare (key a x) (key a y)) la
+          and lb = List.sort (fun x y -> compare (key b x) (key b y)) lb in
+          List.iter2
+            (fun i j ->
+              let da = a.c.Circuit.devices.(i)
+              and db = b.c.Circuit.devices.(j) in
+              if a.mult.(i) <> b.mult.(j) then
+                findings :=
+                  {
+                    code = "lvs-dup-device";
+                    severity = Diag.Error;
+                    message =
+                      Printf.sprintf
+                        "%s transistor at %d,%d: %d parallel copies in \
+                         layout vs %d in reference"
+                        (tname da.Circuit.dtype) da.Circuit.location.Point.x
+                        da.Circuit.location.Point.y a.mult.(i) b.mult.(j);
+                    anchor = dev_site a i;
+                    layout_net = Some da.Circuit.gate;
+                  }
+                  :: !findings
+              else if
+                with_sizes
+                && not
+                     (size_ok da.Circuit.length db.Circuit.length
+                     && size_ok da.Circuit.width db.Circuit.width)
+              then
+                findings :=
+                  {
+                    code = "lvs-size-mismatch";
+                    severity = Diag.Error;
+                    message =
+                      Printf.sprintf
+                        "%s transistor at %d,%d: L/W %s/%su (layout) vs \
+                         %s/%su (reference)"
+                        (tname da.Circuit.dtype) da.Circuit.location.Point.x
+                        da.Circuit.location.Point.y
+                        (um da.Circuit.length) (um da.Circuit.width)
+                        (um db.Circuit.length) (um db.Circuit.width);
+                    anchor = dev_site a i;
+                    layout_net = Some da.Circuit.gate;
+                  }
+                  :: !findings)
+            la lb)
+        colors;
+      let findings = cap_findings 20 (List.rev !findings) in
+      {
+        outcome = (if findings = [] then Clean else Mismatch);
+        findings;
+        stats = stats matched;
+      }
+    end
+  end
+  else begin
+    (* Structural mismatch: localize.  Pair devices greedily by color
+       history (finest refinement first), then read extra/missing devices
+       off the unpaired remainder and split/merged nets off the terminal
+       correspondence votes of the paired devices. *)
+    let findings = ref [] in
+    let push f = findings := f :: !findings in
+    let nd_a = Array.length a.c.Circuit.devices
+    and nd_b = Array.length b.c.Circuit.devices in
+    if nd_a <> nd_b then
+      push
+        {
+          code = "lvs-device-count";
+          severity = Diag.Error;
+          message =
+            Printf.sprintf
+              "device counts differ after reduction: %d (layout) vs %d \
+               (reference)"
+              nd_a nd_b;
+          anchor = "device-count";
+          layout_net = None;
+        };
+    if Array.length a.nets <> Array.length b.nets then
+      push
+        {
+          code = "lvs-net-count";
+          severity = Diag.Error;
+          message =
+            Printf.sprintf
+              "connected net counts differ: %d (layout) vs %d (reference)"
+              (Array.length a.nets) (Array.length b.nets);
+          anchor = "net-count";
+          layout_net = None;
+        };
+    let hist_a = Array.of_list a.dev_hist (* newest first *)
+    and hist_b = Array.of_list b.dev_hist in
+    let n_hist = min (Array.length hist_a) (Array.length hist_b) in
+    let paired_a = Array.make nd_a false
+    and paired_b = Array.make nd_b false in
+    let pairs = ref [] in
+    (* Deterministic member order inside a bucket: remaining history
+       sequence, then sizes, then index — the same comparator on both
+       sides so the pairing is as symmetric as the inputs allow. *)
+    let member_key side hist r i =
+      let tail = ref [] in
+      for k = min (Array.length hist - 1) (r + 4) downto r do
+        tail := hist.(k).(i) :: !tail
+      done;
+      let d = side.c.Circuit.devices.(i) in
+      (!tail, d.Circuit.length, d.Circuit.width, side.mult.(i), i)
+    in
+    for r = 0 to n_hist - 1 do
+      let buckets = Hashtbl.create 64 in
+      let add color v =
+        Hashtbl.replace buckets color
+          (v
+          ::
+          (match Hashtbl.find_opt buckets color with
+          | Some l -> l
+          | None -> []))
+      in
+      for i = 0 to nd_a - 1 do
+        if not paired_a.(i) then add hist_a.(r).(i) (`A i)
+      done;
+      for j = 0 to nd_b - 1 do
+        if not paired_b.(j) then add hist_b.(r).(j) (`B j)
+      done;
+      let colors =
+        Hashtbl.fold (fun c _ acc -> c :: acc) buckets []
+        |> List.sort Int.compare
+      in
+      List.iter
+        (fun color ->
+          let members = Hashtbl.find buckets color in
+          let la =
+            List.filter_map (function `A i -> Some i | `B _ -> None) members
+            |> List.sort (fun x y ->
+                   compare (member_key a hist_a r x) (member_key a hist_a r y))
+          and lb =
+            List.filter_map (function `B j -> Some j | `A _ -> None) members
+            |> List.sort (fun x y ->
+                   compare (member_key b hist_b r x) (member_key b hist_b r y))
+          in
+          let rec zip la lb =
+            match (la, lb) with
+            | i :: la', j :: lb' ->
+                paired_a.(i) <- true;
+                paired_b.(j) <- true;
+                pairs := (i, j) :: !pairs;
+                zip la' lb'
+            | _ -> ()
+          in
+          zip la lb)
+        colors
+    done;
+    let matched = List.length !pairs in
+    Trace.count Trace.Counter.Lvs_matches matched;
+    (* extra / missing devices from the unpaired remainder *)
+    let extras = ref [] and missings = ref [] in
+    for i = 0 to nd_a - 1 do
+      if not paired_a.(i) then
+        let d = a.c.Circuit.devices.(i) in
+        extras :=
+          {
+            code = "lvs-extra-device";
+            severity = Diag.Error;
+            message =
+              Printf.sprintf
+                "extra %s transistor at %d,%d in layout (gate %s, channel \
+                 %s-%s): no reference counterpart"
+                (tname d.Circuit.dtype) d.Circuit.location.Point.x
+                d.Circuit.location.Point.y
+                (net_name a d.Circuit.gate)
+                (net_name a d.Circuit.source)
+                (net_name a d.Circuit.drain);
+            anchor = dev_site a i;
+            layout_net = Some d.Circuit.gate;
+          }
+          :: !extras
+    done;
+    for j = 0 to nd_b - 1 do
+      if not paired_b.(j) then
+        let d = b.c.Circuit.devices.(j) in
+        let sd =
+          List.sort String.compare
+            [ net_name b d.Circuit.source; net_name b d.Circuit.drain ]
+        in
+        missings :=
+          {
+            code = "lvs-missing-device";
+            severity = Diag.Error;
+            message =
+              Printf.sprintf
+                "reference %s transistor (gate %s, channel %s-%s) has no \
+                 layout counterpart"
+                (tname d.Circuit.dtype)
+                (net_name b d.Circuit.gate)
+                (List.nth sd 0) (List.nth sd 1);
+            anchor =
+              Printf.sprintf "%s:%s:%s" (tname d.Circuit.dtype)
+                (net_name b d.Circuit.gate)
+                (String.concat ":" sd);
+            layout_net = None;
+          }
+          :: !missings
+    done;
+    List.iter push (cap_findings 20 (List.rev !extras));
+    List.iter push (cap_findings 20 (List.rev !missings));
+    (* split / merged nets from terminal-correspondence votes *)
+    let votes_rl = Hashtbl.create 64 (* ref net -> layout net -> votes *)
+    and votes_lr = Hashtbl.create 64 in
+    let vote tbl k v =
+      let inner =
+        match Hashtbl.find_opt tbl k with
+        | Some t -> t
+        | None ->
+            let t = Hashtbl.create 4 in
+            Hashtbl.replace tbl k t;
+            t
+      in
+      Hashtbl.replace inner v
+        (1 + match Hashtbl.find_opt inner v with Some n -> n | None -> 0)
+    in
+    let cast ln rn =
+      vote votes_rl rn ln;
+      vote votes_lr ln rn
+    in
+    List.iter
+      (fun (i, j) ->
+        let da = a.c.Circuit.devices.(i) and db = b.c.Circuit.devices.(j) in
+        cast da.Circuit.gate db.Circuit.gate;
+        let col side n = side.net_color.(Hashtbl.find side.net_pos n) in
+        let cs = col a da.Circuit.source and cd = col a da.Circuit.drain in
+        let cs' = col b db.Circuit.source and cd' = col b db.Circuit.drain in
+        let aligned =
+          cs = cs' || cd = cd' || not (cs = cd' || cd = cs')
+        in
+        if aligned then begin
+          cast da.Circuit.source db.Circuit.source;
+          cast da.Circuit.drain db.Circuit.drain
+        end
+        else begin
+          cast da.Circuit.source db.Circuit.drain;
+          cast da.Circuit.drain db.Circuit.source
+        end)
+      !pairs;
+    let partner_sets tbl =
+      Hashtbl.fold
+        (fun k inner acc ->
+          let ps = Hashtbl.fold (fun v _ l -> v :: l) inner [] in
+          (k, List.sort Int.compare ps) :: acc)
+        tbl []
+      |> List.sort compare
+    in
+    let splits = ref [] and merges = ref [] in
+    List.iter
+      (fun (rn, partners) ->
+        if List.length partners >= 2 then
+          let names = List.map (net_name a) partners in
+          splits :=
+            {
+              code = "lvs-net-split";
+              severity = Diag.Error;
+              message =
+                Printf.sprintf
+                  "reference net %s corresponds to %d separate layout nets \
+                   (%s)"
+                  (net_name b rn) (List.length partners)
+                  (String.concat ", " names);
+              anchor =
+                Printf.sprintf "%s:%s" (net_name b rn)
+                  (String.concat "," (List.sort String.compare names));
+              layout_net = Some (List.hd partners);
+            }
+            :: !splits)
+      (partner_sets votes_rl);
+    List.iter
+      (fun (ln, partners) ->
+        if List.length partners >= 2 then
+          let names =
+            List.sort String.compare (List.map (net_name b) partners)
+          in
+          merges :=
+            {
+              code = "lvs-net-merge";
+              severity = Diag.Error;
+              message =
+                Printf.sprintf
+                  "layout net %s matches %d distinct reference nets (%s)"
+                  (net_name a ln) (List.length partners)
+                  (String.concat ", " names);
+              anchor =
+                Printf.sprintf "%s:%s" (net_name a ln)
+                  (String.concat "," names);
+              layout_net = Some ln;
+            }
+            :: !merges)
+      (partner_sets votes_lr);
+    List.iter push (cap_findings 20 (List.rev !splits));
+    List.iter push (cap_findings 20 (List.rev !merges));
+    if !findings = [] then
+      push
+        {
+          code = "lvs-topology";
+          severity = Diag.Error;
+          message =
+            "connectivity differs: equal device and net counts, but the \
+             refined color partitions do not correspond";
+          anchor = "topology";
+          layout_net = None;
+        };
+    { outcome = Mismatch; findings = List.rev !findings; stats = stats matched }
+  end

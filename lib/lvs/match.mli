@@ -1,0 +1,67 @@
+open Ace_netlist
+
+(** The LVS comparator: layout-vs-schematic by seeded partition
+    refinement.
+
+    Both circuits are first series/parallel-reduced ({!Reduce}), then nets
+    and devices are colored by Gemini-style iterative refinement — the
+    same hashing discipline as {!Ace_netlist.Compare} — with initial
+    colors seeded from pinned power rails and net-name hints shared by the
+    two sides (a name attached to exactly one net on each side).  Device
+    sizes deliberately stay out of the colors, so a W/L discrepancy
+    surfaces as a size finding on matched devices instead of dissolving
+    into an opaque topology mismatch.
+
+    When the final color multisets agree the circuits are structurally
+    equivalent; sizes and multiplicities are then audited class by class.
+    When they disagree, devices are paired greedily by their color
+    histories (finest round first) and the unpaired remainder plus
+    terminal-correspondence votes localize the difference: extra/missing
+    devices, split/merged nets, count mismatches, or — as a last resort —
+    a bare topology verdict. *)
+
+type finding = {
+  code : string;  (** stable [lvs-*] identifier *)
+  severity : Ace_diag.Diag.severity;
+  message : string;
+  anchor : string;
+      (** stable identity token (physical locations, user names — never
+          array indices) for waiver fingerprints *)
+  layout_net : int option;  (** anchor net in the layout circuit, if any *)
+}
+
+type stats = {
+  layout_devices : int;  (** after reduction *)
+  ref_devices : int;
+  layout_nets : int;  (** connected nets after reduction *)
+  ref_nets : int;
+  reductions : int;  (** series/parallel merges, both sides *)
+  rounds : int;  (** refinement rounds *)
+  matched : int;  (** devices paired across the two sides *)
+}
+
+type outcome = Clean | Mismatch | Inconclusive
+
+type result = {
+  outcome : outcome;
+  findings : finding list;
+  stats : stats;
+}
+
+(** [run ?cancel ?with_sizes ?tolerance ?vdd ?gnd ~layout ~reference ()].
+    [with_sizes] (default true) audits L/W on structurally matched
+    devices; [tolerance] (default 0.) is the allowed relative deviation
+    ([|a-b| <= tolerance * max a b]); reference sizes of 0 (unspecified)
+    are never checked.  [vdd]/[gnd] (defaults ["VDD"]/["GND"]) pin the
+    rails.  Comparison is symmetric: swapping the two circuits yields the
+    same outcome with mirrored finding polarity (extra <-> missing). *)
+val run :
+  ?cancel:Ace_core.Cancel.t ->
+  ?with_sizes:bool ->
+  ?tolerance:float ->
+  ?vdd:string ->
+  ?gnd:string ->
+  layout:Circuit.t ->
+  reference:Circuit.t ->
+  unit ->
+  result

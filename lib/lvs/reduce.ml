@@ -1,0 +1,135 @@
+open Ace_netlist
+module Cancel = Ace_core.Cancel
+module Trace = Ace_trace.Trace
+
+(* Working devices: mutable so merges rewrite terminals in place. *)
+type wdev = {
+  mutable alive : bool;
+  dtype : Ace_tech.Nmos.device_type;
+  gate : int;
+  mutable s : int;
+  mutable d : int;
+  mutable l : int;
+  mutable w : int;
+  mutable mult : int;
+  location : Ace_geom.Point.t;
+}
+
+type t = { circuit : Circuit.t; mult : int array; merged : int }
+
+let type_code = function
+  | Ace_tech.Nmos.Enhancement -> 0
+  | Ace_tech.Nmos.Depletion -> 1
+
+(* Parallel rule: same type, gate, unordered channel pair and length —
+   widths and multiplicities add.  One pass over a bucket table. *)
+let parallel_pass devs =
+  let tbl = Hashtbl.create 64 in
+  let merges = ref 0 in
+  Array.iter
+    (fun dv ->
+      if dv.alive then begin
+        let lo = min dv.s dv.d and hi = max dv.s dv.d in
+        let key = (type_code dv.dtype, dv.gate, lo, hi, dv.l) in
+        match Hashtbl.find_opt tbl key with
+        | None -> Hashtbl.replace tbl key dv
+        | Some keep ->
+            keep.w <- keep.w + dv.w;
+            keep.mult <- keep.mult + dv.mult;
+            dv.alive <- false;
+            incr merges
+      end)
+    devs;
+  !merges
+
+(* Series rule: an anonymous net with exactly two channel terminals and
+   no gate terminals joins two devices of the same type, gate, width and
+   multiplicity — lengths add, the internal net drops out of the
+   conduction path.  The gate net must differ from the internal net (a
+   gate tied to its own channel is not a plain chain).  What counts as
+   anonymous is the caller's [anonymous] predicate: by default any
+   unnamed net, but the comparator relaxes it to "no name shared with
+   the other side" so reduction stays symmetric when one side auto-names
+   its nets (a SPICE round trip names everything). *)
+let series_pass ~anonymous (circuit : Circuit.t) devs =
+  let n_nets = Array.length circuit.Circuit.nets in
+  let chan = Array.make n_nets [] in
+  let gates = Array.make n_nets 0 in
+  Array.iter
+    (fun dv ->
+      if dv.alive then begin
+        gates.(dv.gate) <- gates.(dv.gate) + 1;
+        chan.(dv.s) <- (dv, `S) :: chan.(dv.s);
+        if dv.d <> dv.s then chan.(dv.d) <- (dv, `D) :: chan.(dv.d)
+      end)
+    devs;
+  let merges = ref 0 in
+  for n = 0 to n_nets - 1 do
+    if anonymous circuit.Circuit.nets.(n) && gates.(n) = 0 then
+      match chan.(n) with
+      | [ (a, ta); (b, tb) ]
+        when a != b && a.alive && b.alive && a.dtype = b.dtype
+             && a.gate = b.gate && a.w = b.w && a.mult = b.mult
+             && a.gate <> n && a.s <> a.d && b.s <> b.d ->
+          (* a keeps its far terminal; its near terminal becomes b's far
+             terminal; b dies. *)
+          let far_b = match tb with `S -> b.d | `D -> b.s in
+          (match ta with `S -> a.s <- far_b | `D -> a.d <- far_b);
+          a.l <- a.l + b.l;
+          b.alive <- false;
+          incr merges
+      | _ -> ()
+  done;
+  !merges
+
+let reduce ?(cancel = Cancel.never)
+    ?(anonymous = fun (n : Circuit.net) -> n.Circuit.names = [])
+    (circuit : Circuit.t) =
+  let devs =
+    Array.map
+      (fun (d : Circuit.device) ->
+        {
+          alive = true;
+          dtype = d.dtype;
+          gate = d.gate;
+          s = d.source;
+          d = d.drain;
+          l = d.length;
+          w = d.width;
+          mult = 1;
+          location = d.location;
+        })
+      circuit.Circuit.devices
+  in
+  let merged = ref 0 in
+  let progress = ref true in
+  while !progress do
+    Cancel.check cancel;
+    let m = parallel_pass devs + series_pass ~anonymous circuit devs in
+    merged := !merged + m;
+    progress := m > 0
+  done;
+  Trace.count Trace.Counter.Lvs_reductions !merged;
+  let alive =
+    Array.to_list devs |> List.filter (fun dv -> dv.alive) |> Array.of_list
+  in
+  let devices =
+    Array.map
+      (fun dv ->
+        {
+          Circuit.dtype = dv.dtype;
+          gate = dv.gate;
+          source = dv.s;
+          drain = dv.d;
+          length = dv.l;
+          width = dv.w;
+          location = dv.location;
+          geometry = [];
+        })
+      alive
+  in
+  {
+    circuit = { circuit with Circuit.devices };
+    mult = Array.map (fun (dv : wdev) -> dv.mult) alive;
+    merged = !merged;
+  }

@@ -1,0 +1,32 @@
+open Ace_netlist
+
+(** Series/parallel transistor-chain reduction.
+
+    Schematic transistors are routinely drawn as several layout fingers:
+    parallel devices sharing gate and both channel terminals (widths add),
+    and series chains through anonymous internal nets sharing gate and
+    width (lengths add).  Reducing both circuits to this canonical form
+    before comparison makes LVS insensitive to fingering, and the
+    multiplicity counts expose genuinely duplicated devices.
+
+    Reduction is conservative: only anonymous internal nets with exactly
+    two channel terminals and no gate terminals are collapsed by the
+    series rule, so user-visible nets always survive.  [anonymous]
+    decides which nets qualify (default: nets with no name at all); the
+    comparator passes "no name shared with the other side", so a net
+    auto-named by a SPICE round trip reduces exactly like its unnamed
+    layout counterpart. *)
+
+type t = {
+  circuit : Circuit.t;  (** the reduced circuit (original nets kept) *)
+  mult : int array;
+      (** per reduced device: how many original devices it absorbed in
+          parallel (series chains count as their parallel multiplicity) *)
+  merged : int;  (** total merge operations performed *)
+}
+
+val reduce :
+  ?cancel:Ace_core.Cancel.t ->
+  ?anonymous:(Circuit.net -> bool) ->
+  Circuit.t ->
+  t

@@ -1,0 +1,438 @@
+(* Lenient SPICE-ish reference-netlist parser.
+
+   Mirrors the CIF front-end philosophy: never raise, always produce a
+   circuit from whatever was readable, and report every problem as an
+   Ace_diag diagnostic with a byte span and a stable lvs-ref-* code.  The
+   dialect is deliberately small — M cards, .SUBCKT/.ENDS/X hierarchy,
+   .MODEL, .GLOBAL, comments and continuations — which covers both what
+   schematic tools emit and what Ace_netlist.Spice prints, so extracted
+   decks round-trip. *)
+
+open Ace_netlist
+module Diag = Ace_diag.Diag
+module Point = Ace_geom.Point
+
+(* ---------- logical cards ---------------------------------------------- *)
+
+type card = { span : Diag.span; tokens : string list }
+
+(* Split [text] into logical cards: physical lines, with a leading '+'
+   continuing the previous card.  '*' lines are comments; '$' starts an
+   inline comment.  Spans cover the full logical card. *)
+let cards_of_string text =
+  let len = String.length text in
+  let lines = ref [] in
+  let start = ref 0 in
+  for i = 0 to len - 1 do
+    if text.[i] = '\n' then begin
+      lines := (!start, i) :: !lines;
+      start := i + 1
+    end
+  done;
+  if !start < len then lines := (!start, len) :: !lines;
+  let lines = List.rev !lines in
+  let strip (a, b) =
+    let s = String.sub text a (b - a) in
+    let s =
+      match String.index_opt s '$' with
+      | Some k -> String.sub s 0 k
+      | None -> s
+    in
+    String.trim s
+  in
+  let cards = ref [] in
+  let current = ref None in
+  let flush () =
+    match !current with
+    | None -> ()
+    | Some (a, b, buf) ->
+        let tokens =
+          String.concat " " (List.rev buf)
+          |> String.map (function '(' | ')' | ',' -> ' ' | c -> c)
+          |> String.split_on_char ' '
+          |> List.filter (fun t -> t <> "")
+        in
+        if tokens <> [] then
+          cards := { span = { Diag.start = a; stop = b }; tokens } :: !cards;
+        current := None
+  in
+  List.iter
+    (fun (a, b) ->
+      let s = strip (a, b) in
+      if s = "" || s.[0] = '*' then ()
+      else if s.[0] = '+' then
+        match !current with
+        | Some (a0, _, buf) ->
+            current := Some (a0, b, String.sub s 1 (String.length s - 1) :: buf)
+        | None -> current := Some (a, b, [ String.sub s 1 (String.length s - 1) ])
+      else begin
+        flush ();
+        current := Some (a, b, [ s ])
+      end)
+    lines;
+  flush ();
+  List.rev !cards
+
+(* ---------- numbers ----------------------------------------------------- *)
+
+(* Dimension values: bare numbers are centimicrons; U = microns (x100),
+   N = nanometers (/10), M = millimeters (x100_000).  Returns rounded
+   centimicrons, or None on malformed input. *)
+let parse_dim s =
+  let s = String.uppercase_ascii s in
+  let n = String.length s in
+  if n = 0 then None
+  else
+    let scale, cut =
+      match s.[n - 1] with
+      | 'U' -> (100., 1)
+      | 'N' -> (0.1, 1)
+      | 'M' -> (100_000., 1)
+      | _ -> (1., 0)
+    in
+    match float_of_string_opt (String.sub s 0 (n - cut)) with
+    | Some v when v >= 0. -> Some (int_of_float (Float.round (v *. scale)))
+    | _ -> None
+
+(* ---------- first pass: collect scopes ---------------------------------- *)
+
+type dev_card = {
+  d_span : Diag.span;
+  d_name : string;
+  d_model : string;  (** uppercased model token *)
+  d_d : string;
+  d_g : string;
+  d_s : string;  (** node tokens, original spelling *)
+  d_l : int;
+  d_w : int;  (** centimicrons; 0 = unspecified *)
+}
+
+type inst_card = {
+  i_span : Diag.span;
+  i_name : string;
+  i_nodes : string list;
+  i_sub : string;  (** uppercased subckt name *)
+}
+
+type item = Dev of dev_card | Inst of inst_card
+
+type scope = {
+  s_name : string;  (** uppercased; "" = top level *)
+  s_pins : string list;  (** uppercased formal pin names *)
+  s_span : Diag.span option;
+  mutable s_items : item list;  (** reversed *)
+}
+
+let up = String.uppercase_ascii
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* Split card tokens into positional tokens and K=V parameters. *)
+let split_params tokens =
+  List.partition_map
+    (fun t ->
+      match String.index_opt t '=' with
+      | Some k when k > 0 ->
+          Right
+            ( up (String.sub t 0 k),
+              String.sub t (k + 1) (String.length t - k - 1) )
+      | _ -> Left t)
+    tokens
+
+let parse ?(name = "reference") ?(gnd = "GND") text =
+  let diags = ref [] in
+  let diag d = diags := d :: !diags in
+  let cards = cards_of_string text in
+  let subckts : (string, scope) Hashtbl.t = Hashtbl.create 8 in
+  let models : (string, Ace_tech.Nmos.device_type) Hashtbl.t =
+    Hashtbl.create 4
+  in
+  let globals : (string, unit) Hashtbl.t = Hashtbl.create 4 in
+  let top = { s_name = ""; s_pins = []; s_span = None; s_items = [] } in
+  let stack = ref [ top ] in
+  let cur () = List.hd !stack in
+  let stopped = ref false in
+  let do_card { span; tokens } =
+    let head = List.hd tokens in
+    let keyword = up head in
+    match keyword.[0] with
+    | '.' -> (
+        match keyword with
+        | ".SUBCKT" -> (
+            match tokens with
+            | _ :: sname :: pins ->
+                let pins, _params = split_params pins in
+                let scope =
+                  {
+                    s_name = up sname;
+                    s_pins = List.map up pins;
+                    s_span = Some span;
+                    s_items = [];
+                  }
+                in
+                stack := scope :: !stack
+            | _ ->
+                diag
+                  (Diag.error ~span ~code:"lvs-ref-bad-card"
+                     ".SUBCKT needs a name"))
+        | ".ENDS" -> (
+            match !stack with
+            | scope :: (_ :: _ as rest) ->
+                Hashtbl.replace subckts scope.s_name scope;
+                stack := rest
+            | _ ->
+                diag
+                  (Diag.error ~span ~code:"lvs-ref-unmatched-ends"
+                     ".ENDS without a matching .SUBCKT"))
+        | ".MODEL" -> (
+            let positional, params = split_params (List.tl tokens) in
+            match positional with
+            | mname :: _ ->
+                (* VTO sign decides enhancement vs depletion when present;
+                   otherwise names containing DEP (or the literal D prefix
+                   convention) are depletion. *)
+                let dtype =
+                  match List.assoc_opt "VTO" params with
+                  | Some v -> (
+                      match float_of_string_opt v with
+                      | Some v when v < 0. -> Ace_tech.Nmos.Depletion
+                      | Some _ -> Ace_tech.Nmos.Enhancement
+                      | None -> Ace_tech.Nmos.Enhancement)
+                  | None ->
+                      if contains_sub (up mname) "DEP" then
+                        Ace_tech.Nmos.Depletion
+                      else Ace_tech.Nmos.Enhancement
+                in
+                Hashtbl.replace models (up mname) dtype
+            | [] ->
+                diag
+                  (Diag.error ~span ~code:"lvs-ref-bad-card"
+                     ".MODEL needs a name"))
+        | ".GLOBAL" ->
+            List.iter (fun t -> Hashtbl.replace globals (up t) ()) (List.tl tokens)
+        | ".END" -> stopped := true
+        | _ ->
+            diag
+              (Diag.hint ~span ~code:"lvs-ref-unknown-card"
+                 (Printf.sprintf "ignoring unknown control card %s" keyword)))
+    | 'M' -> (
+        let positional, params = split_params tokens in
+        (* Mname d g s [b] model — 3-node (no bulk) and 4-node forms. *)
+        match positional with
+        | nm :: d :: g :: s :: rest
+          when List.length rest = 1 || List.length rest = 2 ->
+            let model = up (List.nth rest (List.length rest - 1)) in
+            let dim key =
+              match List.assoc_opt key params with
+              | None -> 0
+              | Some v -> (
+                  match parse_dim v with
+                  | Some cm -> cm
+                  | None ->
+                      diag
+                        (Diag.error ~span ~code:"lvs-ref-bad-number"
+                           (Printf.sprintf "cannot parse %s=%s" key v));
+                      0)
+            in
+            (cur ()).s_items <-
+              Dev
+                {
+                  d_span = span;
+                  d_name = nm;
+                  d_model = model;
+                  d_d = d;
+                  d_g = g;
+                  d_s = s;
+                  d_l = dim "L";
+                  d_w = dim "W";
+                }
+              :: (cur ()).s_items
+        | _ ->
+            diag
+              (Diag.error ~span ~code:"lvs-ref-bad-device"
+                 (Printf.sprintf
+                    "device card %s needs 3 or 4 nodes and a model" head)))
+    | 'X' -> (
+        let positional, _params = split_params tokens in
+        match positional with
+        | nm :: (_ :: _ as rest) ->
+            let nodes = List.filteri (fun i _ -> i < List.length rest - 1) rest in
+            let sub = up (List.nth rest (List.length rest - 1)) in
+            (cur ()).s_items <-
+              Inst { i_span = span; i_name = nm; i_nodes = nodes; i_sub = sub }
+              :: (cur ()).s_items
+        | _ ->
+            diag
+              (Diag.error ~span ~code:"lvs-ref-bad-card"
+                 (Printf.sprintf "instance card %s needs nodes and a name" head)))
+    | 'R' | 'C' | 'V' | 'I' | 'L' | 'D' | 'Q' | 'J' | 'K' | 'E' | 'F' | 'G'
+    | 'H' ->
+        diag
+          (Diag.hint ~span ~code:"lvs-ref-ignored-card"
+             (Printf.sprintf
+                "%c card %s ignored (only transistors take part in switch-level \
+                 comparison)"
+                keyword.[0] head))
+    | _ ->
+        diag
+          (Diag.error ~span ~code:"lvs-ref-bad-card"
+             (Printf.sprintf "unrecognized card %s" head))
+  in
+  List.iter (fun c -> if not !stopped then do_card c) cards;
+  (match !stack with
+  | _ :: (_ :: _) ->
+      List.iter
+        (fun scope ->
+          if scope.s_name <> "" then begin
+            (match scope.s_span with
+            | Some span ->
+                diag
+                  (Diag.error ~span ~code:"lvs-ref-unterminated-subckt"
+                     (Printf.sprintf ".SUBCKT %s never closed by .ENDS"
+                        scope.s_name))
+            | None -> ());
+            Hashtbl.replace subckts scope.s_name scope
+          end)
+        !stack
+  | _ -> ());
+
+  (* -------- second pass: flatten into a Circuit.t -------- *)
+  let gnd_key = up gnd in
+  let net_index : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let net_names = ref [] (* reversed display names *) in
+  let n_nets = ref 0 in
+  let net_of ~display key =
+    match Hashtbl.find_opt net_index key with
+    | Some i -> i
+    | None ->
+        let i = !n_nets in
+        Hashtbl.replace net_index key i;
+        net_names := display :: !net_names;
+        incr n_nets;
+        i
+  in
+  let devices = ref [] (* reversed *) in
+  let n_devices = ref 0 in
+  let max_devices = 1_000_000 in
+  let model_type span m =
+    match Hashtbl.find_opt models m with
+    | Some t -> t
+    | None ->
+        if m = "ENH" || m = "NMOS" || m = "N" then Ace_tech.Nmos.Enhancement
+        else if contains_sub m "DEP" then Ace_tech.Nmos.Depletion
+        else begin
+          diag
+            (Diag.hint ~span ~code:"lvs-ref-unknown-model"
+               (Printf.sprintf "unknown model %s treated as enhancement" m));
+          Hashtbl.replace models m Ace_tech.Nmos.Enhancement;
+          Ace_tech.Nmos.Enhancement
+        end
+  in
+  let rec emit path active scope bind =
+    let resolve tok =
+      let u = up tok in
+      if u = "0" || u = gnd_key then net_of ~display:gnd gnd_key
+      else
+        match List.assoc_opt u bind with
+        | Some i -> i
+        | None ->
+            if Hashtbl.mem globals u || path = "" then net_of ~display:tok u
+            else net_of ~display:(path ^ tok) (up path ^ u)
+    in
+    List.iter
+      (function
+        | Dev d ->
+            if !n_devices >= max_devices then begin
+              if !n_devices = max_devices then
+                diag
+                  (Diag.error ~span:d.d_span ~code:"lvs-ref-too-large"
+                     (Printf.sprintf
+                        "flattened netlist exceeds %d devices; truncating"
+                        max_devices));
+              incr n_devices
+            end
+            else begin
+              let dev =
+                {
+                  Circuit.dtype = model_type d.d_span d.d_model;
+                  gate = resolve d.d_g;
+                  source = resolve d.d_s;
+                  drain = resolve d.d_d;
+                  length = d.d_l;
+                  width = d.d_w;
+                  location = Point.make !n_devices 0;
+                  geometry = [];
+                }
+              in
+              devices := dev :: !devices;
+              incr n_devices
+            end
+        | Inst inst -> (
+            match Hashtbl.find_opt subckts inst.i_sub with
+            | None ->
+                diag
+                  (Diag.error ~span:inst.i_span ~code:"lvs-ref-undefined-subckt"
+                     (Printf.sprintf "instance %s of undefined subcircuit %s"
+                        inst.i_name inst.i_sub))
+            | Some sub when List.mem inst.i_sub active ->
+                diag
+                  (Diag.error ~span:inst.i_span ~code:"lvs-ref-recursive"
+                     (Printf.sprintf "recursive expansion of subcircuit %s"
+                        sub.s_name))
+            | Some sub ->
+                if List.length inst.i_nodes <> List.length sub.s_pins then
+                  diag
+                    (Diag.error ~span:inst.i_span ~code:"lvs-ref-pin-mismatch"
+                       (Printf.sprintf
+                          "instance %s passes %d nodes but %s declares %d pins"
+                          inst.i_name
+                          (List.length inst.i_nodes)
+                          sub.s_name (List.length sub.s_pins)))
+                else
+                  let bind' =
+                    List.map2
+                      (fun formal actual -> (formal, resolve actual))
+                      sub.s_pins inst.i_nodes
+                  in
+                  emit
+                    (path ^ inst.i_name ^ "/")
+                    (inst.i_sub :: active) sub bind'))
+      (List.rev scope.s_items)
+  in
+  emit "" [] top [];
+  let nets =
+    !net_names |> List.rev
+    |> List.mapi (fun i display ->
+           { Circuit.names = [ display ]; location = Point.make i 0; geometry = [] })
+    |> Array.of_list
+  in
+  let circuit =
+    { Circuit.name; devices = Array.of_list (List.rev !devices); nets }
+  in
+  (circuit, List.rev !diags)
+
+let load ?name ?gnd text =
+  let rec first_nonspace i =
+    if i >= String.length text then i
+    else
+      match text.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> first_nonspace (i + 1)
+      | _ -> i
+  in
+  let i = first_nonspace 0 in
+  let looks_like_wirelist =
+    i < String.length text
+    && text.[i] = '('
+    &&
+    let rest = String.sub text i (min 12 (String.length text - i)) in
+    String.length rest >= 8 && String.uppercase_ascii (String.sub rest 0 8) = "(DEFPART"
+  in
+  if looks_like_wirelist then
+    match Wirelist.of_string text with
+    | c -> Ok (c, [])
+    | exception Wirelist.Error m ->
+        Error (Diag.errorf ~code:"wirelist-error" "%s" m)
+  else Ok (parse ?name ?gnd text)

@@ -1,0 +1,34 @@
+open Ace_netlist
+
+(** The LVS reference-netlist front end: a lenient SPICE-ish structural
+    parser.
+
+    The input dialect is the subset every schematic-capture flow can emit
+    (and that {!Ace_netlist.Spice} itself produces): [M] transistor cards,
+    [.SUBCKT]/[.ENDS] definitions with [X] instance cards, [.MODEL] cards
+    deciding enhancement vs depletion, [.GLOBAL], [*] comments and [+]
+    continuation lines.  Parsing is lenient in the {!Ace_diag} sense: it
+    never raises, every problem becomes a diagnostic with a byte span and
+    a stable [lvs-ref-*] code, and a circuit is always produced from
+    whatever was readable.
+
+    The output is the same flat {!Circuit.t} shape the extractor emits, so
+    the comparator ({!Match}) and the existing wirelist machinery consume
+    reference netlists and extracted layouts identically. *)
+
+(** [parse ?name ?gnd text] — [gnd] (default ["GND"]) is the net that
+    SPICE node [0] aliases.  Net and model names are case-insensitive;
+    devices missing [L=]/[W=] get 0 (meaning "unknown", skipped by size
+    comparison).  Dimension suffixes: [U] microns, [N] nanometers, [M]
+    millimeters; bare numbers are centimicrons. *)
+val parse :
+  ?name:string -> ?gnd:string -> string -> Circuit.t * Ace_diag.Diag.t list
+
+(** [load ?name ?gnd text] sniffs the format: text starting with
+    [(DefPart] is read as a CMU wirelist (strict, one [wirelist-error]
+    diagnostic on failure), anything else goes through {!parse}. *)
+val load :
+  ?name:string ->
+  ?gnd:string ->
+  string ->
+  (Circuit.t * Ace_diag.Diag.t list, Ace_diag.Diag.t) result

@@ -1,0 +1,17 @@
+(** Rendering LVS findings through the shared diagnostics stack:
+    {!Ace_diag.Diag} values with stable [lvs-*] codes, 64-bit FNV-1a
+    fingerprints for {!Ace_lint.Baseline} waivers, and the SARIF rule
+    registry for [tool.driver.rules]. *)
+
+(** Structured diagnostic for a comparator finding (no span — findings
+    anchor to circuit structure, not source bytes). *)
+val to_diag : Match.finding -> Ace_diag.Diag.t
+
+(** Stable waiver identity: FNV-1a of the code and the finding's anchor
+    (physical locations and user names, never array indices), so
+    fingerprints survive re-extraction and message rewording. *)
+val fingerprint : Match.finding -> string
+
+(** Registry of every [lvs-*] code the comparator and the reference
+    parser can emit, for SARIF [tool.driver.rules]. *)
+val sarif_rules : unit -> Ace_diag.Sarif.rule list

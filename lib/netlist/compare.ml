@@ -1,8 +1,19 @@
-type verdict = Equivalent | Distinct of string | Inconclusive of string
+type reason =
+  | Device_counts of int * int
+  | Net_counts of int * int
+  | Structure of string
+
+let reason_to_string = function
+  | Device_counts (a, b) -> Printf.sprintf "device counts differ: %d vs %d" a b
+  | Net_counts (a, b) ->
+      Printf.sprintf "connected net counts differ: %d vs %d" a b
+  | Structure why -> why
+
+type verdict = Equivalent | Distinct of reason | Inconclusive of string
 
 let verdict_to_string = function
   | Equivalent -> "equivalent"
-  | Distinct why -> "distinct: " ^ why
+  | Distinct why -> "distinct: " ^ reason_to_string why
   | Inconclusive why -> "inconclusive: " ^ why
 
 let mix h x = (h * 1000003) + x + 0x9e3779b9
@@ -101,20 +112,18 @@ let compare ?(with_sizes = false) ?(with_names = false) ca cb =
   let va = view_of ca and vb = view_of cb in
   if Array.length ca.Circuit.devices <> Array.length cb.Circuit.devices then
     Distinct
-      (Printf.sprintf "device counts differ: %d vs %d"
-         (Array.length ca.Circuit.devices)
-         (Array.length cb.Circuit.devices))
+      (Device_counts
+         ( Array.length ca.Circuit.devices,
+           Array.length cb.Circuit.devices ))
   else if Array.length va.nets <> Array.length vb.nets then
-    Distinct
-      (Printf.sprintf "connected net counts differ: %d vs %d"
-         (Array.length va.nets) (Array.length vb.nets))
+    Distinct (Net_counts (Array.length va.nets, Array.length vb.nets))
   else begin
     let neta, deva = refine va ~with_sizes ~with_names in
     let netb, devb = refine vb ~with_sizes ~with_names in
     if multiset deva <> multiset devb then
-      Distinct "device color multisets differ (structure mismatch)"
+      Distinct (Structure "device color multisets differ (structure mismatch)")
     else if multiset neta <> multiset netb then
-      Distinct "net color multisets differ (connectivity mismatch)"
+      Distinct (Structure "net color multisets differ (connectivity mismatch)")
     else begin
       (* If refinement individuated every vertex, verify the induced
          mapping edge by edge (exact); otherwise rely on the color
@@ -168,7 +177,7 @@ let compare ?(with_sizes = false) ?(with_names = false) ca cb =
                     Printf.sprintf "source/drain of device %d map inconsistently" i
                 end)
           ca.Circuit.devices;
-        if !ok then Equivalent else Distinct !why
+        if !ok then Equivalent else Distinct (Structure !why)
       end
       else Equivalent
     end

@@ -15,9 +15,19 @@
     regular arrays — the multiset identity alone decides, which is sound up
     to hash collisions. *)
 
+(** Why two circuits are distinct.  Count mismatches are structured so
+    that callers (wlcmp, the LVS engine) can attach stable diagnostic
+    codes instead of pattern-matching message text. *)
+type reason =
+  | Device_counts of int * int  (** device counts differ: (a, b) *)
+  | Net_counts of int * int  (** connected net counts differ: (a, b) *)
+  | Structure of string  (** human-readable first structural difference *)
+
+val reason_to_string : reason -> string
+
 type verdict =
   | Equivalent
-  | Distinct of string  (** human-readable first difference *)
+  | Distinct of reason  (** first difference found *)
   | Inconclusive of string
       (** refinement could not separate enough vertices to build a mapping *)
 

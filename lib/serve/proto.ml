@@ -39,6 +39,7 @@ type request = {
   use_cache : bool;
   vdd : string option;
   gnd : string option;
+  reference : string option;
 }
 
 let field_string j k =
@@ -76,6 +77,7 @@ let parse line =
         let* use_cache = field_bool j "cache" in
         let* vdd = field_string j "vdd" in
         let* gnd = field_string j "gnd" in
+        let* reference = field_string j "ref" in
         match op with
         | None -> Error "missing field \"op\""
         | Some op ->
@@ -90,6 +92,7 @@ let parse line =
                 use_cache = Option.value use_cache ~default:true;
                 vdd;
                 gnd;
+                reference;
               }
       in
       match build with

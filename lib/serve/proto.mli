@@ -2,7 +2,8 @@
 
     One request per line, one reply per line, in order.  A request is a
     JSON object with an ["op"] field (["extract"], ["lint"], ["flow"],
-    ["ping"], ["stats"], ["cache-gc"], ["shutdown"]) and an optional
+    ["lvs"], ["ping"], ["stats"], ["cache-gc"], ["shutdown"]) and an
+    optional
     ["id"] of any JSON type, echoed verbatim in the reply.  Replies are
     objects with ["id"], ["ok"], and either per-op result fields or an
     ["error"] object carrying a stable kebab-case ["code"] (the same
@@ -53,8 +54,11 @@ type request = {
   jobs : int option;  (** shard-count override, clamped by the server *)
   deadline_ms : int option;  (** per-request deadline *)
   use_cache : bool;  (** default [true] *)
-  vdd : string option;  (** rail-name override for lint/flow *)
+  vdd : string option;  (** rail-name override for lint/flow/lvs *)
   gnd : string option;
+  reference : string option;
+      (** the ["ref"] field: the reference netlist text for op ["lvs"]
+          (SPICE-ish or wirelist) *)
 }
 
 (** [parse line] — [Error (code, message)] on malformed input; never

@@ -281,6 +281,113 @@ let do_flow t (r : Proto.request) cif =
           ("diags", diags_json diags);
         ]
 
+(* LVS replies are cached whole, like extract payloads, under a key that
+   also covers the reference text and the rail names — anything that can
+   change the verdict.  The finding diagnostics are rendered with
+   Diag.to_json, the exact lines `acelvs --diag-format=json` prints, so
+   clients can diff daemon replies against one-shot runs byte for byte. *)
+let lvs_cache_key design ~name ~jobs ~reference ~vdd ~gnd =
+  let canonical = Ace_cif.Writer.to_string (Ace_cif.Design.ast design) in
+  Cache.fnv1a64_hex
+    (String.concat "\x00"
+       [
+         "lvs";
+         string_of_int Cache.format_version;
+         string_of_int (Ace_cif.Design.quantum design);
+         name;
+         string_of_int jobs;
+         vdd;
+         gnd;
+         reference;
+         canonical;
+       ])
+
+let lvs_payload ~cancel ~vdd ~gnd circuit reference_text =
+  match Ace_lvs.Reference.load ~name:"reference" ~gnd reference_text with
+  | Error d ->
+      Error
+        (Printf.sprintf "unreadable reference netlist: %s" d.Diag.message)
+  | Ok (reference, ref_diags) ->
+      let r = Ace_lvs.Match.run ~cancel ~vdd ~gnd ~layout:circuit ~reference () in
+      let verdict =
+        match r.Ace_lvs.Match.outcome with
+        | Ace_lvs.Match.Clean -> "clean"
+        | Ace_lvs.Match.Mismatch -> "mismatch"
+        | Ace_lvs.Match.Inconclusive -> "inconclusive"
+      in
+      let s = r.Ace_lvs.Match.stats in
+      let findings = r.Ace_lvs.Match.findings in
+      Ok
+        (Proto.obj
+           [
+             ("verdict", Proto.str verdict);
+             ( "findings",
+               diags_json (List.map Ace_lvs.Report.to_diag findings) );
+             ( "fingerprints",
+               Proto.arr
+                 (List.map
+                    (fun f -> Proto.str (Ace_lvs.Report.fingerprint f))
+                    findings) );
+             ("devices", Proto.int s.Ace_lvs.Match.layout_devices);
+             ("ref_devices", Proto.int s.Ace_lvs.Match.ref_devices);
+             ("nets", Proto.int s.Ace_lvs.Match.layout_nets);
+             ("ref_nets", Proto.int s.Ace_lvs.Match.ref_nets);
+             ("matched", Proto.int s.Ace_lvs.Match.matched);
+             ("reductions", Proto.int s.Ace_lvs.Match.reductions);
+             ("rounds", Proto.int s.Ace_lvs.Match.rounds);
+             ("ref_diags", diags_json ref_diags);
+           ])
+
+let do_lvs t (r : Proto.request) cif =
+  match r.Proto.reference with
+  | None ->
+      Proto.error ~id:r.Proto.id ~code:Proto.err_bad_request
+        "missing field \"ref\""
+  | Some reference_text -> (
+      let jobs, cancel = request_params t r in
+      let design, diags = front_end cif in
+      let vdd = Option.value r.Proto.vdd ~default:t.config.vdd in
+      let gnd = Option.value r.Proto.gnd ~default:t.config.gnd in
+      let cache = if r.Proto.use_cache then t.config.cache else None in
+      let key =
+        Option.map
+          (fun _ ->
+            lvs_cache_key design ~name:r.Proto.name ~jobs
+              ~reference:reference_text ~vdd ~gnd)
+          cache
+      in
+      let hit =
+        match (cache, key) with
+        | Some c, Some k -> Cache.find c k
+        | _ -> None
+      in
+      let computed =
+        match hit with
+        | Some payload -> Ok (payload, true)
+        | None -> (
+            let circuit, _ =
+              obtain_circuit t ~cancel ~use_cache:r.Proto.use_cache ~jobs
+                ~name:r.Proto.name design
+            in
+            match lvs_payload ~cancel ~vdd ~gnd circuit reference_text with
+            | Error msg -> Error msg
+            | Ok payload ->
+                (match (cache, key) with
+                | Some c, Some k -> Cache.store c k payload
+                | _ -> ());
+                Ok (payload, false))
+      in
+      match computed with
+      | Error msg ->
+          Proto.error ~id:r.Proto.id ~code:Proto.err_bad_request msg
+      | Ok (payload, cached) ->
+          Proto.ok ~id:r.Proto.id ~op:"lvs"
+            [
+              ("cached", Proto.bool cached);
+              ("result", payload);
+              ("diags", diags_json diags);
+            ])
+
 (* ------------------------------------------------------------------ *)
 (* Dispatch                                                           *)
 
@@ -381,6 +488,7 @@ let handle_request t (r : Proto.request) =
   | "extract" -> compute t r do_extract
   | "lint" -> compute t r do_lint
   | "flow" -> compute t r do_flow
+  | "lvs" -> compute t r do_lvs
   | op ->
       Proto.error ~id:r.Proto.id ~code:Proto.err_bad_request
         (Printf.sprintf "unknown op %S" op)

@@ -32,8 +32,11 @@ module Counter = struct
     | Cache_evictions
     | Deadline_kills
     | Overloads
+    | Lvs_reductions
+    | Lvs_rounds
+    | Lvs_matches
 
-  let cardinal = 16
+  let cardinal = 19
 
   let index = function
     | Boxes_popped -> 0
@@ -52,6 +55,9 @@ module Counter = struct
     | Cache_evictions -> 13
     | Deadline_kills -> 14
     | Overloads -> 15
+    | Lvs_reductions -> 16
+    | Lvs_rounds -> 17
+    | Lvs_matches -> 18
 
   let all =
     [
@@ -71,6 +77,9 @@ module Counter = struct
       Cache_evictions;
       Deadline_kills;
       Overloads;
+      Lvs_reductions;
+      Lvs_rounds;
+      Lvs_matches;
     ]
 
   let slug = function
@@ -90,6 +99,9 @@ module Counter = struct
     | Cache_evictions -> "cache_evictions"
     | Deadline_kills -> "deadline_kills"
     | Overloads -> "overloads"
+    | Lvs_reductions -> "lvs_reductions"
+    | Lvs_rounds -> "lvs_rounds"
+    | Lvs_matches -> "lvs_matches"
 
   let describe = function
     | Boxes_popped -> "boxes delivered by the lazy front-end stream"
@@ -108,6 +120,9 @@ module Counter = struct
     | Cache_evictions -> "persistent extraction-cache entries evicted"
     | Deadline_kills -> "requests cancelled at their deadline"
     | Overloads -> "requests rejected with an overload reply"
+    | Lvs_reductions -> "series/parallel device merges during LVS reduction"
+    | Lvs_rounds -> "LVS partition-refinement rounds (incl. individualization)"
+    | Lvs_matches -> "devices paired across the two LVS netlists"
 end
 
 (* --- clock --- *)

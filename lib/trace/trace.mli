@@ -24,6 +24,9 @@ module Counter : sig
     | Cache_evictions  (** persistent extraction-cache entries evicted *)
     | Deadline_kills  (** requests cancelled at their deadline *)
     | Overloads  (** requests rejected with an overload reply *)
+    | Lvs_reductions  (** series/parallel device merges during LVS reduction *)
+    | Lvs_rounds  (** LVS partition-refinement rounds *)
+    | Lvs_matches  (** devices paired across the two LVS netlists *)
 
   val cardinal : int
   val index : t -> int

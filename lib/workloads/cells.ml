@@ -96,6 +96,28 @@ let nor2 ?(labels = false) b =
       ]
   else []
 
+let mux2 ?(labels = false) b =
+  [
+    (* two pass transistors onto a shared output: horizontal data
+       diffusions A (high) and B (low) joined at the right into Y, each
+       gated by its own vertical poly select line (S / SB), 2λ apart *)
+    Builder.box b Layer.Diffusion ~l:0 ~b:12 ~r:14 ~t_:14 (* A .. Y *);
+    Builder.box b Layer.Diffusion ~l:0 ~b:4 ~r:14 ~t_:6 (* B .. Y *);
+    Builder.box b Layer.Diffusion ~l:12 ~b:4 ~r:14 ~t_:14 (* join at Y *);
+    Builder.box b Layer.Poly ~l:4 ~b:10 ~r:6 ~t_:16 (* S over A *);
+    Builder.box b Layer.Poly ~l:4 ~b:2 ~r:6 ~t_:8 (* SB over B *);
+  ]
+  @
+  if labels then
+    [
+      Builder.label b "A" ~x:1 ~y:13 ~layer:Layer.Diffusion ();
+      Builder.label b "B" ~x:1 ~y:5 ~layer:Layer.Diffusion ();
+      Builder.label b "Y" ~x:13 ~y:9 ~layer:Layer.Diffusion ();
+      Builder.label b "S" ~x:5 ~y:15 ~layer:Layer.Poly ();
+      Builder.label b "SB" ~x:5 ~y:3 ~layer:Layer.Poly ();
+    ]
+  else []
+
 let pass_gate b =
   [
     (* horizontal data diffusion with a vertical poly control line *)

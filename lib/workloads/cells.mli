@@ -31,6 +31,10 @@ val nand2 : ?labels:bool -> Builder.t -> Ace_cif.Ast.element list
     [cell_width + 6] λ wide). *)
 val nor2 : ?labels:bool -> Builder.t -> Ace_cif.Ast.element list
 
+(** 2:1 pass-transistor multiplexer: data diffusions A and B joined into
+    Y, gated by the S and SB poly select lines.  No rails; 14λ × 16λ. *)
+val mux2 : ?labels:bool -> Builder.t -> Ace_cif.Ast.element list
+
 (** Pass transistor driven by a vertical poly control line; 8λ × 26λ,
     in series with the data diffusion at rail height. *)
 val pass_gate : Builder.t -> Ace_cif.Ast.element list

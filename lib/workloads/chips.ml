@@ -5,6 +5,51 @@ let single_inverter ?lambda () =
   let inv = Builder.symbol b ~name:"inverter" (Cells.inverter ~labels:true b) in
   Builder.file b [ Builder.call b inv ~dx:0 ~dy:0 ]
 
+let single_nand2 ?lambda () =
+  let b = Builder.create ?lambda () in
+  let g = Builder.symbol b ~name:"nand2" (Cells.nand2 ~labels:true b) in
+  Builder.file b [ Builder.call b g ~dx:0 ~dy:0 ]
+
+let single_nor2 ?lambda () =
+  let b = Builder.create ?lambda () in
+  let g = Builder.symbol b ~name:"nor2" (Cells.nor2 ~labels:true b) in
+  Builder.file b [ Builder.call b g ~dx:0 ~dy:0 ]
+
+let single_mux2 ?lambda () =
+  let b = Builder.create ?lambda () in
+  let g = Builder.symbol b ~name:"mux2" (Cells.mux2 ~labels:true b) in
+  Builder.file b [ Builder.call b g ~dx:0 ~dy:0 ]
+
+(* Cross-coupled inverter pair.  The forward path uses the standard
+   output-to-next-input connector at the cell seam; the feedback path
+   taps the second inverter's pull-up poly, runs down its right edge,
+   back under both cells below the GND rail, and up into the first
+   inverter's input poly.  Everything sits at (4,4) so the feedback
+   stays in positive coordinates. *)
+let latch ?lambda () =
+  let b = Builder.create ?lambda () in
+  let w = Cells.cell_width in
+  let linked =
+    Builder.symbol b ~name:"inv_fwd"
+      (Cells.inverter b @ Cells.output_to_next_input b)
+  in
+  let last = Builder.symbol b ~name:"inv_back" (Cells.inverter b) in
+  Builder.file b
+    [
+      Builder.call b linked ~dx:4 ~dy:4;
+      Builder.call b last ~dx:(4 + w) ~dy:4;
+      (* feedback: tap east of the second pull-up, down, under, up, in *)
+      Builder.box b Layer.Poly ~l:(4 + (2 * w) - 4) ~b:16 ~r:(4 + (2 * w)) ~t_:18;
+      Builder.box b Layer.Poly ~l:(4 + (2 * w) - 2) ~b:0 ~r:(4 + (2 * w)) ~t_:18;
+      Builder.box b Layer.Poly ~l:0 ~b:0 ~r:(4 + (2 * w)) ~t_:2;
+      Builder.box b Layer.Poly ~l:0 ~b:0 ~r:2 ~t_:10;
+      Builder.box b Layer.Poly ~l:0 ~b:8 ~r:6 ~t_:10;
+      Builder.label b "VDD" ~x:5 ~y:28 ~layer:Layer.Metal ();
+      Builder.label b "GND" ~x:5 ~y:5 ~layer:Layer.Metal ();
+      Builder.label b "QB" ~x:11 ~y:17 ~layer:Layer.Diffusion ();
+      Builder.label b "Q" ~x:(4 + w + 7) ~y:17 ~layer:Layer.Diffusion ();
+    ]
+
 let inverter_chain ?lambda ~n () =
   if n <= 0 then invalid_arg "Chips.inverter_chain: n must be positive";
   let b = Builder.create ?lambda () in

@@ -18,6 +18,17 @@
 (** Single labeled inverter — the chip of ACE Figures 3-3/3-4. *)
 val single_inverter : ?lambda:int -> unit -> Ace_cif.Ast.file
 
+(** Single labeled two-input NAND / NOR / 2:1 mux cells — LVS golden
+    fixtures. *)
+val single_nand2 : ?lambda:int -> unit -> Ace_cif.Ast.file
+
+val single_nor2 : ?lambda:int -> unit -> Ace_cif.Ast.file
+val single_mux2 : ?lambda:int -> unit -> Ace_cif.Ast.file
+
+(** Cross-coupled inverter pair (Q/QB), the feedback routed in poly below
+    the GND rail. *)
+val latch : ?lambda:int -> unit -> Ace_cif.Ast.file
+
 (** [inverter_chain ~n] — n inverters in a row, each driving the next. *)
 val inverter_chain : ?lambda:int -> n:int -> unit -> Ace_cif.Ast.file
 

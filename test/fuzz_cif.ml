@@ -21,7 +21,12 @@
    5. protocol totality — the aced daemon's request handler never raises
       and always returns one well-formed JSON reply, whether the fuzz
       input arrives as a raw protocol line or embedded as the CIF
-      payload of an extract request.
+      payload of an extract request;
+   6. LVS closure — every extractable input self-compares clean: the
+      extracted circuit, round-tripped through the SPICE writer and the
+      lenient reference parser, must LVS-match itself (in both
+      directions) whenever the round trip is unambiguous, and the
+      reference parser itself must be total on raw fuzz lines.
 
    Runs as a bounded smoke test under `dune runtest` (fixed seed, ~500
    inputs, well under 5 s).  Set ACE_FUZZ_N / ACE_FUZZ_SEED to scale it
@@ -145,6 +150,67 @@ let traced_transparent input untraced_pdiags design untraced_wl =
   | Ok _ -> ()
   | Error m -> fail_input "exported trace invalid" input (Failure m)
 
+(* property 6: LVS closure.  The SPICE writer auto-names unnamed nets
+   (N<i>) and aliases GND to node 0; when that naming is injective over
+   the device-connected nets, the round trip preserves the net partition
+   exactly and the comparator must find the circuit equivalent to
+   itself, both ways.  When two nets collide onto one node token the
+   round trip genuinely merges them, so only totality is required. *)
+let lvs_self input (circuit : Ace_netlist.Circuit.t) =
+  let open Ace_netlist in
+  let sanitize name =
+    String.map
+      (function ('a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_') as c -> c | _ -> '_')
+      name
+  in
+  let gnd_net =
+    match Circuit.find_net circuit "GND" with
+    | n -> Some n
+    | exception Not_found -> None
+  in
+  let used = Hashtbl.create 16 in
+  Array.iter
+    (fun (d : Circuit.device) ->
+      List.iter
+        (fun n -> Hashtbl.replace used n ())
+        [ d.gate; d.source; d.drain ])
+    circuit.Circuit.devices;
+  let injective =
+    let seen = Hashtbl.create 16 in
+    Hashtbl.fold
+      (fun n () ok ->
+        let tok =
+          if Some n = gnd_net then "0"
+          else
+            match circuit.Circuit.nets.(n).Circuit.names with
+            | name :: _ -> sanitize name
+            | [] -> Printf.sprintf "N%d" n
+        in
+        let key =
+          if tok = "0" then "GND" else String.uppercase_ascii tok
+        in
+        if key = "" || Hashtbl.mem seen key then false
+        else begin
+          Hashtbl.replace seen key ();
+          ok
+        end)
+      used true
+  in
+  match
+    let spice = Spice.to_string circuit in
+    let reference, _diags = Ace_lvs.Reference.parse spice in
+    ( Ace_lvs.Match.run ~layout:circuit ~reference (),
+      Ace_lvs.Match.run ~layout:reference ~reference:circuit () )
+  with
+  | exception e -> fail_input "self-LVS raised" input e
+  | fwd, bwd ->
+      if injective then begin
+        if fwd.Ace_lvs.Match.outcome <> Ace_lvs.Match.Clean then
+          fail_input "self-LVS not clean" input (Failure "mismatch");
+        if bwd.Ace_lvs.Match.outcome <> Ace_lvs.Match.Clean then
+          fail_input "swapped self-LVS not clean" input (Failure "mismatch")
+      end
+
 (* property 3: the lint battery is total over whatever the extractor
    produces.  Extraction failures on fuzz garbage are tolerated (and the
    design is size-guarded so pathological inputs cannot stall the run),
@@ -164,6 +230,7 @@ let lint_total input pdiags design =
         (match Ace_lint.Engine.run circuit with
         | _findings -> ()
         | exception e -> fail_input "lint raised" input e);
+        lvs_self input circuit;
         traced_transparent input pdiags design
           (Ace_netlist.Wirelist.to_string circuit);
         (* property 3b: the flow analysis is total on any extracted
@@ -279,6 +346,14 @@ let () =
       else mutate (List.nth corpus (Random.State.int rng n_corpus))
     in
     run_one input;
+    (* property 6b: the lenient reference parser is total on raw fuzz
+       text (both entry points; load also exercises the format sniff) *)
+    (match Ace_lvs.Reference.parse input with
+    | _circuit, _diags -> ()
+    | exception e -> fail_input "Reference.parse raised" input e);
+    (match Ace_lvs.Reference.load input with
+    | Ok _ | Error _ -> ()
+    | exception e -> fail_input "Reference.load raised" input e);
     protocol_total input ~as_request:false;
     (* wrapped extraction is the expensive path; sample it *)
     if i mod 8 = 0 then protocol_total input ~as_request:true

@@ -1,0 +1,598 @@
+(* test_lvs — the LVS engine: lenient reference parsing, series/parallel
+   reduction, the seeded-refinement comparator, and waiver plumbing.
+
+   The reduction property checks conduction equivalence against brute
+   force: for every assignment of the (few) gate nets, the reduced
+   circuit must connect exactly the same named nets as the original.
+   The comparator properties check reflexivity (every circuit matches
+   itself) and symmetry (swapping the sides flips finding polarity but
+   nothing else). *)
+
+open Ace_netlist
+module Point = Ace_geom.Point
+module Nmos = Ace_tech.Nmos
+module Reference = Ace_lvs.Reference
+module Reduce = Ace_lvs.Reduce
+module Match = Ace_lvs.Match
+module Report = Ace_lvs.Report
+module Diag = Ace_diag.Diag
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Builders                                                           *)
+
+let net ?(names = []) i =
+  { Circuit.names; location = Point.make i 0; geometry = [] }
+
+let dev ?(dtype = Nmos.Enhancement) ?(l = 500) ?(w = 500) ~g ~s ~d i =
+  {
+    Circuit.dtype;
+    gate = g;
+    source = s;
+    drain = d;
+    length = l;
+    width = w;
+    location = Point.make i 0;
+    geometry = [];
+  }
+
+let circuit ?(name = "test") devices nets =
+  {
+    Circuit.name;
+    devices = Array.of_list devices;
+    nets = Array.of_list nets;
+  }
+
+let parse_ok text =
+  let c, diags = Reference.parse text in
+  check "parse emits no errors" true (not (List.exists Diag.is_error diags));
+  c
+
+let data_file file =
+  let dir =
+    List.find Sys.file_exists [ "../data"; "data"; "_build/default/data" ]
+  in
+  let ic = open_in_bin (Filename.concat dir file) in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let extract_cif file =
+  let ast, _ = Ace_cif.Parser.parse_string_lenient (data_file file) in
+  let design, _ = Ace_cif.Design.of_ast_lenient ast in
+  Ace_core.Parallel.extract ~jobs:1 ~name:(Filename.chop_extension file)
+    design
+
+let codes_of (r : Match.result) =
+  List.sort_uniq String.compare
+    (List.map (fun (f : Match.finding) -> f.Match.code) r.Match.findings)
+
+(* ------------------------------------------------------------------ *)
+(* Reference parser                                                   *)
+
+let test_parse_basics () =
+  let c =
+    parse_ok
+      "* an inverter\n\
+       .MODEL ENH NMOS (LEVEL=1 VTO=1.0)\n\
+       .MODEL DEP NMOS (LEVEL=1 VTO=-3.0)\n\
+       M1 OUT INP 0 0 ENH L=5U W=5U\n\
+       M2 VDD OUT OUT 0 DEP L=20U W=5U\n\
+       .END\n"
+  in
+  check_int "two devices" 2 (Circuit.device_count c);
+  let enh, depl = Circuit.device_type_counts c in
+  check_int "one enhancement" 1 enh;
+  check_int "one depletion" 1 depl;
+  check "node 0 aliases GND" true (Circuit.find_net_opt c "GND" <> None);
+  let d1 = c.Circuit.devices.(0) in
+  check_int "L=5U is 500 centimicrons" 500 d1.Circuit.length;
+  check_int "W=5U is 500 centimicrons" 500 d1.Circuit.width;
+  check_int "L=20U is 2000 centimicrons" 2000
+    c.Circuit.devices.(1).Circuit.length
+
+let test_parse_lexing () =
+  (* continuations, inline comments, parens/commas as whitespace,
+     case-insensitive net identity *)
+  let c =
+    parse_ok
+      "M1 OUT INP 0 0 ENH $ pull-down\n\
+       + L=5U\n\
+       + W=5U\n\
+       M2 (VDD, out, OUT) 0 DEP L=20U W=5U\n"
+  in
+  check_int "continuation joins one card per device" 2
+    (Circuit.device_count c);
+  check "out and OUT are one net" true
+    (Circuit.find_net_opt c "OUT" <> None
+    && c.Circuit.devices.(1).Circuit.gate
+       = c.Circuit.devices.(0).Circuit.drain
+       || c.Circuit.devices.(1).Circuit.gate
+          = c.Circuit.devices.(0).Circuit.source
+       || c.Circuit.devices.(1).Circuit.source
+          = c.Circuit.devices.(0).Circuit.drain)
+
+let test_parse_dims () =
+  let c = parse_ok "M1 A B C 0 ENH L=500N W=500\nM2 A B C 0 ENH\n" in
+  check_int "500N is 50 centimicrons" 50 c.Circuit.devices.(0).Circuit.length;
+  check_int "bare numbers are centimicrons" 500
+    c.Circuit.devices.(0).Circuit.width;
+  check_int "missing L means unknown (0)" 0
+    c.Circuit.devices.(1).Circuit.length;
+  let _, diags = Reference.parse "M1 A B C 0 ENH L=bogus W=5U\n" in
+  check "malformed dimension is diagnosed" true
+    (List.exists (fun (d : Diag.t) -> d.Diag.code = "lvs-ref-bad-number") diags)
+
+let test_parse_hierarchy () =
+  let c =
+    parse_ok
+      ".GLOBAL VDD\n\
+       .SUBCKT INV IN OUT\n\
+       M1 OUT IN 0 0 ENH L=5U W=5U\n\
+       M2 VDD OUT OUT 0 DEP L=20U W=5U\n\
+       .ENDS\n\
+       X1 A B INV\n\
+       X2 B C INV\n\
+       .END\n"
+  in
+  check_int "two instances flatten to four devices" 4
+    (Circuit.device_count c);
+  check "pins bind across instances" true
+    (Circuit.find_net_opt c "B" <> None);
+  (* VDD is global: both instances share one net *)
+  check "global VDD is shared" true (Circuit.find_net_opt c "VDD" <> None);
+  (* connected: gnd, VDD, A, B, C = 5 *)
+  check_int "five connected nets" 5
+    (List.length (Circuit.connected_net_indices c))
+
+let test_parse_hierarchy_errors () =
+  let _, d1 = Reference.parse "X1 A B NOSUCH\n" in
+  check "undefined subckt diagnosed" true
+    (List.exists (fun (d : Diag.t) -> d.Diag.code = "lvs-ref-undefined-subckt") d1);
+  let _, d2 =
+    Reference.parse ".SUBCKT A P\nX1 P A\n.ENDS\nX2 Q A\n.END\n"
+  in
+  check "recursion diagnosed" true
+    (List.exists (fun (d : Diag.t) -> d.Diag.code = "lvs-ref-recursive") d2);
+  let _, d3 = Reference.parse ".SUBCKT INV IN OUT\nM1 OUT IN 0 0 ENH\n" in
+  check "unterminated subckt diagnosed" true
+    (List.exists
+       (fun (d : Diag.t) -> d.Diag.code = "lvs-ref-unterminated-subckt")
+       d3)
+
+let test_parse_lenient () =
+  (* garbage lines become diagnostics; the good cards still parse *)
+  let c, diags =
+    Reference.parse
+      "M1 OUT INP 0 0 ENH L=5U W=5U\n\
+       this is not spice at all\n\
+       M\n\
+       M2 VDD OUT OUT 0 DEP L=20U W=5U\n"
+  in
+  check_int "good cards survive garbage" 2 (Circuit.device_count c);
+  check "garbage is diagnosed" true (diags <> [])
+
+let test_load_sniffs_wirelist () =
+  let c = parse_ok "M1 OUT INP 0 0 ENH L=5U W=5U\n" in
+  let wl = Wirelist.to_string c in
+  (match Reference.load wl with
+  | Ok (c', _) ->
+      check_int "wirelist round-trips through load" (Circuit.device_count c)
+        (Circuit.device_count c')
+  | Error _ -> check "wirelist load" true false);
+  match Reference.load "(DefPart garbage" with
+  | Error d -> check_string "wirelist error code" "wirelist-error" d.Diag.code
+  | Ok _ -> check "broken wirelist rejected" true false
+
+(* ------------------------------------------------------------------ *)
+(* Reduction                                                          *)
+
+let test_reduce_parallel () =
+  (* two identical fingers in parallel: widths and multiplicities add *)
+  let nets = [ net ~names:[ "A" ] 0; net ~names:[ "B" ] 1; net ~names:[ "G" ] 2 ] in
+  let c =
+    circuit [ dev ~g:2 ~s:0 ~d:1 ~w:500 0; dev ~g:2 ~s:1 ~d:0 ~w:700 1 ] nets
+  in
+  let r = Reduce.reduce c in
+  check_int "one device remains" 1
+    (Circuit.device_count r.Reduce.circuit);
+  check_int "widths add" 1200 r.Reduce.circuit.Circuit.devices.(0).Circuit.width;
+  check_int "multiplicity 2" 2 r.Reduce.mult.(0);
+  check_int "one merge" 1 r.Reduce.merged
+
+let test_reduce_series () =
+  (* chain A -mid- B through an anonymous net: lengths add *)
+  let nets = [ net ~names:[ "A" ] 0; net 1; net ~names:[ "B" ] 2; net ~names:[ "G" ] 3 ] in
+  let c =
+    circuit [ dev ~g:3 ~s:0 ~d:1 ~l:500 0; dev ~g:3 ~s:1 ~d:2 ~l:700 1 ] nets
+  in
+  let r = Reduce.reduce c in
+  check_int "series chain collapses" 1 (Circuit.device_count r.Reduce.circuit);
+  check_int "lengths add" 1200
+    r.Reduce.circuit.Circuit.devices.(0).Circuit.length;
+  (* the surviving device spans A..B *)
+  let d = r.Reduce.circuit.Circuit.devices.(0) in
+  check "terminals span the chain" true
+    (List.sort Int.compare [ d.Circuit.source; d.Circuit.drain ] = [ 0; 2 ])
+
+let test_reduce_respects_names_and_gates () =
+  (* a named internal net, or one carrying a gate terminal, never merges *)
+  let named =
+    circuit
+      [ dev ~g:3 ~s:0 ~d:1 0; dev ~g:3 ~s:1 ~d:2 1 ]
+      [ net ~names:[ "A" ] 0; net ~names:[ "MID" ] 1; net ~names:[ "B" ] 2;
+        net ~names:[ "G" ] 3 ]
+  in
+  check_int "named internal net survives" 2
+    (Circuit.device_count (Reduce.reduce named).Reduce.circuit);
+  let gated =
+    circuit
+      [ dev ~g:3 ~s:0 ~d:1 0; dev ~g:3 ~s:1 ~d:2 1; dev ~g:1 ~s:3 ~d:3 2 ]
+      [ net ~names:[ "A" ] 0; net 1; net ~names:[ "B" ] 2; net ~names:[ "G" ] 3 ]
+  in
+  check_int "gate-carrying internal net survives" 3
+    (Circuit.device_count (Reduce.reduce gated).Reduce.circuit);
+  (* but an unshared name stops blocking under a custom predicate *)
+  let r = Reduce.reduce ~anonymous:(fun _ -> true) named in
+  check_int "custom anonymity predicate unlocks the merge" 1
+    (Circuit.device_count r.Reduce.circuit)
+
+(* ------------------------------------------------------------------ *)
+(* Comparator: golden corpus                                          *)
+
+let clean_pairs =
+  [
+    ("inverter.cif", "inverter.sp");
+    ("chain4.cif", "chain4.sp");
+    ("nand2.cif", "nand2.sp");
+    ("nor2.cif", "nor2.sp");
+    ("mux2.cif", "mux2.sp");
+    ("latch.cif", "latch.sp");
+    ("mesh4x4.cif", "mesh4x4.sp");
+  ]
+
+let test_corpus_clean () =
+  List.iter
+    (fun (cif, sp) ->
+      let layout = extract_cif cif in
+      let reference, diags = Reference.parse (data_file sp) in
+      check (sp ^ " parses cleanly") true
+        (not (List.exists Diag.is_error diags));
+      let r = Match.run ~layout ~reference () in
+      check (cif ^ " vs " ^ sp ^ " is clean") true
+        (r.Match.outcome = Match.Clean);
+      check (cif ^ " matched every device") true
+        (r.Match.stats.Match.matched > 0
+        && r.Match.stats.Match.matched = r.Match.stats.Match.layout_devices))
+    clean_pairs
+
+let seeded_fixtures =
+  [
+    ("nand2.cif", "nand2.extra.sp", "lvs-extra-device");
+    ("inverter.cif", "inverter.missing.sp", "lvs-missing-device");
+    ("chain4.cif", "chain4.split.sp", "lvs-net-split");
+    ("inverter.cif", "inverter.swapped.sp", "lvs-size-mismatch");
+    ("inverter.cif", "inverter.merge.sp", "lvs-net-merge");
+  ]
+
+let test_seeded_mismatches () =
+  List.iter
+    (fun (cif, sp, code) ->
+      let layout = extract_cif cif in
+      let reference, _ = Reference.parse (data_file sp) in
+      let r = Match.run ~layout ~reference () in
+      check (sp ^ " mismatches") true (r.Match.outcome = Match.Mismatch);
+      check
+        (Printf.sprintf "%s produces %s (got: %s)" sp code
+           (String.concat " " (codes_of r)))
+        true
+        (List.mem code (codes_of r)))
+    seeded_fixtures
+
+let test_size_knobs () =
+  let layout = extract_cif "inverter.cif" in
+  let reference, _ = Reference.parse (data_file "inverter.swapped.sp") in
+  let strict = Match.run ~layout ~reference () in
+  check "swapped W/L is a mismatch" true
+    (strict.Match.outcome = Match.Mismatch);
+  let tolerant = Match.run ~tolerance:0.8 ~layout ~reference () in
+  check "an 80% tolerance forgives the swap" true
+    (tolerant.Match.outcome = Match.Clean);
+  let unsized = Match.run ~with_sizes:false ~layout ~reference () in
+  check "--no-sizes forgives the swap" true
+    (unsized.Match.outcome = Match.Clean)
+
+let test_one_sided_names_harmless () =
+  (* isomorphic circuits with entirely disjoint net names must compare
+     clean: a name the other side does not know is not evidence *)
+  let a = parse_ok "M1 X Y Z 0 ENH L=5U W=5U\nM2 P X Q 0 DEP L=5U W=5U\n" in
+  let b =
+    parse_ok "M1 EQ EH EZ 0 ENH L=5U W=5U\nM2 EP EQ ER 0 DEP L=5U W=5U\n"
+  in
+  let r = Match.run ~layout:a ~reference:b () in
+  check "disjoint names still match" true (r.Match.outcome = Match.Clean)
+
+let test_shared_names_pin () =
+  (* same topology, but a shared unique name attached to structurally
+     different nets must be reported *)
+  let a = parse_ok "M1 OUT A GND 0 ENH L=5U W=5U\n" in
+  let b = parse_ok "M1 A OUT GND 0 ENH L=5U W=5U\n" in
+  let r = Match.run ~layout:a ~reference:b () in
+  check "conflicting name hints surface" true
+    (r.Match.outcome <> Match.Clean)
+
+(* ------------------------------------------------------------------ *)
+(* Report / waiver plumbing                                           *)
+
+let test_report_baseline () =
+  let layout = extract_cif "nand2.cif" in
+  let reference, _ = Reference.parse (data_file "nand2.extra.sp") in
+  let r = Match.run ~layout ~reference () in
+  check "fixture yields findings" true (r.Match.findings <> []);
+  let fps = List.map Report.fingerprint r.Match.findings in
+  List.iter
+    (fun fp -> check_int "fingerprint is 16 hex chars" 16 (String.length fp))
+    fps;
+  let path = Filename.temp_file "lvs" ".baseline" in
+  Ace_lint.Baseline.save path (Ace_lint.Baseline.of_fingerprints fps);
+  (match Ace_lint.Baseline.load path with
+  | Ok b ->
+      check "every finding is waived by its own baseline" true
+        (List.for_all (fun fp -> Ace_lint.Baseline.mem b fp) fps);
+      check "unknown fingerprints are not waived" false
+        (Ace_lint.Baseline.mem b "0000000000000000")
+  | Error m -> check ("baseline load: " ^ m) true false);
+  Sys.remove path;
+  (* fingerprints are stable across re-runs *)
+  let r2 = Match.run ~layout ~reference () in
+  check "fingerprints are deterministic" true
+    (List.map Report.fingerprint r2.Match.findings = fps)
+
+let test_report_rules_cover_codes () =
+  let rules =
+    List.map (fun r -> r.Ace_diag.Sarif.id) (Report.sarif_rules ())
+  in
+  let emitted = ref [] in
+  List.iter
+    (fun (cif, sp, _) ->
+      let layout = extract_cif cif in
+      let reference, _ = Reference.parse (data_file sp) in
+      let r = Match.run ~layout ~reference () in
+      emitted := codes_of r @ !emitted)
+    seeded_fixtures;
+  List.iter
+    (fun code ->
+      check (code ^ " is a registered SARIF rule") true
+        (List.mem code rules))
+    (List.sort_uniq String.compare !emitted);
+  (* parser codes are registered too *)
+  List.iter
+    (fun code -> check (code ^ " registered") true (List.mem code rules))
+    [ "lvs-ref-bad-card"; "lvs-ref-bad-number"; "lvs-ref-undefined-subckt" ];
+  let d =
+    Report.to_diag
+      {
+        Match.code = "lvs-extra-device";
+        severity = Diag.Error;
+        message = "m";
+        anchor = "a";
+        layout_net = None;
+      }
+  in
+  check "to_diag keeps the code" true (d.Diag.code = "lvs-extra-device")
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                         *)
+
+(* Random two-terminal chain/finger networks between named nets, with
+   all internal nets anonymous: the shape reduction is designed for. *)
+let gen_chain_circuit =
+  let open QCheck2.Gen in
+  let* n_gates = int_range 1 3 in
+  let* n_segments = int_range 1 5 in
+  let* segments =
+    list_size (return n_segments)
+      (let* gate = int_range 0 (n_gates - 1) in
+       let* dt =
+         frequency
+           [ (3, return Nmos.Enhancement); (1, return Nmos.Depletion) ]
+       in
+       let* w = frequency [ (2, return 500); (1, return 1000) ] in
+       let* n_links = int_range 1 3 in
+       let* fingers = int_range 1 2 in
+       return (gate, dt, w, n_links, fingers))
+  in
+  return (n_gates, segments)
+
+let build_chain (n_gates, segments) =
+  (* nets: 0 = A, 1 = B, 2..2+n_gates-1 = gates, rest anonymous *)
+  let nets = ref [ net ~names:[ "B" ] 1; net ~names:[ "A" ] 0 ] in
+  let n_nets = ref 2 in
+  let fresh ?names () =
+    let i = !n_nets in
+    incr n_nets;
+    nets := net ?names i :: !nets;
+    i
+  in
+  let gates =
+    List.init n_gates (fun i ->
+        fresh ~names:[ Printf.sprintf "G%d" i ] ())
+  in
+  let devices = ref [] in
+  let n_dev = ref 0 in
+  (* each segment is a series chain of n_links devices from A to B,
+     replicated fingers times in parallel *)
+  List.iter
+    (fun (gi, dt, w, n_links, fingers) ->
+      let gate = List.nth gates gi in
+      for _ = 1 to fingers do
+        let rec go from k =
+          let next = if k = 1 then 1 else fresh () in
+          devices :=
+            dev ~dtype:dt ~g:gate ~s:from ~d:next ~w ~l:500 !n_dev
+            :: !devices;
+          incr n_dev;
+          if k > 1 then go next (k - 1)
+        in
+        go 0 n_links
+      done)
+    segments;
+  circuit (List.rev !devices) (List.rev !nets)
+
+(* Switch-level conduction: which named nets are connected, for a given
+   on/off assignment of the gate nets (depletion devices always conduct). *)
+let conduction (c : Circuit.t) gate_on =
+  let n = Array.length c.Circuit.nets in
+  let parent = Array.init n (fun i -> i) in
+  let rec find i = if parent.(i) = i then i else find parent.(i) in
+  let union i j = parent.(find i) <- find j in
+  Array.iter
+    (fun (d : Circuit.device) ->
+      let on =
+        match d.Circuit.dtype with
+        | Nmos.Depletion -> true
+        | Nmos.Enhancement -> gate_on d.Circuit.gate
+      in
+      if on then union d.Circuit.source d.Circuit.drain)
+    c.Circuit.devices;
+  (* connectivity matrix over named nets only *)
+  let named = ref [] in
+  Array.iteri
+    (fun i (nt : Circuit.net) ->
+      if nt.Circuit.names <> [] then named := (nt.Circuit.names, i) :: !named)
+    c.Circuit.nets;
+  List.concat_map
+    (fun (na, i) ->
+      List.filter_map
+        (fun (nb, j) ->
+          if na < nb && find i = find j then Some (na, nb) else None)
+        !named)
+    !named
+  |> List.sort compare
+
+let prop_reduce_preserves_conduction =
+  Tutil.qtest ~count:200 "reduction preserves switch-level conduction"
+    gen_chain_circuit (fun spec ->
+      let c = build_chain spec in
+      let r = Reduce.reduce c in
+      (* multiplicities account for every original device *)
+      let absorbed = Array.fold_left ( + ) 0 r.Reduce.mult in
+      let series_extra =
+        (* series merges keep the chain's shared multiplicity, so only
+           parallel merges add to the sum; the invariant is that no
+           device is lost *)
+        absorbed + r.Reduce.merged >= Circuit.device_count c
+      in
+      if not series_extra then false
+      else begin
+        (* exhaustive over gate assignments: gates are nets 2..n *)
+        let gates =
+          Array.to_list c.Circuit.nets
+          |> List.mapi (fun i (nt : Circuit.net) -> (i, nt.Circuit.names))
+          |> List.filter_map (fun (i, names) ->
+                 if List.exists (fun s -> String.length s > 0 && s.[0] = 'G') names
+                 then Some i
+                 else None)
+        in
+        let rec assignments = function
+          | [] -> [ fun _ -> false ]
+          | g :: rest ->
+              List.concat_map
+                (fun f ->
+                  [
+                    (fun x -> if x = g then true else f x);
+                    (fun x -> if x = g then false else f x);
+                  ])
+                (assignments rest)
+        in
+        List.for_all
+          (fun f -> conduction c f = conduction r.Reduce.circuit f)
+          (assignments gates)
+      end)
+
+let prop_compare_reflexive =
+  Tutil.qtest ~count:100 "every chain circuit matches itself"
+    gen_chain_circuit (fun spec ->
+      let c = build_chain spec in
+      (Match.run ~layout:c ~reference:c ()).Match.outcome = Match.Clean)
+
+let mirror_code = function
+  | "lvs-extra-device" -> "lvs-missing-device"
+  | "lvs-missing-device" -> "lvs-extra-device"
+  | "lvs-net-split" -> "lvs-net-merge"
+  | "lvs-net-merge" -> "lvs-net-split"
+  | c -> c
+
+let prop_compare_symmetric =
+  Tutil.qtest ~count:100 "comparison is symmetric up to finding polarity"
+    QCheck2.Gen.(pair gen_chain_circuit gen_chain_circuit)
+    (fun (sa, sb) ->
+      let a = build_chain sa and b = build_chain sb in
+      let fwd = Match.run ~layout:a ~reference:b ()
+      and bwd = Match.run ~layout:b ~reference:a () in
+      let codes r =
+        List.sort String.compare
+          (List.map (fun (f : Match.finding) -> f.Match.code) r.Match.findings)
+      in
+      fwd.Match.outcome = bwd.Match.outcome
+      && codes fwd = List.sort String.compare (List.map mirror_code
+           (List.map (fun (f : Match.finding) -> f.Match.code)
+              bwd.Match.findings)))
+
+let prop_self_lvs_through_spice =
+  Tutil.qtest ~count:100 "SPICE round trip self-compares clean"
+    gen_chain_circuit (fun spec ->
+      let c = build_chain spec in
+      let reference, diags = Reference.parse (Spice.to_string c) in
+      (not (List.exists Diag.is_error diags))
+      && (Match.run ~layout:c ~reference ()).Match.outcome = Match.Clean)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "lvs"
+    [
+      ( "reference",
+        [
+          Alcotest.test_case "basics" `Quick test_parse_basics;
+          Alcotest.test_case "lexing" `Quick test_parse_lexing;
+          Alcotest.test_case "dimensions" `Quick test_parse_dims;
+          Alcotest.test_case "hierarchy" `Quick test_parse_hierarchy;
+          Alcotest.test_case "hierarchy errors" `Quick
+            test_parse_hierarchy_errors;
+          Alcotest.test_case "lenient" `Quick test_parse_lenient;
+          Alcotest.test_case "wirelist sniff" `Quick test_load_sniffs_wirelist;
+        ] );
+      ( "reduce",
+        [
+          Alcotest.test_case "parallel" `Quick test_reduce_parallel;
+          Alcotest.test_case "series" `Quick test_reduce_series;
+          Alcotest.test_case "names and gates" `Quick
+            test_reduce_respects_names_and_gates;
+        ] );
+      ( "match",
+        [
+          Alcotest.test_case "corpus clean" `Quick test_corpus_clean;
+          Alcotest.test_case "seeded mismatches" `Quick test_seeded_mismatches;
+          Alcotest.test_case "size knobs" `Quick test_size_knobs;
+          Alcotest.test_case "one-sided names" `Quick
+            test_one_sided_names_harmless;
+          Alcotest.test_case "shared names pin" `Quick test_shared_names_pin;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "baseline round-trip" `Quick test_report_baseline;
+          Alcotest.test_case "rules cover codes" `Quick
+            test_report_rules_cover_codes;
+        ] );
+      ( "properties",
+        [
+          prop_reduce_preserves_conduction;
+          prop_compare_reflexive;
+          prop_compare_symmetric;
+          prop_self_lvs_through_spice;
+        ] );
+    ]

@@ -394,6 +394,90 @@ let test_socket_extract () =
   check "shutdown: socket file removed" (not (Sys.file_exists sock))
 
 (* ------------------------------------------------------------------ *)
+(* 3b. Socket lvs: cold, warm byte-identity, one-shot agreement       *)
+
+let lvs_req ?(id = 1) cif reference =
+  Serve.Proto.obj
+    [
+      ("id", Serve.Proto.int id);
+      ("op", Serve.Proto.str "lvs");
+      ("cif", Serve.Proto.str cif);
+      ("ref", Serve.Proto.str reference);
+      ("jobs", Serve.Proto.int 1);
+    ]
+
+(* A raw sub-fragment of a reply between two markers, for byte-identity
+   checks that bypass JSON re-rendering. *)
+let raw_fragment reply start_marker stop_marker =
+  let find sub from =
+    let n = String.length sub in
+    let rec go i =
+      if i + n > String.length reply then raise Not_found
+      else if String.sub reply i n = sub then i
+      else go (i + 1)
+    in
+    go from
+  in
+  let i = find start_marker 0 + String.length start_marker in
+  let j = find stop_marker i in
+  String.sub reply i (j - i)
+
+let test_socket_lvs () =
+  let dir = scratch () in
+  let sock = Filename.concat dir "s.sock" in
+  let cache_dir = Filename.concat dir "cache" in
+  let pid = start_socket_daemon [ "--cache-dir"; cache_dir ] sock in
+  let conn = connect sock in
+  let reference = data_file "inverter.swapped.sp" in
+  let cold = rpc conn (lvs_req ~id:1 inverter_cif reference) in
+  let warm = rpc conn (lvs_req ~id:2 inverter_cif reference) in
+  let jc = jparse cold and jw = jparse warm in
+  check "lvs: cold reply ok, not cached"
+    (jbool (jget jc "ok") && not (jbool (jget jc "cached")));
+  check "lvs: warm reply ok, cached"
+    (jbool (jget jw "ok") && jbool (jget jw "cached"));
+  check_s "lvs: warm result byte-identical to cold" (result_fragment warm)
+    (result_fragment cold);
+  let res = jget jc "result" in
+  check "lvs: seeded fixture verdict is mismatch"
+    (jstr (jget res "verdict") = "mismatch");
+  (* the findings must be byte-identical to what the one-shot comparator
+     renders for the same pair (acelvs --diag-format=json) *)
+  let layout =
+    let ast, _ = Ace_cif.Parser.parse_string_lenient inverter_cif in
+    let design, _ = Ace_cif.Design.of_ast_lenient ast in
+    Ace_core.Parallel.extract ~jobs:1 ~name:"chip" design
+  in
+  let ref_c, _ = Ace_lvs.Reference.parse reference in
+  let r = Ace_lvs.Match.run ~layout ~reference:ref_c () in
+  let expected =
+    "["
+    ^ String.concat ","
+        (List.map
+           (fun f -> Ace_diag.Diag.to_json (Ace_lvs.Report.to_diag f))
+           r.Ace_lvs.Match.findings)
+    ^ "]"
+  in
+  check_s "lvs: findings byte-identical to the in-process comparator"
+    (raw_fragment cold "\"findings\":" ",\"fingerprints\":")
+    expected;
+  check "lvs: fingerprints present"
+    (raw_fragment cold "\"fingerprints\":" ",\"devices\":" <> "[]");
+  (* a clean pair reports clean and rides the same cache *)
+  let clean =
+    jparse (rpc conn (lvs_req ~id:3 inverter_cif (data_file "inverter.sp")))
+  in
+  check "lvs: clean pair verdict"
+    (jbool (jget clean "ok")
+    && jstr (jget (jget clean "result") "verdict") = "clean");
+  (* a reference that fails to parse is a bad request, not a crash *)
+  let bad = jparse (rpc conn (lvs_req ~id:4 inverter_cif "(DefPart oops")) in
+  check "lvs: unreadable reference -> bad-request"
+    (err_code bad = "bad-request");
+  close_conn conn;
+  shutdown_daemon pid sock
+
+(* ------------------------------------------------------------------ *)
 (* 4. Deadline expiry cancels a large extraction; daemon stays up     *)
 
 let test_deadline () =
@@ -725,6 +809,7 @@ let () =
   test_once_basics ();
   test_once_garbage ();
   test_socket_extract ();
+  test_socket_lvs ();
   test_deadline ();
   test_corruption "cache-torn-write";
   test_corruption "cache-bit-flip";

@@ -1,0 +1,62 @@
+#!/bin/sh
+# CI performance step: compare a fresh `bench --table extract` run
+# against the checked-in BENCH_extract.json and fail when any chip's
+# flat-extraction wall time (wall_j1_seconds) regressed more than the
+# threshold (default 15%, see bench/main.exe --gate).
+#
+# Wall times at the gate's small scale are milliseconds, so a failing
+# comparison is retried before it counts: transient scheduler noise
+# passes on a retry, a real regression keeps failing.  When no baseline
+# exists yet the script generates one and exits successfully — commit
+# the file to arm the gate.
+#
+# Environment knobs: ACE_BENCH_SCALE (default 0.05, must match the
+# baseline), ACE_BENCH_THRESHOLD (default 0.15), ACE_BENCH_RETRIES
+# (default 3), ACE_BENCH_REPS (default 3, best-of-N walls on both
+# sides of the comparison).
+
+set -u
+cd "$(dirname "$0")/.."
+
+BASELINE=${1:-BENCH_extract.json}
+SCALE=${ACE_BENCH_SCALE:-0.05}
+THRESHOLD=${ACE_BENCH_THRESHOLD:-0.15}
+RETRIES=${ACE_BENCH_RETRIES:-3}
+REPS=${ACE_BENCH_REPS:-3}
+
+if ! command -v dune >/dev/null 2>&1; then
+  echo "bench_gate: dune not installed; skipping gate"
+  exit 0
+fi
+
+dune build bench/main.exe 2>&1 || {
+  echo "bench_gate: bench build failed"
+  exit 1
+}
+BENCH=_build/default/bench/main.exe
+
+if [ ! -f "$BASELINE" ]; then
+  echo "bench_gate: no baseline at $BASELINE — generating one; commit it to arm the gate"
+  "$BENCH" --table extract --scale "$SCALE" --reps "$REPS" --json "$BASELINE" >/dev/null
+  exit 0
+fi
+
+fresh=$(mktemp /tmp/bench_gate.XXXXXX.json)
+log=$(mktemp /tmp/bench_gate.XXXXXX.log)
+trap 'rm -f "$fresh" "$log"' EXIT
+
+attempt=1
+while [ "$attempt" -le "$RETRIES" ]; do
+  if "$BENCH" --table extract --scale "$SCALE" --reps "$REPS" --json "$fresh" \
+    --gate "$BASELINE" --gate-threshold "$THRESHOLD" >"$log" 2>&1; then
+    grep -v '^chip scale' "$log" | sed -n '/regression gate/,$p'
+    echo "bench_gate: passed (attempt $attempt/$RETRIES)"
+    exit 0
+  fi
+  echo "bench_gate: attempt $attempt/$RETRIES reported a regression"
+  attempt=$((attempt + 1))
+done
+
+grep -v '^chip scale' "$log" | sed -n '/regression gate/,$p'
+echo "bench_gate: FAILED — regression persisted across $RETRIES attempts"
+exit 1

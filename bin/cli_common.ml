@@ -30,13 +30,25 @@ let read_input = function
               Error
                 (Diag.errorf ~code:"io-error" "%s: truncated read" path)))
 
-(* Parse and check CIF text.  [None] means unrecoverable (strict mode hit
-   an error); lenient mode always yields a design. *)
-let load_text ~strict ~max_errors ?quantum text =
+(* CIF-specific input reading: regular files are memory-mapped by
+   [Parser.open_file] (zero-copy lexing); "-" and non-regular paths drain
+   the stream as before.  Same error discipline as {!read_input}. *)
+let read_cif_input = function
+  | "-" -> Ok (Ace_cif.Parser.input_of_string (In_channel.input_all stdin))
+  | path when (try Sys.is_directory path with Sys_error _ -> false) ->
+      Error (Diag.errorf ~code:"io-error" "%s: is a directory" path)
+  | path -> (
+      match Ace_cif.Parser.open_file path with
+      | input -> Ok input
+      | exception Sys_error m -> Error (Diag.error ~code:"io-error" m))
+
+(* Parse and check a CIF input.  [None] means unrecoverable (strict mode
+   hit an error); lenient mode always yields a design. *)
+let load_input ~strict ~max_errors ?quantum input =
   if strict then
-    match Ace_cif.Parser.parse_string text with
+    match Ace_cif.Parser.parse_input input with
     | exception Ace_cif.Parser.Error { position; message } ->
-        let stop = min (String.length text) (position + 1) in
+        let stop = min (Ace_cif.Parser.input_length input) (position + 1) in
         ( None,
           [
             Diag.error
@@ -49,12 +61,15 @@ let load_text ~strict ~max_errors ?quantum text =
             (None, [ Diag.error ~code:"sem-error" m ])
         | design -> (Some design, []))
   else begin
-    let ast, pdiags = Ace_cif.Parser.parse_string_lenient ~max_errors text in
+    let ast, pdiags = Ace_cif.Parser.parse_input_lenient ~max_errors input in
     let design, sdiags =
       Ace_cif.Design.of_ast_lenient ?quantum ~max_errors ast
     in
     (Some design, pdiags @ sdiags)
   end
+
+let load_text ~strict ~max_errors ?quantum text =
+  load_input ~strict ~max_errors ?quantum (Ace_cif.Parser.input_of_string text)
 
 type loaded = {
   source : string;
@@ -63,11 +78,17 @@ type loaded = {
 }
 
 let load ~strict ~max_errors ?quantum path =
-  match read_input path with
+  match read_cif_input path with
   | Error d -> { source = ""; design = None; diags = [ d ] }
-  | Ok text ->
-      let design, diags = load_text ~strict ~max_errors ?quantum text in
-      { source = text; design; diags }
+  | Ok input ->
+      let design, diags = load_input ~strict ~max_errors ?quantum input in
+      (* Diag rendering is the only consumer of [source] (caret context
+         needs both a span and the source); on the common clean run we
+         skip copying the mapping out of the page cache. *)
+      let source =
+        if diags = [] then "" else Ace_cif.Parser.input_to_string input
+      in
+      { source; design; diags }
 
 (* Render diagnostics under the run's one --diag-format flag: text/JSON go
    line-by-line to stderr; SARIF emits a single complete 2.1.0 log on

@@ -1,19 +1,18 @@
 (* hext — hierarchical circuit extraction: CIF in, hierarchical wirelist out. *)
 
 let read_input = function
-  | "-" -> In_channel.input_all stdin
-  | path ->
-      let ic = open_in_bin path in
-      let s = really_input_string ic (in_channel_length ic) in
-      close_in ic;
-      s
+  | "-" -> Ace_cif.Parser.input_of_string (In_channel.input_all stdin)
+  | path -> Ace_cif.Parser.open_file path
 
 let run input output flat spice leaf_limit no_memo stats trace =
   Cli_common.setup_trace trace;
-  let text = read_input input in
-  match Ace_cif.Parser.parse_string text with
+  let cif = read_input input in
+  match Ace_cif.Parser.parse_input cif with
   | exception Ace_cif.Parser.Error { position; message } ->
-      prerr_endline (Ace_cif.Parser.describe_error ~source:text ~position ~message);
+      prerr_endline
+        (Ace_cif.Parser.describe_error
+           ~source:(Ace_cif.Parser.input_to_string cif)
+           ~position ~message);
       exit 2
   | ast -> (
       match Ace_cif.Design.of_ast ast with

@@ -13,6 +13,39 @@
 
 exception Error of { position : int; message : string }
 
+(** A parser input: either an in-memory string or a read-only memory
+    mapping of a regular file.  The lexer walks a mapping in place —
+    zero-copy — so parsing a large chip never materializes the file as an
+    OCaml string. *)
+type input
+
+(** Wrap an in-memory string. *)
+val input_of_string : string -> input
+
+(** [open_file path] opens [path] for parsing.  Regular non-empty files
+    are memory-mapped ([Unix.map_file]); pipes, FIFOs and other
+    non-mappable inputs fall back to reading the stream into memory.  The
+    file descriptor is closed on every exit path, including failures.
+    Raises [Sys_error] (like [open_in_bin]) when the file cannot be
+    opened. *)
+val open_file : string -> input
+
+(** Whether the input is a zero-copy memory mapping (for telemetry). *)
+val input_is_mapped : input -> bool
+
+val input_length : input -> int
+
+(** Materialize the input as a string (copies a mapping; the string form
+    is only needed to render diagnostics with source context). *)
+val input_to_string : input -> string
+
+(** [parse_input i] parses a complete CIF file.  Raises {!Error}. *)
+val parse_input : input -> Ast.file
+
+(** Lenient counterpart of {!parse_input}; see {!parse_string_lenient}. *)
+val parse_input_lenient :
+  ?max_errors:int -> input -> Ast.file * Ace_diag.Diag.t list
+
 (** [parse_string s] parses a complete CIF file.  Raises {!Error}. *)
 val parse_string : string -> Ast.file
 
@@ -27,6 +60,7 @@ val parse_string : string -> Ast.file
 val parse_string_lenient :
   ?max_errors:int -> string -> Ast.file * Ace_diag.Diag.t list
 
+(** [parse_file path] = [parse_input (open_file path)]. *)
 val parse_file : string -> Ast.file
 
 (** Human-readable rendering of a parse error against its source. *)

@@ -156,26 +156,158 @@ type raw = {
   timing : Timing.t;
 }
 
-(* An active box: it spans [al, ar) in x and persists until the scanline
-   reaches [ab]. *)
-type abox = { al : int; ar : int; ab : int }
+(* The per-layer active list: every box currently intersecting the
+   scanline, kept sorted by left edge.  Stored as a reusable arena of
+   three parallel int arrays (left, right, bottom) — an active box spans
+   [al.(i), ar.(i)) in x and persists until the scanline reaches
+   [ab.(i)].  The arena is compacted in place as boxes expire and merged
+   in place as newcomers arrive, so steady-state scanning allocates no
+   cons cell per box (the paper's insertion sort of step 2.a/2.b over
+   flat storage). *)
+type arena = {
+  mutable aal : int array;
+  mutable aar : int array;
+  mutable aab : int array;
+  mutable alen : int;
+}
 
-(* Insert sorted-by-[al] newcomers into a sorted active list — the paper's
-   insertion sort of step 2.a/2.b. *)
-let insert_sorted actives newcomers =
-  Trace.count Trace.Counter.Active_merges (List.length newcomers);
-  let newcomers = List.sort (fun a b -> Int.compare a.al b.al) newcomers in
-  let rec merge a b =
-    match (a, b) with
-    | [], l | l, [] -> l
-    | x :: xs, y :: ys ->
-        if x.al <= y.al then x :: merge xs b else y :: merge a ys
+let arena_create () =
+  { aal = Array.make 16 0; aar = Array.make 16 0; aab = Array.make 16 0; alen = 0 }
+
+let arena_reserve a extra =
+  let need = a.alen + extra in
+  if need > Array.length a.aal then begin
+    let cap = max need (2 * Array.length a.aal) in
+    let grow src =
+      let dst = Array.make cap 0 in
+      Array.blit src 0 dst 0 a.alen;
+      dst
+    in
+    a.aal <- grow a.aal;
+    a.aar <- grow a.aar;
+    a.aab <- grow a.aab
+  end
+
+let arena_push a l r b =
+  arena_reserve a 1;
+  let i = a.alen in
+  a.aal.(i) <- l;
+  a.aar.(i) <- r;
+  a.aab.(i) <- b;
+  a.alen <- i + 1
+
+(* Drop every box whose bottom edge is at or above the scanline: stable
+   in-place compaction, nothing moves when nothing expires. *)
+let arena_expire a y_top =
+  let w = ref 0 in
+  for i = 0 to a.alen - 1 do
+    if a.aab.(i) < y_top then begin
+      if !w < i then begin
+        a.aal.(!w) <- a.aal.(i);
+        a.aar.(!w) <- a.aar.(i);
+        a.aab.(!w) <- a.aab.(i)
+      end;
+      incr w
+    end
+  done;
+  a.alen <- !w
+
+(* In-place quicksort by left edge (insertion sort under 12 elements).
+   Equal-left order is irrelevant: the arena is only read back as merged
+   intervals. *)
+let arena_sort a =
+  let swap i j =
+    let tl = a.aal.(i) and tr = a.aar.(i) and tb = a.aab.(i) in
+    a.aal.(i) <- a.aal.(j);
+    a.aar.(i) <- a.aar.(j);
+    a.aab.(i) <- a.aab.(j);
+    a.aal.(j) <- tl;
+    a.aar.(j) <- tr;
+    a.aab.(j) <- tb
   in
-  merge actives newcomers
+  let rec sort lo hi =
+    if hi - lo < 12 then
+      for i = lo + 1 to hi do
+        let l = a.aal.(i) and r = a.aar.(i) and b = a.aab.(i) in
+        let j = ref (i - 1) in
+        while !j >= lo && a.aal.(!j) > l do
+          a.aal.(!j + 1) <- a.aal.(!j);
+          a.aar.(!j + 1) <- a.aar.(!j);
+          a.aab.(!j + 1) <- a.aab.(!j);
+          decr j
+        done;
+        a.aal.(!j + 1) <- l;
+        a.aar.(!j + 1) <- r;
+        a.aab.(!j + 1) <- b
+      done
+    else begin
+      let mid = lo + ((hi - lo) / 2) in
+      (* median-of-three pivot to the middle *)
+      if a.aal.(mid) < a.aal.(lo) then swap mid lo;
+      if a.aal.(hi) < a.aal.(lo) then swap hi lo;
+      if a.aal.(hi) < a.aal.(mid) then swap hi mid;
+      let pivot = a.aal.(mid) in
+      let i = ref lo and j = ref hi in
+      while !i <= !j do
+        while a.aal.(!i) < pivot do incr i done;
+        while a.aal.(!j) > pivot do decr j done;
+        if !i <= !j then begin
+          if !i < !j then swap !i !j;
+          incr i;
+          decr j
+        end
+      done;
+      sort lo !j;
+      sort !i hi
+    end
+  in
+  if a.alen > 1 then sort 0 (a.alen - 1)
 
-(* Merged x-intervals of an active list (sorted by al). *)
-let intervals_of_active actives =
-  Interval.of_spans (List.map (fun a -> (a.al, a.ar)) actives)
+(* Merge a sorted newcomer batch into the sorted arena, in place from the
+   back (the classic backward two-way merge, no temporary storage). *)
+let arena_merge a nb =
+  arena_reserve a nb.alen;
+  let i = ref (a.alen - 1) and j = ref (nb.alen - 1) in
+  let k = ref (a.alen + nb.alen - 1) in
+  while !j >= 0 do
+    if !i >= 0 && a.aal.(!i) > nb.aal.(!j) then begin
+      a.aal.(!k) <- a.aal.(!i);
+      a.aar.(!k) <- a.aar.(!i);
+      a.aab.(!k) <- a.aab.(!i);
+      decr i
+    end
+    else begin
+      a.aal.(!k) <- nb.aal.(!j);
+      a.aar.(!k) <- nb.aar.(!j);
+      a.aab.(!k) <- nb.aab.(!j);
+      decr j
+    end;
+    decr k
+  done;
+  a.alen <- a.alen + nb.alen
+
+(* Merged x-intervals of an arena: one pass over the sorted boxes,
+   coalescing overlapping or abutting spans and dropping degenerate ones —
+   exactly [Interval.of_spans] minus its sort. *)
+let intervals_of_arena a =
+  if a.alen = 0 then []
+  else begin
+    let acc = ref [] in
+    let lo = ref a.aal.(0) and hi = ref a.aar.(0) in
+    for i = 1 to a.alen - 1 do
+      let l = a.aal.(i) and r = a.aar.(i) in
+      if l <= !hi then begin
+        if r > !hi then hi := r
+      end
+      else begin
+        if !lo < !hi then acc := { Interval.lo = !lo; hi = !hi } :: !acc;
+        lo := l;
+        hi := r
+      end
+    done;
+    if !lo < !hi then acc := { Interval.lo = !lo; hi = !hi } :: !acc;
+    List.rev !acc
+  end
 
 (* Assign ids to the intervals of the current strip by overlap with the
    previous strip's tagged intervals; fresh id when nothing overlaps. *)
@@ -275,7 +407,9 @@ let run ?(cancel = Cancel.never) config source ~labels =
     | Some r -> r := item :: !r
     | None -> Hashtbl.replace tbl key (ref [ item ])
   in
-  let active = Array.make Layer.count [] in
+  let active = Array.init Layer.count (fun _ -> arena_create ()) in
+  (* per-layer newcomer batches, reset between stops *)
+  let incoming_scratch = Array.init Layer.count (fun _ -> arena_create ()) in
   let prev_diff = ref []
   and prev_poly = ref []
   and prev_metal = ref []
@@ -359,7 +493,7 @@ let run ?(cancel = Cancel.never) config source ~labels =
     let diff_raw, poly_raw, metal_raw, cut_raw, buried_raw, implant_raw =
       Timing.charge timing Timing.List_update (fun () ->
           let layer_intervals lyr =
-            intervals_of_active active.(Layer.index lyr)
+            intervals_of_arena active.(Layer.index lyr)
           in
           ( layer_intervals Layer.Diffusion,
             layer_intervals Layer.Poly,
@@ -549,7 +683,7 @@ let run ?(cancel = Cancel.never) config source ~labels =
   in
 
   let count_active () =
-    Array.fold_left (fun acc l -> acc + List.length l) 0 active
+    Array.fold_left (fun acc a -> acc + a.alen) 0 active
   in
   let rec loop y_top =
     (* the per-stop cancellation checkpoint: one atomic load when the
@@ -558,32 +692,41 @@ let run ?(cancel = Cancel.never) config source ~labels =
     incr stops;
     Timing.charge timing Timing.List_update (fun () ->
         for i = 0 to Layer.count - 1 do
-          active.(i) <- List.filter (fun a -> a.ab < y_top) active.(i)
+          arena_expire active.(i) y_top
         done);
     let incoming = Timing.charge timing Timing.Front_end (fun () -> source.pop y_top) in
     Timing.charge timing Timing.List_update (fun () ->
-        let by_layer = Array.make Layer.count [] in
+        for i = 0 to Layer.count - 1 do
+          incoming_scratch.(i).alen <- 0
+        done;
         List.iter
           (fun (lyr, bx) ->
             match clip bx with
             | None -> ()
             | Some (bx : Box.t) ->
                 if bx.t = y_top then
-                  let i = Layer.index lyr in
-                  by_layer.(i) <-
-                    { al = bx.l; ar = bx.r; ab = bx.b } :: by_layer.(i))
+                  arena_push incoming_scratch.(Layer.index lyr) bx.l bx.r bx.b)
           incoming;
         for i = 0 to Layer.count - 1 do
-          if by_layer.(i) <> [] then
-            active.(i) <- insert_sorted active.(i) by_layer.(i)
+          let batch = incoming_scratch.(i) in
+          if batch.alen > 0 then begin
+            Trace.count Trace.Counter.Active_merges batch.alen;
+            arena_sort batch;
+            arena_merge active.(i) batch
+          end
         done);
     max_active := max !max_active (count_active ());
     let next_peek = Timing.charge timing Timing.Front_end source.peek in
     let max_bottom =
       Array.fold_left
-        (List.fold_left (fun acc a -> match acc with
-           | None -> Some a.ab
-           | Some m -> Some (max m a.ab)))
+        (fun acc (a : arena) ->
+          let acc = ref acc in
+          for i = 0 to a.alen - 1 do
+            match !acc with
+            | None -> acc := Some a.aab.(i)
+            | Some m -> if a.aab.(i) > m then acc := Some a.aab.(i)
+          done;
+          !acc)
         None active
     in
     let next_y =

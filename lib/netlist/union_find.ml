@@ -1,64 +1,106 @@
+(* Flat unboxed storage: one int Bigarray holds the whole forest, parent
+   at slot [2i] and rank at slot [2i+1].  Bigarray data lives outside the
+   OCaml heap, so a million-element forest adds nothing to the major heap
+   the GC must scan or copy — at large-chip scale the two boxed [int
+   array]s this replaces dominated the extractor's GC pressure. *)
+
+type slots =
+  (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
 type t = {
-  mutable parent : int array;
-  mutable rank : int array;
+  mutable slots : slots;
   mutable size : int;
   mutable classes : int;
+  mutable mapping : int array;  (** reusable {!compress} buffer *)
 }
 
-let create () =
-  { parent = Array.make 64 0; rank = Array.make 64 0; size = 0; classes = 0 }
+let alloc cap : slots = Bigarray.Array1.create Bigarray.int Bigarray.c_layout (2 * cap)
+let capacity t = Bigarray.Array1.dim t.slots / 2
+
+let create ?(hint = 64) () =
+  { slots = alloc (max 1 hint); size = 0; classes = 0; mapping = [||] }
+
+let parent t i = Bigarray.Array1.unsafe_get t.slots (2 * i)
+let set_parent t i p = Bigarray.Array1.unsafe_set t.slots (2 * i) p
+let rank t i = Bigarray.Array1.unsafe_get t.slots ((2 * i) + 1)
+let set_rank t i r = Bigarray.Array1.unsafe_set t.slots ((2 * i) + 1) r
+
+(* All public entry points bounds-check before the unsafe accessors above:
+   an out-of-range element is a caller bug and must fail loudly, not read
+   stale slots. *)
+let check t x =
+  if x < 0 || x >= t.size then
+    invalid_arg (Printf.sprintf "Union_find: element %d out of range 0..%d" x (t.size - 1))
 
 let fresh t =
-  if t.size = Array.length t.parent then begin
-    let cap = 2 * t.size in
-    let parent = Array.make cap 0 and rank = Array.make cap 0 in
-    Array.blit t.parent 0 parent 0 t.size;
-    Array.blit t.rank 0 rank 0 t.size;
-    t.parent <- parent;
-    t.rank <- rank
+  if t.size = capacity t then begin
+    (* growing moves no element between classes: the class accounting must
+       read the same before and after the blit *)
+    let classes_before = t.classes in
+    let slots = alloc (2 * t.size) in
+    Bigarray.Array1.blit t.slots
+      (Bigarray.Array1.sub slots 0 (Bigarray.Array1.dim t.slots));
+    t.slots <- slots;
+    assert (t.classes = classes_before && t.classes <= t.size)
   end;
   let id = t.size in
-  t.parent.(id) <- id;
+  set_parent t id id;
+  set_rank t id 0;
   t.size <- t.size + 1;
   t.classes <- t.classes + 1;
   id
 
 let count t = t.size
 
-let rec find_root t x =
-  let p = t.parent.(x) in
-  if p = x then x
-  else begin
-    let root = find_root t p in
-    t.parent.(x) <- root;
-    root
-  end
+(* Iterative two-pass path compression.  The recursive formulation this
+   replaces allocated one stack frame per link on the way to the root; a
+   pathological parent chain (however it arises) then turns a find into a
+   [Stack_overflow] at large-chip scale.  Two flat loops — walk to the
+   root, then repoint every node on the path — visit the same links with
+   O(1) stack. *)
+let find_root t x =
+  let r = ref x in
+  while parent t !r <> !r do
+    r := parent t !r
+  done;
+  let root = !r in
+  let c = ref x in
+  while !c <> root do
+    let next = parent t !c in
+    set_parent t !c root;
+    c := next
+  done;
+  root
 
 (* Only the public entry points count: internal root lookups (union's
    own, compress) stay out of the telemetry. *)
 let find t x =
+  check t x;
   Ace_trace.Trace.incr Ace_trace.Trace.Counter.Uf_finds;
   find_root t x
 
 let same t a b = find t a = find t b
 
 let union t a b =
+  check t a;
+  check t b;
   Ace_trace.Trace.incr Ace_trace.Trace.Counter.Uf_unions;
   let ra = find_root t a and rb = find_root t b in
   if ra = rb then ra
   else begin
     t.classes <- t.classes - 1;
-    if t.rank.(ra) < t.rank.(rb) then begin
-      t.parent.(ra) <- rb;
+    let ka = rank t ra and kb = rank t rb in
+    if ka < kb then begin
+      set_parent t ra rb;
       rb
     end
-    else if t.rank.(ra) > t.rank.(rb) then begin
-      t.parent.(rb) <- ra;
+    else if ka > kb then begin
+      set_parent t rb ra;
       ra
     end
     else begin
-      t.parent.(rb) <- ra;
-      t.rank.(ra) <- t.rank.(ra) + 1;
+      set_parent t rb ra;
+      set_rank t ra (ka + 1);
       ra
     end
   end
@@ -66,7 +108,19 @@ let union t a b =
 let class_count t = t.classes
 
 let compress t =
-  let mapping = Array.make t.size (-1) in
+  (* The mapping buffer persists on [t] and is reused by later calls (a
+     long-lived daemon compresses once per request; the per-call fresh
+     array this replaces was pure churn).  It may be longer than [size];
+     callers index it by element id, which stays in range. *)
+  let mapping =
+    if Array.length t.mapping >= t.size then t.mapping
+    else begin
+      let m = Array.make (max t.size (2 * Array.length t.mapping)) (-1) in
+      t.mapping <- m;
+      m
+    end
+  in
+  Array.fill mapping 0 t.size (-1);
   let next = ref 0 in
   for x = 0 to t.size - 1 do
     let r = find_root t x in
@@ -77,3 +131,14 @@ let compress t =
     if x <> r then mapping.(x) <- mapping.(r)
   done;
   mapping
+
+module For_testing = struct
+  let link t a b =
+    check t a;
+    check t b;
+    let ra = find_root t a and rb = find_root t b in
+    if ra <> rb then begin
+      set_parent t ra rb;
+      t.classes <- t.classes - 1
+    end
+end

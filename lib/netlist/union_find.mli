@@ -1,13 +1,20 @@
-(** Growable disjoint-set forest (union by rank, path compression).
+(** Growable disjoint-set forest (union by rank, iterative two-pass path
+    compression).
 
     The extractor creates a net for every piece of geometry that enters the
     active list independently, and merges nets as the scanline discovers
     connections — exactly the classic union-find workload.  Elements are
-    dense integers handed out by {!fresh}. *)
+    dense integers handed out by {!fresh}.
+
+    Storage is one flat unboxed int Bigarray (parent and rank interleaved),
+    so the forest adds nothing to the GC-scanned heap, and {!find} is
+    iterative — deep parent chains can never overflow the stack. *)
 
 type t
 
-val create : unit -> t
+(** [create ?hint ()] sizes the forest for [hint] elements up front
+    (default 64); it still grows past the hint by doubling. *)
+val create : ?hint:int -> unit -> t
 
 (** Allocate a new singleton element; ids are consecutive from 0. *)
 val fresh : t -> int
@@ -27,5 +34,17 @@ val union : t -> int -> int -> int
 val class_count : t -> int
 
 (** [compress t] returns an array mapping every element to a dense class
-    index in [0, class_count); representatives map to their own class. *)
+    index in [0, class_count); representatives map to their own class.
+    The array is a buffer owned by [t], reused (and overwritten) by the
+    next [compress] call on the same forest; it may be longer than
+    {!count}, with only the first {!count} entries meaningful. *)
 val compress : t -> int array
+
+(** Test-only back door. *)
+module For_testing : sig
+  (** [link t a b] points [a]'s root directly at [b]'s root, bypassing the
+      rank balancing — rank keeps real forests logarithmic, so this is the
+      only way to build the pathologically deep chains the deep-chain
+      regression tests need. *)
+  val link : t -> int -> int -> unit
+end

@@ -26,7 +26,11 @@
       extracted circuit, round-tripped through the SPICE writer and the
       lenient reference parser, must LVS-match itself (in both
       directions) whenever the round trip is unambiguous, and the
-      reference parser itself must be total on raw fuzz lines.
+      reference parser itself must be total on raw fuzz lines;
+   7. mmap/string lexer equality — every fuzz input, written to a real
+      file and parsed through the zero-copy memory-mapped path, yields
+      the identical AST, diagnostics and strict-mode error as the
+      in-memory string path.
 
    Runs as a bounded smoke test under `dune runtest` (fixed seed, ~500
    inputs, well under 5 s).  Set ACE_FUZZ_N / ACE_FUZZ_SEED to scale it
@@ -304,6 +308,52 @@ let run_one input =
                                 input (Failure "disagreement")))
               | exception e -> fail_input "of_ast_lenient raised" input e)))
 
+(* property 7: the memory-mapped lexer path is indistinguishable from the
+   in-memory string path — same lenient AST and diagnostics, same strict
+   outcome — on arbitrary (including malformed) bytes.  Each probe writes
+   the input to a scratch file and opens it for real, so the mmap branch,
+   not the fallback, is exercised. *)
+let mmap_equiv input =
+  let path = Filename.temp_file "ace_fuzz_mmap" ".cif" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let oc = open_out_bin path in
+      output_string oc input;
+      close_out oc;
+      match Parser.open_file path with
+      | exception e -> fail_input "open_file raised" input e
+      | minput ->
+          if input <> "" && not (Parser.input_is_mapped minput) then
+            fail_input "regular file not memory-mapped" input
+              (Failure "fallback engaged");
+          if Parser.input_to_string minput <> input then
+            fail_input "mapped bytes differ from written bytes" input
+              (Failure "content mismatch");
+          (match
+             ( Parser.parse_input_lenient minput,
+               Parser.parse_string_lenient input )
+           with
+          | (ast_m, diags_m), (ast_s, diags_s) ->
+              if ast_m <> ast_s then
+                fail_input "mmap and string lenient ASTs differ" input
+                  (Failure "AST mismatch");
+              if diags_m <> diags_s then
+                fail_input "mmap and string lenient diags differ" input
+                  (Failure "diag mismatch")
+          | exception e -> fail_input "lenient mmap parse raised" input e);
+          let strict p =
+            match p () with
+            | (_ : Ace_cif.Ast.file) -> Ok ()
+            | exception Parser.Error { position; message } ->
+                Error (position, message)
+          in
+          let m = strict (fun () -> Parser.parse_input minput) in
+          let s = strict (fun () -> Parser.parse_string input) in
+          if m <> s then
+            fail_input "mmap and string strict outcomes differ" input
+              (Failure "strict mismatch"))
+
 (* property 5: one shared in-process server (no cache, no faults), fed
    the same fuzz inputs the front-end properties use *)
 let serve_state =
@@ -339,6 +389,7 @@ let () =
   let t0 = Unix.gettimeofday () in
   (* the clean corpus itself, un-mutated *)
   List.iter run_one corpus;
+  List.iter mmap_equiv corpus;
   List.iter (fun c -> protocol_total c ~as_request:true) corpus;
   for i = 0 to n_inputs - 1 do
     let input =
@@ -355,6 +406,8 @@ let () =
     | Ok _ | Error _ -> ()
     | exception e -> fail_input "Reference.load raised" input e);
     protocol_total input ~as_request:false;
+    (* file round-trips cost a syscall pair each; sample them *)
+    if i mod 4 = 0 then mmap_equiv input;
     (* wrapped extraction is the expensive path; sample it *)
     if i mod 8 = 0 then protocol_total input ~as_request:true
   done;

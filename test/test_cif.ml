@@ -326,6 +326,95 @@ let test_sample_corpus () =
         (Tutil.circuit_equal ~with_sizes:true flat hc))
     cifs
 
+(* ------------------------------------------------------------------ *)
+(* mmap lexer path                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let data_dir () =
+  List.find Sys.file_exists [ "../data"; "data"; "_build/default/data" ]
+
+let slurp path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Every data/*.cif — including the broken corpus — must produce the same
+   AST and the same diagnostics through the zero-copy mapped path as
+   through the in-memory string path, strict and lenient. *)
+let test_mmap_corpus () =
+  let dir = data_dir () in
+  let cifs =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".cif")
+  in
+  check "corpus present" true (List.length cifs >= 5);
+  List.iter
+    (fun f ->
+      let path = Filename.concat dir f in
+      let text = slurp path in
+      let input = Ace_cif.Parser.open_file path in
+      check (f ^ " is mapped") true (Ace_cif.Parser.input_is_mapped input);
+      check_int (f ^ " mapped length") (String.length text)
+        (Ace_cif.Parser.input_length input);
+      check (f ^ " materializes identically") true
+        (Ace_cif.Parser.input_to_string input = text);
+      let ast_m, diags_m = Ace_cif.Parser.parse_input_lenient input in
+      let ast_s, diags_s = Ace_cif.Parser.parse_string_lenient text in
+      check (f ^ " lenient AST equal") true (ast_m = ast_s);
+      check (f ^ " lenient diags equal") true (diags_m = diags_s);
+      let strict i =
+        match Ace_cif.Parser.parse_input i with
+        | ast -> Ok ast
+        | exception Ace_cif.Parser.Error { position; message } ->
+            Error (position, message)
+      in
+      check (f ^ " strict outcome equal") true
+        (strict input = strict (Ace_cif.Parser.input_of_string text)))
+    cifs
+
+(* Parse errors must not leak the mapped file's descriptor: repeating the
+   open/parse cycle well past the default fd limit only works if every
+   exit path (including the error one) closes the fd. *)
+let test_mmap_broken_no_leak () =
+  let path = Filename.concat (data_dir ()) "broken.cif" in
+  let text = slurp path in
+  let expected =
+    match Ace_cif.Parser.parse_string text with
+    | _ -> Alcotest.fail "broken.cif parsed strictly?"
+    | exception Ace_cif.Parser.Error { position; message } -> (position, message)
+  in
+  for _ = 1 to 2048 do
+    match Ace_cif.Parser.parse_file path with
+    | _ -> Alcotest.fail "broken.cif parsed strictly via mmap?"
+    | exception Ace_cif.Parser.Error { position; message } ->
+        if (position, message) <> expected then
+          Alcotest.fail "mmap parse error differs from string parse error"
+  done;
+  (* the lenient mapped path reports the identical recovery diagnostics *)
+  let _, diags_m = Ace_cif.Parser.parse_input_lenient (Ace_cif.Parser.open_file path) in
+  let _, diags_s = Ace_cif.Parser.parse_string_lenient text in
+  check "broken.cif lenient diags equal" true (diags_m = diags_s)
+
+let test_mmap_edge_files () =
+  (* empty regular file: not mapped, parses like "" *)
+  let empty = Filename.temp_file "ace_mmap" ".cif" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove empty with Sys_error _ -> ())
+    (fun () ->
+      let input = Ace_cif.Parser.open_file empty in
+      check "empty file not mapped" false (Ace_cif.Parser.input_is_mapped input);
+      check_int "empty length" 0 (Ace_cif.Parser.input_length input);
+      check "empty fails like empty string" true
+        (match Ace_cif.Parser.parse_input input with
+        | _ -> false
+        | exception Ace_cif.Parser.Error _ -> true));
+  (* missing file: Sys_error, same contract as open_in_bin *)
+  check "missing file raises Sys_error" true
+    (match Ace_cif.Parser.open_file "no/such/file.cif" with
+    | _ -> false
+    | exception Sys_error _ -> true)
+
 let () =
   Alcotest.run "cif"
     [
@@ -368,6 +457,14 @@ let () =
         ] );
       ( "corpus",
         [ Alcotest.test_case "sample files" `Quick test_sample_corpus ] );
+      ( "mmap",
+        [
+          Alcotest.test_case "corpus equivalence" `Quick test_mmap_corpus;
+          Alcotest.test_case "broken.cif: errors + no fd leak" `Quick
+            test_mmap_broken_no_leak;
+          Alcotest.test_case "empty and missing files" `Quick
+            test_mmap_edge_files;
+        ] );
       ( "edge-cases",
         [
           Alcotest.test_case "DD command" `Quick test_dd_command;

@@ -64,6 +64,193 @@ let prop_uf_vs_model =
       done;
       !ok && Union_find.count uf = n)
 
+(* The pre-flat-arena union-find, kept verbatim as a reference model: two
+   boxed int arrays and *recursive* path compression.  The qcheck suite
+   below checks the Bigarray rewrite is observationally identical, and the
+   deep-chain test demonstrates the stack hazard the rewrite removes. *)
+module Ref_uf = struct
+  type t = {
+    mutable parent : int array;
+    mutable rank : int array;
+    mutable size : int;
+    mutable classes : int;
+  }
+
+  let create () =
+    { parent = Array.make 64 0; rank = Array.make 64 0; size = 0; classes = 0 }
+
+  let fresh t =
+    if t.size = Array.length t.parent then begin
+      let grow a = Array.append a (Array.make (Array.length a) 0) in
+      t.parent <- grow t.parent;
+      t.rank <- grow t.rank
+    end;
+    let id = t.size in
+    t.parent.(id) <- id;
+    t.rank.(id) <- 0;
+    t.size <- t.size + 1;
+    t.classes <- t.classes + 1;
+    id
+
+  let rec find_root t x =
+    let p = t.parent.(x) in
+    if p = x then x
+    else begin
+      let root = find_root t p in
+      t.parent.(x) <- root;
+      root
+    end
+
+  let find = find_root
+  let same t a b = find t a = find t b
+
+  let union t a b =
+    let ra = find_root t a and rb = find_root t b in
+    if ra = rb then ra
+    else begin
+      t.classes <- t.classes - 1;
+      if t.rank.(ra) < t.rank.(rb) then begin
+        t.parent.(ra) <- rb;
+        rb
+      end
+      else if t.rank.(ra) > t.rank.(rb) then begin
+        t.parent.(rb) <- ra;
+        ra
+      end
+      else begin
+        t.parent.(rb) <- ra;
+        t.rank.(ra) <- t.rank.(ra) + 1;
+        ra
+      end
+    end
+
+  let class_count t = t.classes
+
+  let compress t =
+    let mapping = Array.make (max t.size 1) (-1) in
+    let next = ref 0 in
+    for x = 0 to t.size - 1 do
+      let r = find_root t x in
+      if mapping.(r) = -1 then begin
+        mapping.(r) <- !next;
+        incr next
+      end;
+      if x <> r then mapping.(x) <- mapping.(r)
+    done;
+    mapping
+
+  let link t a b =
+    let ra = find_root t a and rb = find_root t b in
+    if ra <> rb then begin
+      t.parent.(ra) <- rb;
+      t.classes <- t.classes - 1
+    end
+end
+
+(* Union by rank keeps real forests logarithmic, so a pathological chain
+   can only be built through the rank-bypassing test back door.  The new
+   iterative find must walk (and compress) a million-link chain with O(1)
+   stack; the recursive reference implementation allocates a stack frame
+   per link on the same chain and is expected to die with Stack_overflow
+   (we tolerate it surviving — stack limits vary by platform — but it must
+   not produce a wrong answer). *)
+let deep_chain_n = 1_000_000
+
+let test_uf_deep_chain () =
+  let uf = Union_find.create ~hint:deep_chain_n () in
+  for _ = 1 to deep_chain_n do
+    ignore (Union_find.fresh uf)
+  done;
+  for i = 0 to deep_chain_n - 2 do
+    Union_find.For_testing.link uf i (i + 1)
+  done;
+  check_int "one class" 1 (Union_find.class_count uf);
+  let root = Union_find.find uf 0 in
+  check_int "root is chain end" (deep_chain_n - 1) root;
+  check "compressed: second find is direct" true
+    (Union_find.find uf 0 = root && Union_find.same uf 0 (deep_chain_n / 2))
+
+let test_uf_deep_chain_old_overflows () =
+  let r = Ref_uf.create () in
+  for _ = 1 to deep_chain_n do
+    ignore (Ref_uf.fresh r)
+  done;
+  for i = 0 to deep_chain_n - 2 do
+    Ref_uf.link r i (i + 1)
+  done;
+  match Ref_uf.find r 0 with
+  | root -> check_int "survived (deep stack): correct root" (deep_chain_n - 1) root
+  | exception Stack_overflow -> check "recursive find overflowed as expected" true true
+
+let test_uf_hint_and_grow () =
+  (* a tiny hint must not change behaviour, only the initial capacity *)
+  let uf = Union_find.create ~hint:2 () in
+  let n = 300 in
+  let ids = Array.init n (fun _ -> Union_find.fresh uf) in
+  check_int "all singletons after growth" n (Union_find.class_count uf);
+  Array.iteri
+    (fun i id -> check_int "ids are dense" i id)
+    ids;
+  for i = 0 to n - 2 do
+    if i mod 3 <> 0 then ignore (Union_find.union uf ids.(i) ids.(i + 1))
+  done;
+  let classes = Union_find.class_count uf in
+  let m1 = Union_find.compress uf in
+  let m2 = Union_find.compress uf in
+  check "compress reuses its buffer" true (m1 == m2);
+  check_int "dense ids cover classes" classes
+    (1 + Array.fold_left max (-1) (Array.sub m1 0 n));
+  (* growing again after compress keeps the accounting consistent *)
+  let extra = Union_find.fresh uf in
+  check_int "class_count tracks growth" (classes + 1) (Union_find.class_count uf);
+  check_int "new element is its own root" extra (Union_find.find uf extra)
+
+(* Random op scripts: interleave fresh / union / find / compress and demand
+   the flat Bigarray forest and the boxed recursive reference stay
+   observationally identical at every step. *)
+let prop_uf_vs_reference =
+  Tutil.qtest ~count:300 "flat Bigarray union-find = boxed recursive reference"
+    QCheck2.Gen.(
+      list_size (int_range 1 120) (triple (int_range 0 3) nat nat))
+    (fun script ->
+      let uf = Union_find.create ~hint:1 () in
+      let r = Ref_uf.create () in
+      let ok = ref true in
+      let agree () =
+        let n = Union_find.count uf in
+        if Union_find.class_count uf <> Ref_uf.class_count r then ok := false;
+        if n > 0 then begin
+          let ma = Union_find.compress uf and mb = Ref_uf.compress r in
+          for x = 0 to n - 1 do
+            if ma.(x) <> mb.(x) then ok := false
+          done
+        end
+      in
+      List.iter
+        (fun (tag, a, b) ->
+          let n = Union_find.count uf in
+          match tag with
+          | 0 ->
+              let ia = Union_find.fresh uf and ib = Ref_uf.fresh r in
+              if ia <> ib then ok := false
+          | 1 when n > 0 ->
+              (* survivors may differ only if representatives differ — they
+                 must not, since both sides run identical rank logic *)
+              let sa = Union_find.union uf (a mod n) (b mod n) in
+              let sb = Ref_uf.union r (a mod n) (b mod n) in
+              if sa <> sb then ok := false
+          | 2 when n > 0 ->
+              if
+                Union_find.find uf (a mod n) <> Ref_uf.find r (a mod n)
+                || Union_find.same uf (a mod n) (b mod n)
+                   <> Ref_uf.same r (a mod n) (b mod n)
+              then ok := false
+          | 3 when n > 0 -> agree ()
+          | _ -> ())
+        script;
+      agree ();
+      !ok)
+
 (* ------------------------------------------------------------------ *)
 (* Circuits                                                             *)
 (* ------------------------------------------------------------------ *)
@@ -504,7 +691,14 @@ let () =
         [
           Alcotest.test_case "basics" `Quick test_uf_basics;
           Alcotest.test_case "compress" `Quick test_uf_compress;
+          Alcotest.test_case "deep chain (iterative find)" `Quick
+            test_uf_deep_chain;
+          Alcotest.test_case "deep chain overflows old recursive find" `Quick
+            test_uf_deep_chain_old_overflows;
+          Alcotest.test_case "hint + grow + buffer reuse" `Quick
+            test_uf_hint_and_grow;
           prop_uf_vs_model;
+          prop_uf_vs_reference;
         ] );
       ( "circuit",
         [

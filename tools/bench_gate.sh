@@ -13,10 +13,26 @@
 # Environment knobs: ACE_BENCH_SCALE (default 0.05, must match the
 # baseline), ACE_BENCH_THRESHOLD (default 0.15), ACE_BENCH_RETRIES
 # (default 3), ACE_BENCH_REPS (default 3, best-of-N walls on both
-# sides of the comparison).
+# sides of the comparison), ACE_BENCH_EXE (pre-built bench binary to
+# use instead of building one).
+#
+# Also runs as the `@perf` dune alias (see bench/dune): dune supplies
+# the already-built binary via ACE_BENCH_EXE and runs the action from
+# its own sandbox, so in that mode the script must neither cd to the
+# source root nor invoke a nested dune.
 
 set -u
-cd "$(dirname "$0")/.."
+
+BENCH=${ACE_BENCH_EXE:-}
+case "$BENCH" in
+  # a bare binary name (dune expands %{exe:main.exe} to just "main.exe")
+  # must not fall through to PATH lookup
+  */* | '') ;;
+  *) BENCH=./$BENCH ;;
+esac
+if [ -z "${INSIDE_DUNE:-}" ]; then
+  cd "$(dirname "$0")/.."
+fi
 
 BASELINE=${1:-BENCH_extract.json}
 SCALE=${ACE_BENCH_SCALE:-0.05}
@@ -24,16 +40,18 @@ THRESHOLD=${ACE_BENCH_THRESHOLD:-0.15}
 RETRIES=${ACE_BENCH_RETRIES:-3}
 REPS=${ACE_BENCH_REPS:-3}
 
-if ! command -v dune >/dev/null 2>&1; then
-  echo "bench_gate: dune not installed; skipping gate"
-  exit 0
-fi
+if [ -z "$BENCH" ]; then
+  if ! command -v dune >/dev/null 2>&1; then
+    echo "bench_gate: dune not installed; skipping gate"
+    exit 0
+  fi
 
-dune build bench/main.exe 2>&1 || {
-  echo "bench_gate: bench build failed"
-  exit 1
-}
-BENCH=_build/default/bench/main.exe
+  dune build bench/main.exe 2>&1 || {
+    echo "bench_gate: bench build failed"
+    exit 1
+  }
+  BENCH=_build/default/bench/main.exe
+fi
 
 if [ ! -f "$BASELINE" ]; then
   echo "bench_gate: no baseline at $BASELINE — generating one; commit it to arm the gate"
@@ -57,6 +75,8 @@ while [ "$attempt" -le "$RETRIES" ]; do
   attempt=$((attempt + 1))
 done
 
-grep -v '^chip scale' "$log" | sed -n '/regression gate/,$p'
+# the full log, not just the gate table: a failure here may be the bench
+# run itself dying, and CI only keeps this output
+cat "$log"
 echo "bench_gate: FAILED — regression persisted across $RETRIES attempts"
 exit 1

@@ -32,15 +32,49 @@ let load_layout ~strict ~max_errors ~jobs path =
         | c -> (Some c, text, [])
         | exception Ace_netlist.Wirelist.Error _ -> from_cif ())
 
-let load_reference ~gnd path =
+(* Hierarchical layout side: CIF through the hierarchical extractor, a
+   Figure 2-2 wirelist through Hier.of_string.  Flat wirelists have no
+   hierarchy to exploit; the caller falls back to the flat path. *)
+let load_layout_hier ~strict ~max_errors path =
   match Cli_common.read_input path with
   | Error d -> (None, "", [ d ])
+  | Ok text ->
+      let from_cif () =
+        match Cli_common.load_text ~strict ~max_errors text with
+        | None, diags -> (None, text, diags)
+        | Some design, diags ->
+            let h, _ = Ace_hext.Hext.extract design in
+            (Some h, text, diags)
+      in
+      if Filename.check_suffix path ".cif" then from_cif ()
+      else (
+        match Ace_netlist.Hier.of_string text with
+        | h -> (Some h, text, [])
+        | exception Ace_netlist.Hier.Error _ -> (None, text, []))
+
+let load_reference ~format ~want_view ~vdd ~gnd path =
+  match Cli_common.read_input path with
+  | Error d -> (None, None, "", [ d ])
   | Ok text -> (
-      match
-        Lvs.Reference.load ~name:(Filename.basename path) ~gnd text
-      with
-      | Ok (c, diags) -> (Some c, text, diags)
-      | Error d -> (None, text, [ d ]))
+      let name = Filename.basename path in
+      let verilog =
+        match format with
+        | `Verilog -> true
+        | `Spice -> false
+        | `Auto -> Filename.check_suffix path ".v"
+      in
+      if verilog then
+        let c, diags = Lvs.Verilog.parse ~name ~vdd ~gnd text in
+        (Some c, None, text, diags)
+      else (
+          match Lvs.Reference.load ~name ~gnd text with
+          | Ok (c, diags) ->
+              let view =
+                if want_view then Lvs.Reference.hier_view ~name ~gnd text
+                else None
+              in
+              (Some c, view, text, diags)
+          | Error d -> (None, None, text, [ d ])))
 
 let print_rules () =
   Printf.printf "%-26s %-8s %s\n" "CODE" "LEVEL" "SUMMARY";
@@ -50,7 +84,8 @@ let print_rules () =
     (Lvs.Report.sarif_rules ())
 
 let run layout_path ref_path vdd gnd no_sizes tolerance strict max_errors
-    diag_format baseline_file write_baseline list_rules stats jobs trace =
+    diag_format baseline_file write_baseline list_rules stats jobs hier
+    ref_format max_findings trace =
   Cli_common.setup_trace trace;
   if list_rules then begin
     print_rules ();
@@ -58,10 +93,24 @@ let run layout_path ref_path vdd gnd no_sizes tolerance strict max_errors
   end;
   if jobs < 1 then fail_usage "-j must be at least 1";
   if tolerance < 0. then fail_usage "--tolerance must be non-negative";
+  if max_findings < 0 then fail_usage "--max-findings must be non-negative";
   let layout, layout_src, layout_diags =
-    load_layout ~strict ~max_errors ~jobs layout_path
+    let flat () =
+      let c, src, diags = load_layout ~strict ~max_errors ~jobs layout_path in
+      (Option.map (fun c -> `Flat c) c, src, diags)
+    in
+    if hier then
+      match load_layout_hier ~strict ~max_errors layout_path with
+      | Some h, src, diags -> (Some (`Hier h), src, diags)
+      | None, _, _ ->
+          (* no exploitable hierarchy (flat wirelist, unreadable CIF):
+             the flat path owns diagnostics and the verdict *)
+          flat ()
+    else flat ()
   in
-  let reference, ref_src, ref_diags = load_reference ~gnd ref_path in
+  let reference, ref_view, ref_src, ref_diags =
+    load_reference ~format:ref_format ~want_view:hier ~vdd ~gnd ref_path
+  in
   let sarif = diag_format = Cli_common.Sarif in
   let rules = Lvs.Report.sarif_rules () in
   (match (layout, reference) with
@@ -77,9 +126,18 @@ let run layout_path ref_path vdd gnd no_sizes tolerance strict max_errors
       ~source:ref_src (layout_diags @ ref_diags);
     exit 2
   end;
-  let r =
-    Lvs.Match.run ~with_sizes:(not no_sizes) ~tolerance ~vdd ~gnd ~layout
-      ~reference ()
+  let r, hier_stats =
+    match layout with
+    | `Hier h ->
+        let hr =
+          Lvs.Hier.run ~with_sizes:(not no_sizes) ~tolerance ~vdd ~gnd
+            ~max_findings ~layout:h ~reference ?ref_view ()
+        in
+        (hr.Lvs.Hier.r, Some hr)
+    | `Flat layout ->
+        ( Lvs.Match.run ~with_sizes:(not no_sizes) ~tolerance ~vdd ~gnd
+            ~max_findings ~layout ~reference (),
+          None )
   in
   let fingerprinted =
     List.map (fun f -> (f, Lvs.Report.fingerprint f)) r.Lvs.Match.findings
@@ -159,6 +217,14 @@ let run layout_path ref_path vdd gnd no_sizes tolerance strict max_errors
       "acelvs: %d devices matched, %d series/parallel reductions, %d \
        refinement rounds\n"
       s.Lvs.Match.matched s.Lvs.Match.reductions s.Lvs.Match.rounds;
+    (match hier_stats with
+    | Some hr ->
+        Printf.eprintf
+          "acelvs: hierarchical: %d cell matches, %d memo hits%s\n"
+          hr.Lvs.Hier.cell_matches hr.Lvs.Hier.cell_hits
+          (if hr.Lvs.Hier.fallback then " (fell back to flat compare)"
+           else "")
+    | None -> ());
     Cli_common.print_counters ()
   end;
   match effective_outcome with
@@ -247,6 +313,41 @@ let jobs =
           "Extract CIF layout input with $(docv) parallel shards (see \
            $(b,ace -j)); ignored for wirelist input.")
 
+let hier =
+  Arg.(
+    value & flag
+    & info [ "hier" ]
+        ~doc:
+          "Compare hierarchically: match each distinct layout cell against \
+           a reference subcircuit once, memoize the verdict, and verify \
+           only the top-level glue.  Verdicts are identical to the flat \
+           compare (any obstruction falls back to it); $(b,lvs-cell-*) \
+           findings name cells that fail to match.  Needs a CIF layout or \
+           a hierarchical wirelist, and a $(b,.SUBCKT)-structured SPICE \
+           reference; degenerates gracefully to the flat compare \
+           otherwise.")
+
+let ref_format =
+  Arg.(
+    value
+    & opt (enum [ ("auto", `Auto); ("spice", `Spice); ("verilog", `Verilog) ])
+        `Auto
+    & info [ "ref-format" ] ~docv:"FMT"
+        ~doc:
+          "Reference netlist dialect: $(b,spice) (SPICE-ish or CMU \
+           wirelist), $(b,verilog) (structural Verilog with \
+           $(b,not)/$(b,nand)/$(b,nor)/$(b,nmos) primitives lowered to \
+           NMOS networks), or $(b,auto) (default: by file suffix, \
+           $(b,.v) means verilog).")
+
+let max_findings =
+  Arg.(
+    value & opt int 20
+    & info [ "max-findings" ] ~docv:"N"
+        ~doc:
+          "Cap each per-code finding flood at $(docv), with an overflow \
+           note ($(b,0) = unlimited).  Default 20.")
+
 let cmd =
   Cmd.v
     (Cmd.info "acelvs"
@@ -258,6 +359,6 @@ let cmd =
       const run $ layout_path $ ref_path $ vdd $ gnd $ no_sizes $ tolerance
       $ Cli_common.strict_t $ Cli_common.max_errors_t
       $ Cli_common.diag_format_t $ baseline_file $ write_baseline $ list_rules
-      $ stats $ jobs $ Cli_common.trace_t)
+      $ stats $ jobs $ hier $ ref_format $ max_findings $ Cli_common.trace_t)
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,9 @@
+// inverter.v — structural-Verilog reference for data/inverter.cif
+// (depletion-load NMOS inverter; the `not` primitive lowers to a
+// pull-down enhancement device plus a gate-tied depletion load)
+module inverter (out, inp);
+  output out;
+  input inp;
+
+  not u1 (out, inp);
+endmodule

@@ -1,0 +1,7 @@
+// latch.missing.v — seeded mismatch: one of the two cross-coupled
+// inverters is missing, so the layout has extra devices.
+module latch (q, qb);
+  inout q, qb;
+
+  not u1 (q, qb);
+endmodule

@@ -1,0 +1,8 @@
+// latch.v — structural-Verilog reference for data/latch.cif
+// (cross-coupled inverter pair)
+module latch (q, qb);
+  inout q, qb;
+
+  not u1 (q, qb);
+  not u2 (qb, q);
+endmodule

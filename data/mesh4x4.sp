@@ -1,24 +1,30 @@
 * mesh4x4.sp — reference netlist for data/mesh4x4.cif
 * (4x4 single-transistor array: poly word lines P0..P3 crossing four
 * diffusion bit lines, each cut into five segments C<col>S<seg>;
+* written hierarchically — one CELL subcircuit, sixteen instances — so
+* acelvs --hier matches the cell once and memoizes the other fifteen;
 * lowercase cards exercise the parser's case-insensitivity)
 .MODEL ENH NMOS (LEVEL=1 VTO=1.0)
 
-m00 c0s1 p0 c0s0 0 enh l=5u w=5u
-m01 c1s1 p0 c1s0 0 enh l=5u w=5u
-m02 c2s1 p0 c2s0 0 enh l=5u w=5u
-m03 c3s1 p0 c3s0 0 enh l=5u w=5u
-m10 c0s2 p1 c0s1 0 enh l=5u w=5u
-m11 c1s2 p1 c1s1 0 enh l=5u w=5u
-m12 c2s2 p1 c2s1 0 enh l=5u w=5u
-m13 c3s2 p1 c3s1 0 enh l=5u w=5u
-m20 c0s3 p2 c0s2 0 enh l=5u w=5u
-m21 c1s3 p2 c1s2 0 enh l=5u w=5u
-m22 c2s3 p2 c2s2 0 enh l=5u w=5u
-m23 c3s3 p2 c3s2 0 enh l=5u w=5u
-m30 c0s4 p3 c0s3 0 enh l=5u w=5u
-m31 c1s4 p3 c1s3 0 enh l=5u w=5u
-m32 c2s4 p3 c2s3 0 enh l=5u w=5u
-m33 c3s4 p3 c3s3 0 enh l=5u w=5u
+.SUBCKT CELL D G S
+m1 d g s 0 enh l=5u w=5u
+.ENDS
+
+x00 c0s1 p0 c0s0 cell
+x01 c1s1 p0 c1s0 cell
+x02 c2s1 p0 c2s0 cell
+x03 c3s1 p0 c3s0 cell
+x10 c0s2 p1 c0s1 cell
+x11 c1s2 p1 c1s1 cell
+x12 c2s2 p1 c2s1 cell
+x13 c3s2 p1 c3s1 cell
+x20 c0s3 p2 c0s2 cell
+x21 c1s3 p2 c1s2 cell
+x22 c2s3 p2 c2s2 cell
+x23 c3s3 p2 c3s2 cell
+x30 c0s4 p3 c0s3 cell
+x31 c1s4 p3 c1s3 cell
+x32 c2s4 p3 c2s3 cell
+x33 c3s4 p3 c3s3 cell
 
 .END

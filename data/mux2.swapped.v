@@ -1,0 +1,18 @@
+// mux2.swapped.v — seeded mismatch: the named port map of m1 swaps the
+// data and control pins (.a/.s), turning a pass transistor's gate into
+// its channel — NOT a commutative swap, so this must stay a mismatch
+// even under pin-permutation canonicalization.
+module mux_cell (y, a, s);
+  inout y, a;
+  input s;
+
+  nmos u1 (a, y, s);
+endmodule
+
+module mux2 (y, a, b, s, sb);
+  inout y, a, b;
+  input s, sb;
+
+  mux_cell m1 (.y(y), .a(s), .s(a));
+  mux_cell m2 (.y(y), .a(b), .s(sb));
+endmodule

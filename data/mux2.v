@@ -1,0 +1,17 @@
+// mux2.v — structural-Verilog reference for data/mux2.cif
+// (2:1 pass-transistor multiplexer, written hierarchically with named
+// port maps; nmos ports are (out, data, control))
+module mux_cell (y, a, s);
+  inout y, a;
+  input s;
+
+  nmos u1 (a, y, s);
+endmodule
+
+module mux2 (y, a, b, s, sb);
+  inout y, a, b;
+  input s, sb;
+
+  mux_cell m1 (.y(y), .a(a), .s(s));
+  mux_cell m2 (.y(y), .a(b), .s(sb));
+endmodule

@@ -1,0 +1,11 @@
+* nand2.swapped.sp — nand2.sp with the commutative gate inputs exchanged
+* (A drives the top pull-down and B the bottom one; electrically the same
+* NAND, so canonicalization must report Clean)
+.MODEL ENH NMOS (LEVEL=1 VTO=1.0)
+.MODEL DEP NMOS (LEVEL=1 VTO=-3.0)
+
+M1 MID B 0 0 ENH L=5U W=5U
+M2 OUT A MID 0 ENH L=5U W=5U
+M3 VDD OUT OUT 0 DEP L=20U W=5U
+
+.END

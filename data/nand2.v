@@ -1,0 +1,8 @@
+// nand2.v — structural-Verilog reference for data/nand2.cif
+// (series pull-down chain through an anonymous internal node)
+module nand2 (out, a, b);
+  output out;
+  input a, b;
+
+  nand u1 (out, a, b);
+endmodule

@@ -1,0 +1,8 @@
+// nor2.v — structural-Verilog reference for data/nor2.cif
+// (two parallel pull-downs)
+module nor2 (out, a, b);
+  output out;
+  input a, b;
+
+  nor u1 (out, a, b);
+endmodule

@@ -1,0 +1,9 @@
+// nor2.wrongprim.v — seeded mismatch: the layout is a NOR (parallel
+// pull-downs) but the reference instantiates a NAND (series pull-downs),
+// a wrong-primitive topology difference.
+module nor2 (out, a, b);
+  output out;
+  input a, b;
+
+  nand u1 (out, a, b);
+endmodule

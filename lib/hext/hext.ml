@@ -258,3 +258,40 @@ let extract_flat ?leaf_limit ?memoize ?cache ?(name = "chip") design =
   let hier, stats = extract ?leaf_limit ?memoize ?cache design in
   let circuit = Hier.flatten hier in
   ({ circuit with Circuit.name }, stats)
+
+(* ---------- cell summaries for hierarchical LVS ------------------------- *)
+
+let cell_fingerprint (p : Hier.part) =
+  (* Structural hash over everything that determines the part's extracted
+     behavior; identical parts (HEXT reuses one part for every redundant
+     window) trivially share it, so a per-fingerprint memo pairs each
+     distinct cell with its reference exactly once. *)
+  let mix h x = ((h * 1000003) + x + 0x9e3779b9) land max_int in
+  let str h s =
+    String.fold_left
+      (fun h c -> mix h (Char.code c))
+      (mix h (String.length s))
+      s
+  in
+  let h = ref (mix 0x0ACE p.Hier.net_count) in
+  h := str !h p.Hier.part_name;
+  List.iter (fun e -> h := mix !h e) p.Hier.exports;
+  List.iter (fun (n, nm) -> h := str (mix !h n) nm) p.Hier.net_names;
+  List.iter
+    (fun (d : Hier.hdevice) ->
+      h :=
+        mix !h
+          (match d.Hier.dtype with
+          | Ace_tech.Nmos.Enhancement -> 3
+          | Ace_tech.Nmos.Depletion -> 4);
+      h := mix (mix (mix !h d.Hier.gate) d.Hier.source) d.Hier.drain;
+      h := mix (mix !h d.Hier.length) d.Hier.width)
+    p.Hier.devices;
+  List.iter
+    (fun (i : Hier.instance) ->
+      h := str !h i.Hier.part_name;
+      List.iter (fun (a, b) -> h := mix (mix !h a) b) i.Hier.net_map)
+    p.Hier.instances;
+  !h land max_int
+
+let boundary_pins (p : Hier.part) = p.Hier.exports

@@ -56,3 +56,18 @@ val extract_flat :
   ?name:string ->
   Ace_cif.Design.t ->
   Circuit.t * stats
+
+(** {1 Cell summaries}
+
+    Helpers for consumers (hierarchical LVS) that memoize per-part
+    analysis results across instances. *)
+
+val cell_fingerprint : Hier.part -> int
+(** Structural fingerprint of a part: a hash over its net count, name,
+    exports, net names, devices, and child instance bindings.  Identical
+    parts share a fingerprint, so a per-fingerprint memo visits each
+    distinct cell exactly once. *)
+
+val boundary_pins : Hier.part -> int list
+(** The part's boundary terminals — its exported local nets — in
+    declaration order. *)

@@ -191,7 +191,7 @@ let net_name side n = Circuit.net_display_name side.c n
    anchor so it too can be waived. *)
 let cap_findings cap fs =
   let n = List.length fs in
-  if n <= cap then fs
+  if cap <= 0 || n <= cap then fs
   else
     match fs with
     | [] -> fs
@@ -209,8 +209,8 @@ let cap_findings cap fs =
 
 (* ---------- main -------------------------------------------------------- *)
 
-let run ?(cancel = Cancel.never) ?(with_sizes = true) ?(tolerance = 0.)
-    ?(vdd = "VDD") ?(gnd = "GND") ~layout ~reference () =
+let run_full ?(cancel = Cancel.never) ?(with_sizes = true) ?(tolerance = 0.)
+    ?(vdd = "VDD") ?(gnd = "GND") ?(max_findings = 20) ~layout ~reference () =
   (* A name only one side knows carries no matching information, so it
      must not block the series rule either — a SPICE round trip
      auto-names every net, and reduction has to stay symmetric under
@@ -237,6 +237,44 @@ let run ?(cancel = Cancel.never) ?(with_sizes = true) ?(tolerance = 0.)
   in
   let ra = Reduce.reduce ~cancel ~anonymous layout
   and rb = Reduce.reduce ~cancel ~anonymous reference in
+  (* Canonicalize commutative series gate chains before refinement, with
+     seeds both sides compute identically (unique shared names, rails),
+     so a NAND drawn with swapped inputs lines up with its layout. *)
+  let canon_seed (this : Circuit.t) (other : Circuit.t) =
+    let uniq (c : Circuit.t) =
+      let tbl = Hashtbl.create 32 in
+      Array.iteri
+        (fun n (net : Circuit.net) ->
+          List.iter
+            (fun name ->
+              let key = String.uppercase_ascii name in
+              Hashtbl.replace tbl key
+                (match Hashtbl.find_opt tbl key with
+                | None -> `One n
+                | Some _ -> `Many))
+            net.Circuit.names)
+        c.Circuit.nets;
+      tbl
+    in
+    let ut = uniq this and uo = uniq other in
+    let colors = Hashtbl.create 32 in
+    Hashtbl.iter
+      (fun key v ->
+        match (v, Hashtbl.find_opt uo key) with
+        | `One n, Some (`One _) -> Hashtbl.replace colors n (str_code key)
+        | _ -> ())
+      ut;
+    List.iter
+      (fun (rail, color) ->
+        match (Circuit.find_rail this rail, Circuit.find_rail other rail) with
+        | Some n, Some _ -> Hashtbl.replace colors n color
+        | _ -> ())
+      [ (vdd, 0x56DD); (gnd, 0x06ED) ];
+    fun n -> match Hashtbl.find_opt colors n with Some c -> c | None -> 0
+  in
+  let ca = ra.Reduce.circuit and cb = rb.Reduce.circuit in
+  let ra = Reduce.canonicalize ~seed:(canon_seed ca cb) ~anonymous ra
+  and rb = Reduce.canonicalize ~seed:(canon_seed cb ca) ~anonymous rb in
   let a = side_of ra and b = side_of rb in
   let seeds = seed_table a b ~vdd ~gnd in
   init_colors `A seeds a;
@@ -279,6 +317,10 @@ let run ?(cancel = Cancel.never) ?(with_sizes = true) ?(tolerance = 0.)
     lb = 0 || la = lb
     || float_of_int (abs (la - lb)) <= tolerance *. float_of_int (max la lb)
   in
+  let net_colors side =
+    Array.to_list (Array.mapi (fun i n -> (n, side.net_color.(i))) side.nets)
+  in
+  let result =
   if
     multiset a.dev_color = multiset b.dev_color
     && multiset a.net_color = multiset b.net_color
@@ -430,7 +472,7 @@ let run ?(cancel = Cancel.never) ?(with_sizes = true) ?(tolerance = 0.)
                   :: !findings)
             la lb)
         colors;
-      let findings = cap_findings 20 (List.rev !findings) in
+      let findings = cap_findings max_findings (List.rev !findings) in
       {
         outcome = (if findings = [] then Clean else Mismatch);
         findings;
@@ -584,8 +626,8 @@ let run ?(cancel = Cancel.never) ?(with_sizes = true) ?(tolerance = 0.)
           }
           :: !missings
     done;
-    List.iter push (cap_findings 20 (List.rev !extras));
-    List.iter push (cap_findings 20 (List.rev !missings));
+    List.iter push (cap_findings max_findings (List.rev !extras));
+    List.iter push (cap_findings max_findings (List.rev !missings));
     (* split / merged nets from terminal-correspondence votes *)
     let votes_rl = Hashtbl.create 64 (* ref net -> layout net -> votes *)
     and votes_lr = Hashtbl.create 64 in
@@ -676,8 +718,8 @@ let run ?(cancel = Cancel.never) ?(with_sizes = true) ?(tolerance = 0.)
             }
             :: !merges)
       (partner_sets votes_lr);
-    List.iter push (cap_findings 20 (List.rev !splits));
-    List.iter push (cap_findings 20 (List.rev !merges));
+    List.iter push (cap_findings max_findings (List.rev !splits));
+    List.iter push (cap_findings max_findings (List.rev !merges));
     if !findings = [] then
       push
         {
@@ -691,3 +733,13 @@ let run ?(cancel = Cancel.never) ?(with_sizes = true) ?(tolerance = 0.)
         };
     { outcome = Mismatch; findings = List.rev !findings; stats = stats matched }
   end
+  in
+  (result, net_colors a, net_colors b)
+
+let run ?cancel ?with_sizes ?tolerance ?vdd ?gnd ?max_findings ~layout
+    ~reference () =
+  let r, _, _ =
+    run_full ?cancel ?with_sizes ?tolerance ?vdd ?gnd ?max_findings ~layout
+      ~reference ()
+  in
+  r

@@ -48,20 +48,44 @@ type result = {
   stats : stats;
 }
 
-(** [run ?cancel ?with_sizes ?tolerance ?vdd ?gnd ~layout ~reference ()].
-    [with_sizes] (default true) audits L/W on structurally matched
-    devices; [tolerance] (default 0.) is the allowed relative deviation
-    ([|a-b| <= tolerance * max a b]); reference sizes of 0 (unspecified)
-    are never checked.  [vdd]/[gnd] (defaults ["VDD"]/["GND"]) pin the
-    rails.  Comparison is symmetric: swapping the two circuits yields the
-    same outcome with mirrored finding polarity (extra <-> missing). *)
+(** [run ?cancel ?with_sizes ?tolerance ?vdd ?gnd ?max_findings ~layout
+    ~reference ()].  [with_sizes] (default true) audits L/W on
+    structurally matched devices; [tolerance] (default 0.) is the allowed
+    relative deviation ([|a-b| <= tolerance * max a b]); reference sizes
+    of 0 (unspecified) are never checked.  [vdd]/[gnd] (defaults
+    ["VDD"]/["GND"]) pin the rails.  [max_findings] (default 20) caps
+    each per-code finding flood, with an overflow note; 0 means
+    unlimited.  Commutative series gate chains are canonicalized on both
+    sides before refinement ({!Reduce.canonicalize}), so swapped inputs
+    on a NAND compare Clean.  Comparison is symmetric: swapping the two
+    circuits yields the same outcome with mirrored finding polarity
+    (extra <-> missing). *)
 val run :
   ?cancel:Ace_core.Cancel.t ->
   ?with_sizes:bool ->
   ?tolerance:float ->
   ?vdd:string ->
   ?gnd:string ->
+  ?max_findings:int ->
   layout:Circuit.t ->
   reference:Circuit.t ->
   unit ->
   result
+
+val run_full :
+  ?cancel:Ace_core.Cancel.t ->
+  ?with_sizes:bool ->
+  ?tolerance:float ->
+  ?vdd:string ->
+  ?gnd:string ->
+  ?max_findings:int ->
+  layout:Circuit.t ->
+  reference:Circuit.t ->
+  unit ->
+  result * (int * int) list * (int * int) list
+(** Like {!run}, but additionally returns each side's final refinement
+    colors as [(original net index, color)] pairs over the comparison
+    nets (layout side first).  On a Clean outcome the color partitions of
+    the two sides correspond class by class, which is how {!Hier} derives
+    the boundary-pin correspondence of a matched cell; reduction never
+    renumbers nets, so the indices are valid in the input circuits. *)

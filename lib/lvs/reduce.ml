@@ -133,3 +133,242 @@ let reduce ?(cancel = Cancel.never)
     mult = Array.map (fun (dv : wdev) -> dv.mult) alive;
     merged = !merged;
   }
+
+(* ---------- pin-permutation canonicalization ---------------------------- *)
+
+(* Same hashing discipline as Match, so canonical keys and refinement
+   colors agree on what "same structure" means. *)
+let mix h x = (h * 1000003) + x + 0x9e3779b9
+
+let hash_sorted ints =
+  List.fold_left mix 0x1234567 (List.sort Int.compare ints) land max_int
+
+(* A collapsed-graph node: an ordinary device, or a whole series chain as
+   one super-device with an *unordered* gate set.  Keys computed on this
+   graph cannot depend on a gate's position inside its chain — the whole
+   point: a NAND with swapped inputs and its reference get identical
+   keys. *)
+type cnode = { cg : int list; ct : int list; ctag : int }
+
+let canonicalize ?(seed = fun (_ : int) -> 0)
+    ?(anonymous = fun (n : Circuit.net) -> n.Circuit.names = []) (r : t) =
+  let c = r.circuit in
+  let devs = c.Circuit.devices in
+  let nd = Array.length devs in
+  let n_nets = Array.length c.Circuit.nets in
+  if nd < 2 then r
+  else begin
+    let gates = Array.make n_nets 0 in
+    let chan = Array.make n_nets [] in
+    Array.iteri
+      (fun i (d : Circuit.device) ->
+        gates.(d.gate) <- gates.(d.gate) + 1;
+        chan.(d.source) <- i :: chan.(d.source);
+        if d.drain <> d.source then chan.(d.drain) <- i :: chan.(d.drain))
+      devs;
+    (* A chain link: an anonymous net with exactly two channel terminals,
+       no gate terminals, joining two distinct devices with separate
+       source and drain — the same shape the series rule dissolves, minus
+       the same-gate requirement. *)
+    let chainable i =
+      let d = devs.(i) in
+      d.Circuit.source <> d.Circuit.drain
+    in
+    let link n =
+      anonymous c.Circuit.nets.(n)
+      && gates.(n) = 0
+      &&
+      match chan.(n) with
+      | [ i; j ] -> i <> j && chainable i && chainable j
+      | _ -> false
+    in
+    let step i n =
+      if not (link n) then -1
+      else
+        match chan.(n) with [ a; b ] -> (if a = i then b else a) | _ -> -1
+    in
+    let other_net i via =
+      let d = devs.(i) in
+      if d.Circuit.source = via then d.Circuit.drain else d.Circuit.source
+    in
+    (* Maximal chains, discovered once per component; rings (every net a
+       link) have no endpoints and are skipped. *)
+    let in_chain = Array.make nd false in
+    let chains = ref [] in
+    for i0 = 0 to nd - 1 do
+      if
+        (not in_chain.(i0))
+        && chainable i0
+        && (link devs.(i0).Circuit.source || link devs.(i0).Circuit.drain)
+      then begin
+        (* walk to one end (bounded by nd steps; hitting the bound means a
+           ring) *)
+        let rec to_end i via steps =
+          if steps > nd then None
+          else
+            let n = other_net i via in
+            let j = step i n in
+            if j = -1 then Some (i, n)
+            else to_end j n (steps + 1)
+        in
+        let start_via =
+          if link devs.(i0).Circuit.source then devs.(i0).Circuit.source
+          else devs.(i0).Circuit.drain
+        in
+        match to_end i0 start_via 0 with
+        | None ->
+            (* ring: mark the component visited so we do not rediscover it *)
+            let rec mark i via =
+              if not in_chain.(i) then begin
+                in_chain.(i) <- true;
+                let n = other_net i via in
+                let j = step i n in
+                if j <> -1 then mark j n
+              end
+            in
+            in_chain.(i0) <- true;
+            let j = step i0 start_via in
+            if j <> -1 then mark j start_via
+        | Some (e, end_net) ->
+            (* walk from endpoint [e] across the whole chain *)
+            let rec collect i via devs_acc nets_acc =
+              let n = other_net i via in
+              let j = step i n in
+              if j = -1 then (List.rev (i :: devs_acc), List.rev (n :: nets_acc))
+              else collect j n (i :: devs_acc) (n :: nets_acc)
+            in
+            let cdevs, tail_nets = collect e end_net [] [] in
+            let cnets = end_net :: tail_nets in
+            List.iter (fun i -> in_chain.(i) <- true) cdevs;
+            if List.length cdevs >= 2 then begin
+              (* only chains of identical devices are commutative: moving a
+                 gate to a device of a different size would change which
+                 size pairs with which input *)
+              let d0 = devs.(List.hd cdevs) in
+              let uniform =
+                List.for_all
+                  (fun i ->
+                    let d = devs.(i) in
+                    d.Circuit.dtype = d0.Circuit.dtype
+                    && d.Circuit.length = d0.Circuit.length
+                    && d.Circuit.width = d0.Circuit.width
+                    && r.mult.(i) = r.mult.(List.hd cdevs))
+                  cdevs
+              in
+              if uniform then chains := (cdevs, cnets) :: !chains
+            end
+      end
+    done;
+    if !chains = [] then r
+    else begin
+      (* collapsed graph: chains become super-devices, everything else is
+         carried over unchanged *)
+      let nodes = ref [] in
+      Array.iteri
+        (fun i (d : Circuit.device) ->
+          if not in_chain.(i) then
+            nodes :=
+              {
+                cg = [ d.Circuit.gate ];
+                ct = [ d.Circuit.source; d.Circuit.drain ];
+                ctag = mix (type_code d.Circuit.dtype) 1;
+              }
+              :: !nodes)
+        devs;
+      List.iter
+        (fun (cdevs, cnets) ->
+          let d0 = devs.(List.hd cdevs) in
+          nodes :=
+            {
+              cg = List.map (fun i -> devs.(i).Circuit.gate) cdevs;
+              ct = [ List.hd cnets; List.nth cnets (List.length cnets - 1) ];
+              ctag = mix (type_code d0.Circuit.dtype) (List.length cdevs);
+            }
+            :: !nodes)
+        !chains;
+      let nodes = Array.of_list !nodes in
+      let used = Array.make n_nets false in
+      Array.iter
+        (fun nd ->
+          List.iter (fun n -> used.(n) <- true) nd.cg;
+          List.iter (fun n -> used.(n) <- true) nd.ct)
+        nodes;
+      let ncolor = Array.init n_nets (fun n -> seed n) in
+      let dcolor = Array.map (fun nd -> nd.ctag) nodes in
+      let distinct_used () =
+        let l = ref [] in
+        Array.iteri (fun n u -> if u then l := ncolor.(n) :: !l) used;
+        Array.iter (fun ccol -> l := ccol :: !l) dcolor;
+        List.length (List.sort_uniq Int.compare !l)
+      in
+      let cap = Array.length nodes + n_nets + 2 in
+      let stable = ref false in
+      let rounds = ref 0 in
+      while not !stable do
+        incr rounds;
+        let before = distinct_used () in
+        Array.iteri
+          (fun k nd ->
+            dcolor.(k) <-
+              mix
+                (mix
+                   (mix dcolor.(k)
+                      (hash_sorted (List.map (fun g -> ncolor.(g)) nd.cg)))
+                   (hash_sorted (List.map (fun t -> ncolor.(t)) nd.ct)))
+                19)
+          nodes;
+        let incid = Array.make n_nets [] in
+        Array.iteri
+          (fun k nd ->
+            List.iter
+              (fun g -> incid.(g) <- mix dcolor.(k) 1 :: incid.(g))
+              nd.cg;
+            List.iter
+              (fun t -> incid.(t) <- mix dcolor.(k) 2 :: incid.(t))
+              nd.ct)
+          nodes;
+        Array.iteri
+          (fun n u ->
+            if u then ncolor.(n) <- mix ncolor.(n) (hash_sorted incid.(n)))
+          used;
+        let after = distinct_used () in
+        if after <= before || !rounds > cap then stable := true
+      done;
+      (* reorder each chain whose endpoints the keys can tell apart *)
+      let out = Array.copy devs in
+      List.iter
+        (fun (cdevs, cnets) ->
+          let a = List.hd cnets
+          and b = List.nth cnets (List.length cnets - 1) in
+          if ncolor.(a) <> ncolor.(b) then begin
+            let cdevs, cnets =
+              if ncolor.(a) < ncolor.(b) then (cdevs, cnets)
+              else (List.rev cdevs, List.rev cnets)
+            in
+            let keyed =
+              List.map
+                (fun i ->
+                  (ncolor.(devs.(i).Circuit.gate), devs.(i).Circuit.gate))
+                cdevs
+            in
+            (* stable: tied gates keep their oriented-walk order, so keys
+               that cannot distinguish two inputs leave them untouched *)
+            let sorted =
+              List.stable_sort (fun (ka, _) (kb, _) -> Int.compare ka kb) keyed
+            in
+            let nets_arr = Array.of_list cnets in
+            List.iteri
+              (fun t (i, (_, g)) ->
+                out.(i) <-
+                  {
+                    (devs.(i)) with
+                    Circuit.gate = g;
+                    source = nets_arr.(t);
+                    drain = nets_arr.(t + 1);
+                  })
+              (List.combine cdevs sorted)
+          end)
+        !chains;
+      { r with circuit = { c with Circuit.devices = out } }
+    end
+  end

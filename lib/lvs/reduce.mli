@@ -30,3 +30,23 @@ val reduce :
   ?anonymous:(Circuit.net -> bool) ->
   Circuit.t ->
   t
+
+val canonicalize :
+  ?seed:(int -> int) -> ?anonymous:(Circuit.net -> bool) -> t -> t
+(** Canonical terminal order for commutative series gate chains.
+
+    A series chain of identical devices linked through anonymous interior
+    nets (no gate terminals, exactly two channel terminals each) conducts
+    iff all its gates do, regardless of gate order — so a NAND drawn with
+    swapped inputs is electrically the layout's NAND, yet a purely
+    structural compare reports a net split.  [canonicalize] rewrites each
+    such chain into a canonical order: keys come from partition refinement
+    on a collapsed graph where the whole chain is one super-device with an
+    unordered gate set (keys cannot depend on gate position), seeded by
+    [seed] (e.g. shared net names and rails, identically on both sides).
+    A chain is reoriented only when its endpoint keys are distinct, and
+    gates are stable-sorted by key, so refinement-indistinguishable ties
+    are left exactly as found — symmetric structures are never scrambled.
+
+    [mult] stays aligned because chain members are required to share
+    dtype, size, and multiplicity; only terminal assignments move. *)

@@ -142,7 +142,17 @@ let split_params tokens =
       | _ -> Left t)
     tokens
 
-let parse ?(name = "reference") ?(gnd = "GND") text =
+(* First-pass result: scopes, models, and globals collected from the
+   cards, shared by the flat flattener and the hierarchical view. *)
+type scan = {
+  sc_subckts : (string, scope) Hashtbl.t;
+  sc_models : (string, Ace_tech.Nmos.device_type) Hashtbl.t;
+  sc_globals : (string, unit) Hashtbl.t;
+  sc_top : scope;
+  sc_diags : Diag.t list;  (** in order *)
+}
+
+let scan_text text =
   let diags = ref [] in
   let diag d = diags := d :: !diags in
   let cards = cards_of_string text in
@@ -298,6 +308,22 @@ let parse ?(name = "reference") ?(gnd = "GND") text =
           end)
         !stack
   | _ -> ());
+  {
+    sc_subckts = subckts;
+    sc_models = models;
+    sc_globals = globals;
+    sc_top = top;
+    sc_diags = List.rev !diags;
+  }
+
+let parse ?(name = "reference") ?(gnd = "GND") text =
+  let sc = scan_text text in
+  let subckts = sc.sc_subckts
+  and models = sc.sc_models
+  and globals = sc.sc_globals
+  and top = sc.sc_top in
+  let diags = ref (List.rev sc.sc_diags) in
+  let diag d = diags := d :: !diags in
 
   (* -------- second pass: flatten into a Circuit.t -------- *)
   let gnd_key = up gnd in
@@ -413,6 +439,270 @@ let parse ?(name = "reference") ?(gnd = "GND") text =
     { Circuit.name; devices = Array.of_list (List.rev !devices); nets }
   in
   (circuit, List.rev !diags)
+
+(* ---------- hierarchical view ------------------------------------------- *)
+
+type hcell = {
+  hc_name : string;
+  hc_pins : string list;
+  hc_formals : int;
+  hc_body : Circuit.t;
+  hc_pin_nets : int array;
+}
+
+type hinst = { hi_cell : int; hi_nets : int array }
+
+type hview = {
+  hv_glue : Circuit.t;
+  hv_cells : hcell array;
+  hv_insts : hinst list;
+}
+
+let hier_view ?(name = "reference") ?(gnd = "GND") text =
+  let sc = scan_text text in
+  let gnd_key = up gnd in
+  let has_top_inst =
+    List.exists
+      (function Inst _ -> true | Dev _ -> false)
+      sc.sc_top.s_items
+  in
+  (* Any first-pass error, or a flat deck, and the hierarchical view is
+     worthless — the caller falls back to the flat compare, which owns
+     diagnostics. *)
+  if List.exists Diag.is_error sc.sc_diags || not has_top_inst then None
+  else begin
+    let ok = ref true in
+    let budget = ref 1_000_000 in
+    let model_type m =
+      match Hashtbl.find_opt sc.sc_models m with
+      | Some t -> t
+      | None ->
+          if contains_sub m "DEP" then Ace_tech.Nmos.Depletion
+          else Ace_tech.Nmos.Enhancement
+    in
+    (* Build one cell body per subckt instantiated at the top level;
+       nested instances flatten into the body.  Globals (and ground)
+       referenced inside become implicit pins appended after the formals,
+       so every cell terminal surfaces at its instances. *)
+    let build_cell (sub : scope) =
+      let net_index = Hashtbl.create 16 in
+      let net_names = ref [] in
+      let n_nets = ref 0 in
+      let net_of ~display key =
+        match Hashtbl.find_opt net_index key with
+        | Some i -> i
+        | None ->
+            let i = !n_nets in
+            Hashtbl.replace net_index key i;
+            net_names := display :: !net_names;
+            incr n_nets;
+            i
+      in
+      let pin_nets =
+        List.map (fun p -> net_of ~display:p p) sub.s_pins
+      in
+      let implicit = ref [] (* (name, net), reversed first-use order *) in
+      let implicit_net key display =
+        match List.assoc_opt key !implicit with
+        | Some i -> i
+        | None ->
+            let i = net_of ~display ("\x00GLOBAL/" ^ key) in
+            implicit := (key, i) :: !implicit;
+            i
+      in
+      let devices = ref [] in
+      let n_devices = ref 0 in
+      let rec emit_body path active (scope : scope) bind =
+        let resolve tok =
+          let u = up tok in
+          if u = "0" || u = gnd_key then implicit_net gnd_key gnd
+          else
+            match List.assoc_opt u bind with
+            | Some i -> i
+            | None ->
+                if Hashtbl.mem sc.sc_globals u then implicit_net u tok
+                else if path = "" then net_of ~display:tok u
+                else net_of ~display:(path ^ tok) (up path ^ u)
+        in
+        List.iter
+          (function
+            | Dev d ->
+                decr budget;
+                if !budget < 0 then ok := false
+                else begin
+                  let dev =
+                    {
+                      Circuit.dtype = model_type d.d_model;
+                      gate = resolve d.d_g;
+                      source = resolve d.d_s;
+                      drain = resolve d.d_d;
+                      length = d.d_l;
+                      width = d.d_w;
+                      location = Point.make !n_devices 0;
+                      geometry = [];
+                    }
+                  in
+                  devices := dev :: !devices;
+                  incr n_devices
+                end
+            | Inst inst -> (
+                match Hashtbl.find_opt sc.sc_subckts inst.i_sub with
+                | None -> ok := false
+                | Some _ when List.mem inst.i_sub active -> ok := false
+                | Some nested ->
+                    if
+                      List.length inst.i_nodes <> List.length nested.s_pins
+                    then ok := false
+                    else
+                      let bind' =
+                        List.map2
+                          (fun formal actual -> (formal, resolve actual))
+                          nested.s_pins inst.i_nodes
+                      in
+                      emit_body
+                        (path ^ inst.i_name ^ "/")
+                        (inst.i_sub :: active) nested bind'))
+          (List.rev scope.s_items)
+      in
+      emit_body "" [ sub.s_name ] sub
+        (List.map2 (fun p n -> (p, n)) sub.s_pins pin_nets);
+      let implicit = List.rev !implicit in
+      let nets =
+        !net_names |> List.rev
+        |> List.mapi (fun i display ->
+               {
+                 Circuit.names = [ display ];
+                 location = Point.make i 0;
+                 geometry = [];
+               })
+        |> Array.of_list
+      in
+      {
+        hc_name = sub.s_name;
+        hc_pins = sub.s_pins @ List.map fst implicit;
+        hc_formals = List.length sub.s_pins;
+        hc_body =
+          {
+            Circuit.name = sub.s_name;
+            devices = Array.of_list (List.rev !devices);
+            nets;
+          };
+        hc_pin_nets =
+          Array.of_list (pin_nets @ List.map snd implicit);
+      }
+    in
+    (* Glue: top-level nets, devices, and one pseudo-instance per X card. *)
+    let net_index = Hashtbl.create 32 in
+    let net_names = ref [] in
+    let n_nets = ref 0 in
+    let net_of ~display key =
+      match Hashtbl.find_opt net_index key with
+      | Some i -> i
+      | None ->
+          let i = !n_nets in
+          Hashtbl.replace net_index key i;
+          net_names := display :: !net_names;
+          incr n_nets;
+          i
+    in
+    let resolve_top tok =
+      let u = up tok in
+      if u = "0" || u = gnd_key then net_of ~display:gnd gnd_key
+      else net_of ~display:tok u
+    in
+    let cells = ref [] (* reversed *) in
+    let n_cells = ref 0 in
+    let cell_index = Hashtbl.create 8 in
+    let cell_of sub_name =
+      match Hashtbl.find_opt cell_index sub_name with
+      | Some i -> i
+      | None -> (
+          match Hashtbl.find_opt sc.sc_subckts sub_name with
+          | None ->
+              ok := false;
+              -1
+          | Some sub ->
+              let cell = build_cell sub in
+              let i = !n_cells in
+              Hashtbl.replace cell_index sub_name i;
+              cells := cell :: !cells;
+              incr n_cells;
+              i)
+    in
+    let glue_devices = ref [] in
+    let n_glue = ref 0 in
+    let insts = ref [] (* reversed *) in
+    List.iter
+      (function
+        | Dev d ->
+            let dev =
+              {
+                Circuit.dtype = model_type d.d_model;
+                gate = resolve_top d.d_g;
+                source = resolve_top d.d_s;
+                drain = resolve_top d.d_d;
+                length = d.d_l;
+                width = d.d_w;
+                location = Point.make !n_glue 0;
+                geometry = [];
+              }
+            in
+            glue_devices := dev :: !glue_devices;
+            incr n_glue
+        | Inst inst ->
+            let ci = cell_of inst.i_sub in
+            if ci >= 0 then begin
+              let cell = List.nth !cells (!n_cells - 1 - ci) in
+              if List.length inst.i_nodes <> cell.hc_formals then
+                ok := false
+              else begin
+                let formal_nets = List.map resolve_top inst.i_nodes in
+                let implicit_names =
+                  List.filteri
+                    (fun i _ -> i >= cell.hc_formals)
+                    cell.hc_pins
+                in
+                let implicit_nets =
+                  List.map
+                    (fun g ->
+                      if up g = gnd_key then net_of ~display:gnd gnd_key
+                      else resolve_top g)
+                    implicit_names
+                in
+                insts :=
+                  {
+                    hi_cell = ci;
+                    hi_nets = Array.of_list (formal_nets @ implicit_nets);
+                  }
+                  :: !insts
+              end
+            end)
+      (List.rev sc.sc_top.s_items);
+    if not !ok then None
+    else begin
+      let nets =
+        !net_names |> List.rev
+        |> List.mapi (fun i display ->
+               {
+                 Circuit.names = [ display ];
+                 location = Point.make i 0;
+                 geometry = [];
+               })
+        |> Array.of_list
+      in
+      Some
+        {
+          hv_glue =
+            {
+              Circuit.name;
+              devices = Array.of_list (List.rev !glue_devices);
+              nets;
+            };
+          hv_cells = Array.of_list (List.rev !cells);
+          hv_insts = List.rev !insts;
+        }
+    end
+  end
 
 let load ?name ?gnd text =
   let rec first_nonspace i =

@@ -32,3 +32,40 @@ val load :
   ?gnd:string ->
   string ->
   (Circuit.t * Ace_diag.Diag.t list, Ace_diag.Diag.t) result
+
+(** {1 Hierarchical view}
+
+    The same deck, read without flattening the top level: each subckt
+    instantiated at the top becomes a cell body circuit, and the top
+    becomes a glue circuit plus a list of cell instances.  {!Hier} feeds
+    this to the cell-summary comparison. *)
+
+type hcell = {
+  hc_name : string;  (** uppercased subckt name *)
+  hc_pins : string list;
+      (** uppercased formal pins, then implicit pins (globals and ground
+          referenced in the body), in first-use order *)
+  hc_formals : int;  (** how many of [hc_pins] are formals *)
+  hc_body : Circuit.t;
+      (** the flattened cell interior (nested subckts expanded) *)
+  hc_pin_nets : int array;  (** body net per pin, aligned with [hc_pins] *)
+}
+
+type hinst = {
+  hi_cell : int;  (** index into [hv_cells] *)
+  hi_nets : int array;  (** glue net per pin, aligned with [hc_pins] *)
+}
+
+type hview = {
+  hv_glue : Circuit.t;  (** top-level devices and nets only *)
+  hv_cells : hcell array;
+  hv_insts : hinst list;
+}
+
+val hier_view : ?name:string -> ?gnd:string -> string -> hview option
+(** [None] when the deck is flat (no top-level instances), has any
+    first-pass parse error, or hits an obstruction (undefined subckt, pin
+    arity mismatch, recursion, size cap) — the caller falls back to the
+    flat compare, which owns diagnostics.  Flattening [hv_glue] with
+    every instance's cell body substituted yields exactly the circuit
+    {!parse} produces (up to net numbering). *)

@@ -43,6 +43,11 @@ let rules =
     ("lvs-ref-unmatched-ends", ".ENDS without a matching .SUBCKT", "error");
     ("lvs-ref-unterminated-subckt", ".SUBCKT never closed", "error");
     ("lvs-ref-too-large", "flattened netlist exceeds the device limit", "error");
+    ("lvs-ref-verilog-syntax", "unparsable structural-Verilog statement", "error");
+    ("lvs-ref-bad-portmap", "malformed instance port map", "error");
+    ("lvs-ref-unknown-primitive", "unknown gate primitive ignored", "error");
+    ("lvs-cell-mismatch", "a layout cell does not match its reference subcircuit", "error");
+    ("lvs-cell-unmatched", "a layout cell has no candidate reference subcircuit", "note");
   ]
 
 let sarif_rules () =

@@ -40,6 +40,9 @@ type request = {
   vdd : string option;
   gnd : string option;
   reference : string option;
+  hier : bool;
+  ref_format : string option;
+  max_findings : int option;
 }
 
 let field_string j k =
@@ -78,6 +81,9 @@ let parse line =
         let* vdd = field_string j "vdd" in
         let* gnd = field_string j "gnd" in
         let* reference = field_string j "ref" in
+        let* hier = field_bool j "hier" in
+        let* ref_format = field_string j "ref_format" in
+        let* max_findings = field_int j "max_findings" in
         match op with
         | None -> Error "missing field \"op\""
         | Some op ->
@@ -93,6 +99,9 @@ let parse line =
                 vdd;
                 gnd;
                 reference;
+                hier = Option.value hier ~default:false;
+                ref_format;
+                max_findings;
               }
       in
       match build with

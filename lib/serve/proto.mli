@@ -59,6 +59,12 @@ type request = {
   reference : string option;
       (** the ["ref"] field: the reference netlist text for op ["lvs"]
           (SPICE-ish or wirelist) *)
+  hier : bool;  (** op ["lvs"]: compare hierarchically (default [false]) *)
+  ref_format : string option;
+      (** op ["lvs"]: reference dialect, ["spice"] (default) or
+          ["verilog"] *)
+  max_findings : int option;
+      (** op ["lvs"]: per-code finding cap, [0] = unlimited (default 20) *)
 }
 
 (** [parse line] — [Error (code, message)] on malformed input; never

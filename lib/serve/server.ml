@@ -286,7 +286,8 @@ let do_flow t (r : Proto.request) cif =
    change the verdict.  The finding diagnostics are rendered with
    Diag.to_json, the exact lines `acelvs --diag-format=json` prints, so
    clients can diff daemon replies against one-shot runs byte for byte. *)
-let lvs_cache_key design ~name ~jobs ~reference ~vdd ~gnd =
+let lvs_cache_key design ~name ~jobs ~reference ~vdd ~gnd ~hier ~ref_format
+    ~max_findings =
   let canonical = Ace_cif.Writer.to_string (Ace_cif.Design.ast design) in
   Cache.fnv1a64_hex
     (String.concat "\x00"
@@ -298,17 +299,54 @@ let lvs_cache_key design ~name ~jobs ~reference ~vdd ~gnd =
          string_of_int jobs;
          vdd;
          gnd;
+         string_of_bool hier;
+         ref_format;
+         string_of_int max_findings;
          reference;
          canonical;
        ])
 
-let lvs_payload ~cancel ~vdd ~gnd circuit reference_text =
-  match Ace_lvs.Reference.load ~name:"reference" ~gnd reference_text with
-  | Error d ->
-      Error
-        (Printf.sprintf "unreadable reference netlist: %s" d.Diag.message)
+let lvs_payload t ~cancel ~use_cache ~jobs ~name ~vdd ~gnd ~hier ~ref_format
+    ~max_findings design reference_text =
+  let loaded =
+    match ref_format with
+    | "verilog" ->
+        Ok
+          (Ace_lvs.Verilog.parse ~name:"reference" ~vdd ~gnd reference_text)
+    | _ -> (
+        match
+          Ace_lvs.Reference.load ~name:"reference" ~gnd reference_text
+        with
+        | Ok x -> Ok x
+        | Error d ->
+            Error
+              (Printf.sprintf "unreadable reference netlist: %s"
+                 d.Diag.message))
+  in
+  match loaded with
+  | Error _ as e -> e
   | Ok (reference, ref_diags) ->
-      let r = Ace_lvs.Match.run ~cancel ~vdd ~gnd ~layout:circuit ~reference () in
+      let r, hstats =
+        if hier then begin
+          let ref_view =
+            if ref_format = "verilog" then None
+            else Ace_lvs.Reference.hier_view ~name:"reference" ~gnd
+                   reference_text
+          in
+          let layout, _ = Ace_hext.Hext.extract design in
+          let hr =
+            Ace_lvs.Hier.run ~cancel ~vdd ~gnd ~max_findings ~layout
+              ~reference ?ref_view ()
+          in
+          (hr.Ace_lvs.Hier.r, Some hr)
+        end
+        else begin
+          let circuit, _ = obtain_circuit t ~cancel ~use_cache ~jobs ~name design in
+          ( Ace_lvs.Match.run ~cancel ~vdd ~gnd ~max_findings ~layout:circuit
+              ~reference (),
+            None )
+        end
+      in
       let verdict =
         match r.Ace_lvs.Match.outcome with
         | Ace_lvs.Match.Clean -> "clean"
@@ -319,24 +357,34 @@ let lvs_payload ~cancel ~vdd ~gnd circuit reference_text =
       let findings = r.Ace_lvs.Match.findings in
       Ok
         (Proto.obj
-           [
-             ("verdict", Proto.str verdict);
-             ( "findings",
-               diags_json (List.map Ace_lvs.Report.to_diag findings) );
-             ( "fingerprints",
-               Proto.arr
-                 (List.map
-                    (fun f -> Proto.str (Ace_lvs.Report.fingerprint f))
-                    findings) );
-             ("devices", Proto.int s.Ace_lvs.Match.layout_devices);
-             ("ref_devices", Proto.int s.Ace_lvs.Match.ref_devices);
-             ("nets", Proto.int s.Ace_lvs.Match.layout_nets);
-             ("ref_nets", Proto.int s.Ace_lvs.Match.ref_nets);
-             ("matched", Proto.int s.Ace_lvs.Match.matched);
-             ("reductions", Proto.int s.Ace_lvs.Match.reductions);
-             ("rounds", Proto.int s.Ace_lvs.Match.rounds);
-             ("ref_diags", diags_json ref_diags);
-           ])
+           ([
+              ("verdict", Proto.str verdict);
+              ( "findings",
+                diags_json (List.map Ace_lvs.Report.to_diag findings) );
+              ( "fingerprints",
+                Proto.arr
+                  (List.map
+                     (fun f -> Proto.str (Ace_lvs.Report.fingerprint f))
+                     findings) );
+              ("devices", Proto.int s.Ace_lvs.Match.layout_devices);
+              ("ref_devices", Proto.int s.Ace_lvs.Match.ref_devices);
+              ("nets", Proto.int s.Ace_lvs.Match.layout_nets);
+              ("ref_nets", Proto.int s.Ace_lvs.Match.ref_nets);
+              ("matched", Proto.int s.Ace_lvs.Match.matched);
+              ("reductions", Proto.int s.Ace_lvs.Match.reductions);
+              ("rounds", Proto.int s.Ace_lvs.Match.rounds);
+            ]
+           @ (match hstats with
+             | Some hr ->
+                 [
+                   ("hier", Proto.bool true);
+                   ( "cell_matches",
+                     Proto.int hr.Ace_lvs.Hier.cell_matches );
+                   ("cell_hits", Proto.int hr.Ace_lvs.Hier.cell_hits);
+                   ("fallback", Proto.bool hr.Ace_lvs.Hier.fallback);
+                 ]
+             | None -> [])
+           @ [ ("ref_diags", diags_json ref_diags) ]))
 
 let do_lvs t (r : Proto.request) cif =
   match r.Proto.reference with
@@ -348,12 +396,23 @@ let do_lvs t (r : Proto.request) cif =
       let design, diags = front_end cif in
       let vdd = Option.value r.Proto.vdd ~default:t.config.vdd in
       let gnd = Option.value r.Proto.gnd ~default:t.config.gnd in
+      let hier = r.Proto.hier in
+      let ref_format = Option.value r.Proto.ref_format ~default:"spice" in
+      let max_findings = Option.value r.Proto.max_findings ~default:20 in
+      if not (List.mem ref_format [ "spice"; "verilog" ]) then
+        Proto.error ~id:r.Proto.id ~code:Proto.err_bad_request
+          "field \"ref_format\" must be \"spice\" or \"verilog\""
+      else if max_findings < 0 then
+        Proto.error ~id:r.Proto.id ~code:Proto.err_bad_request
+          "field \"max_findings\" must be non-negative"
+      else
       let cache = if r.Proto.use_cache then t.config.cache else None in
       let key =
         Option.map
           (fun _ ->
             lvs_cache_key design ~name:r.Proto.name ~jobs
-              ~reference:reference_text ~vdd ~gnd)
+              ~reference:reference_text ~vdd ~gnd ~hier ~ref_format
+              ~max_findings)
           cache
       in
       let hit =
@@ -365,11 +424,11 @@ let do_lvs t (r : Proto.request) cif =
         match hit with
         | Some payload -> Ok (payload, true)
         | None -> (
-            let circuit, _ =
-              obtain_circuit t ~cancel ~use_cache:r.Proto.use_cache ~jobs
-                ~name:r.Proto.name design
-            in
-            match lvs_payload ~cancel ~vdd ~gnd circuit reference_text with
+            match
+              lvs_payload t ~cancel ~use_cache:r.Proto.use_cache ~jobs
+                ~name:r.Proto.name ~vdd ~gnd ~hier ~ref_format ~max_findings
+                design reference_text
+            with
             | Error msg -> Error msg
             | Ok payload ->
                 (match (cache, key) with

@@ -35,8 +35,10 @@ module Counter = struct
     | Lvs_reductions
     | Lvs_rounds
     | Lvs_matches
+    | Lvs_cell_matches
+    | Lvs_cell_hits
 
-  let cardinal = 19
+  let cardinal = 21
 
   let index = function
     | Boxes_popped -> 0
@@ -58,6 +60,8 @@ module Counter = struct
     | Lvs_reductions -> 16
     | Lvs_rounds -> 17
     | Lvs_matches -> 18
+    | Lvs_cell_matches -> 19
+    | Lvs_cell_hits -> 20
 
   let all =
     [
@@ -80,6 +84,8 @@ module Counter = struct
       Lvs_reductions;
       Lvs_rounds;
       Lvs_matches;
+      Lvs_cell_matches;
+      Lvs_cell_hits;
     ]
 
   let slug = function
@@ -102,6 +108,8 @@ module Counter = struct
     | Lvs_reductions -> "lvs_reductions"
     | Lvs_rounds -> "lvs_rounds"
     | Lvs_matches -> "lvs_matches"
+    | Lvs_cell_matches -> "lvs_cell_matches"
+    | Lvs_cell_hits -> "lvs_cell_hits"
 
   let describe = function
     | Boxes_popped -> "boxes delivered by the lazy front-end stream"
@@ -123,6 +131,8 @@ module Counter = struct
     | Lvs_reductions -> "series/parallel device merges during LVS reduction"
     | Lvs_rounds -> "LVS partition-refinement rounds (incl. individualization)"
     | Lvs_matches -> "devices paired across the two LVS netlists"
+    | Lvs_cell_matches -> "distinct LVS cell summaries compared"
+    | Lvs_cell_hits -> "LVS cell instances served from the summary memo"
 end
 
 (* --- clock --- *)

@@ -27,6 +27,8 @@ module Counter : sig
     | Lvs_reductions  (** series/parallel device merges during LVS reduction *)
     | Lvs_rounds  (** LVS partition-refinement rounds *)
     | Lvs_matches  (** devices paired across the two LVS netlists *)
+    | Lvs_cell_matches  (** distinct LVS cell summaries compared *)
+    | Lvs_cell_hits  (** LVS cell instances served from the summary memo *)
 
   val cardinal : int
   val index : t -> int

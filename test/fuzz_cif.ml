@@ -30,7 +30,11 @@
    7. mmap/string lexer equality — every fuzz input, written to a real
       file and parsed through the zero-copy memory-mapped path, yields
       the identical AST, diagnostics and strict-mode error as the
-      in-memory string path.
+      in-memory string path;
+   8. hierarchical LVS agreement — the structural-Verilog reference
+      parser is total on raw fuzz text, and on every input HEXT can
+      extract hierarchically, the hierarchical comparator returns
+      exactly the flat comparator's verdict.
 
    Runs as a bounded smoke test under `dune runtest` (fixed seed, ~500
    inputs, well under 5 s).  Set ACE_FUZZ_N / ACE_FUZZ_SEED to scale it
@@ -215,6 +219,37 @@ let lvs_self input (circuit : Ace_netlist.Circuit.t) =
           fail_input "swapped self-LVS not clean" input (Failure "mismatch")
       end
 
+(* property 8 (second half): whenever HEXT extracts a hierarchy from the
+   fuzz design, comparing it hierarchically against its own flattened
+   SPICE round trip must be total and must return the same verdict as
+   the flat comparator — the soundness contract Hier.run documents. *)
+let hier_agrees input design =
+  match Ace_hext.Hext.extract design with
+  | exception _ -> () (* garbage in, no hierarchy out: acceptable *)
+  | hl, _stats -> (
+      match Ace_netlist.Hier.flatten hl with
+      | exception e -> fail_input "Hier.flatten raised" input e
+      | flat_circuit -> (
+          let spice = Ace_netlist.Spice.to_string flat_circuit in
+          match Ace_lvs.Reference.load ~name:"fuzz" spice with
+          | Error _ -> ()
+          | exception e ->
+              fail_input "Reference.load raised on writer output" input e
+          | Ok (reference, _) -> (
+              let ref_view = Ace_lvs.Reference.hier_view ~name:"fuzz" spice in
+              match
+                ( Ace_lvs.Hier.run ~layout:hl ~reference ?ref_view (),
+                  Ace_lvs.Match.run ~layout:flat_circuit ~reference () )
+              with
+              | exception e -> fail_input "hierarchical LVS raised" input e
+              | h, f ->
+                  if
+                    h.Ace_lvs.Hier.r.Ace_lvs.Match.outcome
+                    <> f.Ace_lvs.Match.outcome
+                  then
+                    fail_input "hierarchical and flat LVS verdicts differ"
+                      input (Failure "disagreement"))))
+
 (* property 3: the lint battery is total over whatever the extractor
    produces.  Extraction failures on fuzz garbage are tolerated (and the
    design is size-guarded so pathological inputs cannot stall the run),
@@ -235,6 +270,7 @@ let lint_total input pdiags design =
         | _findings -> ()
         | exception e -> fail_input "lint raised" input e);
         lvs_self input circuit;
+        hier_agrees input design;
         traced_transparent input pdiags design
           (Ace_netlist.Wirelist.to_string circuit);
         (* property 3b: the flow analysis is total on any extracted
@@ -405,6 +441,11 @@ let () =
     (match Ace_lvs.Reference.load input with
     | Ok _ | Error _ -> ()
     | exception e -> fail_input "Reference.load raised" input e);
+    (* property 8a: the structural-Verilog front end never raises, no
+       matter how far from Verilog the bytes are *)
+    (match Ace_lvs.Verilog.parse input with
+    | _circuit, _diags -> ()
+    | exception e -> fail_input "Verilog.parse raised" input e);
     protocol_total input ~as_request:false;
     (* file round-trips cost a syscall pair each; sample them *)
     if i mod 4 = 0 then mmap_equiv input;

@@ -15,6 +15,8 @@ module Reference = Ace_lvs.Reference
 module Reduce = Ace_lvs.Reduce
 module Match = Ace_lvs.Match
 module Report = Ace_lvs.Report
+module Verilog = Ace_lvs.Verilog
+module HierLvs = Ace_lvs.Hier
 module Diag = Ace_diag.Diag
 
 let check = Alcotest.(check bool)
@@ -65,6 +67,11 @@ let extract_cif file =
   let design, _ = Ace_cif.Design.of_ast_lenient ast in
   Ace_core.Parallel.extract ~jobs:1 ~name:(Filename.chop_extension file)
     design
+
+let extract_hier file =
+  let ast, _ = Ace_cif.Parser.parse_string_lenient (data_file file) in
+  let design, _ = Ace_cif.Design.of_ast_lenient ast in
+  fst (Ace_hext.Hext.extract design)
 
 let codes_of (r : Match.result) =
   List.sort_uniq String.compare
@@ -385,6 +392,230 @@ let test_report_rules_cover_codes () =
   check "to_diag keeps the code" true (d.Diag.code = "lvs-extra-device")
 
 (* ------------------------------------------------------------------ *)
+(* Pin-permutation canonicalization                                   *)
+
+let test_canonicalize_swapped_nand () =
+  let layout = extract_cif "nand2.cif" in
+  let swapped, diags = Reference.parse (data_file "nand2.swapped.sp") in
+  check "nand2.swapped.sp parses cleanly" true
+    (not (List.exists Diag.is_error diags));
+  let r = Match.run ~layout ~reference:swapped () in
+  check "swapped NAND inputs compare clean" true
+    (r.Match.outcome = Match.Clean);
+  (* the original, unswapped reference still matches too *)
+  let straight, _ = Reference.parse (data_file "nand2.sp") in
+  check "unswapped NAND still clean" true
+    ((Match.run ~layout ~reference:straight ()).Match.outcome = Match.Clean)
+
+(* ------------------------------------------------------------------ *)
+(* --max-findings                                                     *)
+
+let test_max_findings () =
+  (* a 30-vs-1 device flood: extras overflow the default per-code cap *)
+  let buf = Buffer.create 256 in
+  for i = 1 to 30 do
+    Buffer.add_string buf
+      (Printf.sprintf "M%d O%d I%d 0 0 ENH L=5U W=5U\n" i i i)
+  done;
+  let layout = parse_ok (Buffer.contents buf) in
+  let reference = parse_ok "M1 O1 I1 0 0 ENH L=5U W=5U\n" in
+  let count code r =
+    List.length
+      (List.filter (fun (f : Match.finding) -> f.Match.code = code)
+         r.Match.findings)
+  in
+  let unlimited = Match.run ~max_findings:0 ~layout ~reference () in
+  check "flood yields a mismatch" true
+    (unlimited.Match.outcome = Match.Mismatch);
+  let extras = count "lvs-extra-device" unlimited in
+  check "unlimited reports every extra device" true (extras > 20);
+  let dflt = Match.run ~layout ~reference () in
+  check_int "default cap is 20 plus the overflow note" 21
+    (count "lvs-extra-device" dflt);
+  let capped = Match.run ~max_findings:3 ~layout ~reference () in
+  check_int "cap 3 keeps 3 plus the overflow note" 4
+    (count "lvs-extra-device" capped);
+  check "the cap never changes the verdict" true
+    (unlimited.Match.outcome = dflt.Match.outcome
+    && dflt.Match.outcome = capped.Match.outcome)
+
+(* ------------------------------------------------------------------ *)
+(* Structural-Verilog references                                      *)
+
+let test_verilog_basics () =
+  let c, diags =
+    Verilog.parse
+      "// an inverter\n\
+       module inv (y, a);\n\
+      \  output y;\n\
+      \  input a;\n\
+      \  not u1 (y, a);\n\
+       endmodule\n"
+  in
+  check "inverter parses without errors" true
+    (not (List.exists Diag.is_error diags));
+  check_int "not lowers to pull-down + load" 2 (Circuit.device_count c);
+  let enh, depl = Circuit.device_type_counts c in
+  check_int "one enhancement" 1 enh;
+  check_int "one depletion" 1 depl;
+  check "output net named" true (Circuit.find_net_opt c "y" <> None);
+  let c3, _ =
+    Verilog.parse "module m (y, a, b, c);\n  nand u1 (y, a, b, c);\nendmodule\n"
+  in
+  check_int "3-input nand is a series chain plus load" 4
+    (Circuit.device_count c3)
+
+let test_verilog_total () =
+  (* the parser never raises and never loses good statements to bad ones *)
+  let c, diags =
+    Verilog.parse
+      "module ok (y, a);\n\
+      \  not u1 (y, a);\n\
+      \  this is ; not verilog (;\n\
+      \  nand u2 (y, a, a);\n\
+       endmodule\n\
+       stray tokens outside any module\n"
+  in
+  check "good instances survive garbage" true (Circuit.device_count c >= 2);
+  check "garbage is diagnosed" true
+    (List.exists
+       (fun (d : Diag.t) -> d.Diag.code = "lvs-ref-verilog-syntax")
+       diags);
+  let _, d2 = Verilog.parse "module m (y); xor u1 (y, y); endmodule\n" in
+  check "unknown primitive diagnosed" true
+    (List.exists
+       (fun (d : Diag.t) -> d.Diag.code = "lvs-ref-unknown-primitive")
+       d2);
+  let _, d3 =
+    Verilog.parse
+      "module c (y, a); not u1 (y, a); endmodule\n\
+       module m (y, a); c u1 (.y(y), a); endmodule\n"
+  in
+  check "mixed named/positional port map diagnosed" true
+    (List.exists (fun (d : Diag.t) -> d.Diag.code = "lvs-ref-bad-portmap") d3)
+
+let verilog_clean_pairs =
+  [
+    ("inverter.cif", "inverter.v");
+    ("nand2.cif", "nand2.v");
+    ("nor2.cif", "nor2.v");
+    ("mux2.cif", "mux2.v");
+    ("latch.cif", "latch.v");
+  ]
+
+let verilog_seeded =
+  [
+    ("mux2.cif", "mux2.swapped.v");
+    ("latch.cif", "latch.missing.v");
+    ("nor2.cif", "nor2.wrongprim.v");
+  ]
+
+let test_verilog_corpus () =
+  List.iter
+    (fun (cif, v) ->
+      let layout = extract_cif cif in
+      let reference, diags = Verilog.parse ~name:v (data_file v) in
+      check (v ^ " parses cleanly") true
+        (not (List.exists Diag.is_error diags));
+      let r = Match.run ~layout ~reference () in
+      check (cif ^ " vs " ^ v ^ " is clean") true
+        (r.Match.outcome = Match.Clean))
+    verilog_clean_pairs;
+  List.iter
+    (fun (cif, v) ->
+      let layout = extract_cif cif in
+      let reference, _ = Verilog.parse ~name:v (data_file v) in
+      let r = Match.run ~layout ~reference () in
+      check (cif ^ " vs " ^ v ^ " mismatches") true
+        (r.Match.outcome = Match.Mismatch))
+    verilog_seeded
+
+(* ------------------------------------------------------------------ *)
+(* Hierarchical LVS                                                   *)
+
+let hier_run ?max_findings cif sp =
+  let layout = extract_hier cif in
+  let text = data_file sp in
+  let reference =
+    match Reference.load ~name:sp text with
+    | Ok (c, _) -> c
+    | Error _ -> Alcotest.fail (sp ^ " unreadable")
+  in
+  let ref_view = Reference.hier_view ~name:sp text in
+  HierLvs.run ?max_findings ~layout ~reference ?ref_view ()
+
+let test_hier_agrees_with_flat () =
+  (* every corpus pair, clean and seeded: identical verdicts *)
+  let pairs =
+    clean_pairs
+    @ List.map (fun (c, s, _) -> (c, s)) seeded_fixtures
+    @ [ ("nand2.cif", "nand2.swapped.sp") ]
+  in
+  List.iter
+    (fun (cif, sp) ->
+      let flat_layout = extract_cif cif in
+      let reference, _ = Reference.parse (data_file sp) in
+      let flat = Match.run ~layout:flat_layout ~reference () in
+      let h = hier_run cif sp in
+      check
+        (Printf.sprintf "%s vs %s: hier verdict equals flat" cif sp)
+        true
+        (h.HierLvs.r.Match.outcome = flat.Match.outcome))
+    pairs
+
+let test_hier_mesh_counters () =
+  (* 16 identical cells: one structural compare, fifteen memo hits, no
+     flat fallback *)
+  let h = hier_run "mesh4x4.cif" "mesh4x4.sp" in
+  check "mesh4x4 hier compare is clean" true
+    (h.HierLvs.r.Match.outcome = Match.Clean);
+  check "mesh4x4 stays on the hierarchical path" false h.HierLvs.fallback;
+  check_int "each distinct cell is matched exactly once" 1
+    h.HierLvs.cell_matches;
+  check_int "the other fifteen instances hit the memo" 15
+    h.HierLvs.cell_hits;
+  (* re-running is deterministic *)
+  let h2 = hier_run "mesh4x4.cif" "mesh4x4.sp" in
+  check "hier re-run verdict is stable" true
+    (h2.HierLvs.r.Match.outcome = h.HierLvs.r.Match.outcome
+    && h2.HierLvs.cell_matches = h.HierLvs.cell_matches
+    && h2.HierLvs.cell_hits = h.HierLvs.cell_hits)
+
+let test_hier_cell_findings () =
+  (* a hierarchical reference whose cell differs from the layout's: the
+     fallback mismatch carries an lvs-cell-mismatch naming the cell *)
+  let layout = extract_hier "mesh4x4.cif" in
+  let text =
+    ".SUBCKT CELL D G S\n\
+     m1 d g s 0 enh l=9u w=9u\n\
+     .ENDS\n"
+    ^ String.concat "\n"
+        (List.concat_map
+           (fun r ->
+             List.map
+               (fun c ->
+                 Printf.sprintf "x%d%d c%ds%d p%d c%ds%d cell" r c c (r + 1)
+                   r c r)
+               [ 0; 1; 2; 3 ])
+           [ 0; 1; 2; 3 ])
+    ^ "\n.END\n"
+  in
+  let reference =
+    match Reference.load ~name:"wrong-cell" text with
+    | Ok (c, _) -> c
+    | Error _ -> Alcotest.fail "reference unreadable"
+  in
+  let ref_view = Reference.hier_view ~name:"wrong-cell" text in
+  let h = HierLvs.run ~layout ~reference ?ref_view () in
+  check "wrong cell sizes mismatch" true
+    (h.HierLvs.r.Match.outcome = Match.Mismatch);
+  check "verdict fell back to the flat compare" true h.HierLvs.fallback;
+  check "lvs-cell-mismatch names the cell" true
+    (List.exists
+       (fun (f : Match.finding) -> f.Match.code = "lvs-cell-mismatch")
+       h.HierLvs.r.Match.findings)
+
+(* ------------------------------------------------------------------ *)
 (* Properties                                                         *)
 
 (* Random two-terminal chain/finger networks between named nets, with
@@ -550,6 +781,164 @@ let prop_self_lvs_through_spice =
       (not (List.exists Diag.is_error diags))
       && (Match.run ~layout:c ~reference ()).Match.outcome = Match.Clean)
 
+(* One series chain A..B of uniform devices, each link gated by a
+   distinct named net, then a random permutation of the link gates, a
+   random S/D flip per link, and optionally the whole chain reversed:
+   canonicalization must keep every variant Clean against the
+   identity-ordered original. *)
+let gen_perm_chain =
+  let open QCheck2.Gen in
+  let* n_links = int_range 2 5 in
+  let* perm = shuffle_l (List.init n_links Fun.id) in
+  let* flips = list_size (return n_links) bool in
+  let* reversed = bool in
+  return (n_links, perm, flips, reversed)
+
+let build_perm_chain n_links order flips reversed =
+  (* nets: 0 = A, 1 = B, 2..2+n-1 = gates G<i>, then n-1 interiors *)
+  let n_nets = 2 + n_links + (n_links - 1) in
+  let nets =
+    List.init n_nets (fun i ->
+        if i = 0 then net ~names:[ "A" ] 0
+        else if i = 1 then net ~names:[ "B" ] 1
+        else if i < 2 + n_links then
+          net ~names:[ Printf.sprintf "G%d" (i - 2) ] i
+        else net i)
+  in
+  let endpoint pos =
+    if pos = 0 then if reversed then 1 else 0
+    else if pos = n_links then if reversed then 0 else 1
+    else 2 + n_links + (pos - 1)
+  in
+  let devices =
+    List.mapi
+      (fun j g ->
+        let s = endpoint j and d = endpoint (j + 1) in
+        let s, d = if List.nth flips j then (d, s) else (s, d) in
+        dev ~g:(2 + g) ~s ~d j)
+      order
+  in
+  circuit devices nets
+
+let prop_gate_permutation_invariant =
+  Tutil.qtest ~count:200
+    "series gate permutations and S/D swaps compare clean" gen_perm_chain
+    (fun (n, perm, flips, reversed) ->
+      let straight =
+        build_perm_chain n (List.init n Fun.id)
+          (List.map (fun _ -> false) flips)
+          false
+      in
+      let permuted = build_perm_chain n perm flips reversed in
+      (Match.run ~layout:straight ~reference:permuted ()).Match.outcome
+      = Match.Clean)
+
+(* Random repeated-cell layouts: one random leaf cell instantiated m
+   times in a chain at the top, with the reference written back as a
+   .SUBCKT plus X cards (optionally with one instance's channel pins
+   swapped).  The hierarchical comparator must return the flat verdict
+   on every one, and re-running (fresh memo) must be deterministic. *)
+let gen_hier_layout =
+  let open QCheck2.Gen in
+  let* m = int_range 2 6 in
+  let* wired =
+    list_size (int_range 1 2)
+      (triple (int_range 0 3) (int_range 0 3) (int_range 0 3))
+  in
+  let* damage =
+    frequency [ (3, return None); (1, map Option.some (int_range 0 (m - 1))) ]
+  in
+  return (m, wired, damage)
+
+let build_hier_layout (m, wired, _damage) =
+  let cell_devs =
+    List.mapi
+      (fun j (g, s, d) ->
+        let d = if d = s then (d + 1) mod 4 else d in
+        {
+          Hier.dtype = Nmos.Enhancement;
+          gate = g;
+          source = s;
+          drain = d;
+          length = 500;
+          width = 500;
+          location = Point.make j 0;
+        })
+      wired
+  in
+  let cell =
+    {
+      Hier.part_name = "CELL";
+      net_count = 4;
+      exports = [ 0; 1; 2 ];
+      net_names = [];
+      devices = cell_devs;
+      instances = [];
+    }
+  in
+  let top_nets = m + 1 + 2 in
+  let top =
+    {
+      Hier.part_name = "TOP";
+      net_count = top_nets;
+      exports = [];
+      net_names =
+        List.init (m + 1) (fun i -> (i, Printf.sprintf "T%d" i))
+        @ [ (m + 1, "P0"); (m + 2, "P1") ];
+      devices = [];
+      instances =
+        List.init m (fun i ->
+            {
+              Hier.part_name = "CELL";
+              inst_name = Printf.sprintf "X%d" i;
+              offset = Point.make i 0;
+              net_map = [ (0, i + 1); (1, m + 1 + (i mod 2)); (2, i) ];
+            });
+    }
+  in
+  { Hier.parts = [ cell; top ]; top = "TOP" }
+
+let hier_reference_text (m, wired, damage) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf ".SUBCKT CELL E0 E1 E2\n";
+  List.iteri
+    (fun j (g, s, d) ->
+      let d = if d = s then (d + 1) mod 4 else d in
+      let nm i = if i < 3 then Printf.sprintf "E%d" i else "N3" in
+      Buffer.add_string buf
+        (Printf.sprintf "M%d %s %s %s 0 ENH L=5U W=5U\n" (j + 1) (nm d)
+           (nm g) (nm s)))
+    wired;
+  Buffer.add_string buf ".ENDS\n";
+  for i = 0 to m - 1 do
+    let a = Printf.sprintf "T%d" (i + 1)
+    and g = Printf.sprintf "P%d" (i mod 2)
+    and b = Printf.sprintf "T%d" i in
+    let a, b = if damage = Some i then (b, a) else (a, b) in
+    Buffer.add_string buf (Printf.sprintf "X%d %s %s %s CELL\n" i a g b)
+  done;
+  Buffer.add_string buf ".END\n";
+  Buffer.contents buf
+
+let prop_hier_agrees_with_flat =
+  Tutil.qtest ~count:100 "hierarchical LVS returns the flat verdict"
+    gen_hier_layout (fun spec ->
+      let layout = build_hier_layout spec in
+      let text = hier_reference_text spec in
+      match Reference.load ~name:"gen" text with
+      | Error _ -> false
+      | Ok (reference, _) ->
+          let ref_view = Reference.hier_view ~name:"gen" text in
+          let flat =
+            Match.run ~layout:(Hier.flatten layout) ~reference ()
+          in
+          let h = HierLvs.run ~layout ~reference ?ref_view () in
+          let h2 = HierLvs.run ~layout ~reference ?ref_view () in
+          h.HierLvs.r.Match.outcome = flat.Match.outcome
+          && h2.HierLvs.r.Match.outcome = h.HierLvs.r.Match.outcome
+          && h2.HierLvs.cell_matches = h.HierLvs.cell_matches
+          && h2.HierLvs.cell_hits = h.HierLvs.cell_hits)
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -581,6 +970,22 @@ let () =
           Alcotest.test_case "one-sided names" `Quick
             test_one_sided_names_harmless;
           Alcotest.test_case "shared names pin" `Quick test_shared_names_pin;
+          Alcotest.test_case "canonicalize swapped nand" `Quick
+            test_canonicalize_swapped_nand;
+          Alcotest.test_case "max findings" `Quick test_max_findings;
+        ] );
+      ( "verilog",
+        [
+          Alcotest.test_case "basics" `Quick test_verilog_basics;
+          Alcotest.test_case "total on garbage" `Quick test_verilog_total;
+          Alcotest.test_case "corpus" `Quick test_verilog_corpus;
+        ] );
+      ( "hier",
+        [
+          Alcotest.test_case "agrees with flat" `Quick
+            test_hier_agrees_with_flat;
+          Alcotest.test_case "mesh counters" `Quick test_hier_mesh_counters;
+          Alcotest.test_case "cell findings" `Quick test_hier_cell_findings;
         ] );
       ( "report",
         [
@@ -594,5 +999,7 @@ let () =
           prop_compare_reflexive;
           prop_compare_symmetric;
           prop_self_lvs_through_spice;
+          prop_gate_permutation_invariant;
+          prop_hier_agrees_with_flat;
         ] );
     ]

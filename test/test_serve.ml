@@ -478,6 +478,125 @@ let test_socket_lvs () =
   shutdown_daemon pid sock
 
 (* ------------------------------------------------------------------ *)
+(* 3c. Socket lvs: hierarchical compare, Verilog references and       *)
+(* finding caps ride the same cache with byte-identical warm replies  *)
+
+let lvs_req_ext ?(id = 1) ?hier ?ref_format ?max_findings cif reference =
+  Serve.Proto.obj
+    ([
+       ("id", Serve.Proto.int id);
+       ("op", Serve.Proto.str "lvs");
+       ("cif", Serve.Proto.str cif);
+       ("ref", Serve.Proto.str reference);
+       ("jobs", Serve.Proto.int 1);
+     ]
+    @ (match hier with
+      | Some b -> [ ("hier", if b then "true" else "false") ]
+      | None -> [])
+    @ (match ref_format with
+      | Some f -> [ ("ref_format", Serve.Proto.str f) ]
+      | None -> [])
+    @
+    match max_findings with
+    | Some n -> [ ("max_findings", Serve.Proto.int n) ]
+    | None -> [])
+
+let test_socket_lvs_hier () =
+  let dir = scratch () in
+  let sock = Filename.concat dir "s.sock" in
+  let cache_dir = Filename.concat dir "cache" in
+  let pid = start_socket_daemon [ "--cache-dir"; cache_dir ] sock in
+  let conn = connect sock in
+  let mesh_cif = data_file "mesh4x4.cif" in
+  let mesh_ref = data_file "mesh4x4.sp" in
+  let cold = rpc conn (lvs_req_ext ~id:1 ~hier:true mesh_cif mesh_ref) in
+  let warm = rpc conn (lvs_req_ext ~id:2 ~hier:true mesh_cif mesh_ref) in
+  let jc = jparse cold and jw = jparse warm in
+  check "hier lvs: cold ok, not cached"
+    (jbool (jget jc "ok") && not (jbool (jget jc "cached")));
+  check "hier lvs: warm ok, cached"
+    (jbool (jget jw "ok") && jbool (jget jw "cached"));
+  check_s "hier lvs: warm result byte-identical to cold"
+    (result_fragment warm) (result_fragment cold);
+  let res = jget jc "result" in
+  check "hier lvs: verdict clean" (jstr (jget res "verdict") = "clean");
+  check "hier lvs: payload carries the hier flag" (jbool (jget res "hier"));
+  check "hier lvs: one distinct cell compared"
+    (jnum (jget res "cell_matches") = 1);
+  check "hier lvs: every other instance a memo hit"
+    (jnum (jget res "cell_hits") = 15);
+  check "hier lvs: no flat fallback" (not (jbool (jget res "fallback")));
+  (* the flat request keys a distinct cache entry, same verdict *)
+  let flat = jparse (rpc conn (lvs_req_ext ~id:3 mesh_cif mesh_ref)) in
+  check "hier lvs: flat run misses the hier cache entry"
+    (jbool (jget flat "ok") && not (jbool (jget flat "cached")));
+  check "hier lvs: flat verdict agrees"
+    (jstr (jget (jget flat "result") "verdict") = "clean");
+  (* Verilog reference: warm replies byte-identical to cold *)
+  let nand_cif = data_file "nand2.cif" and nand_v = data_file "nand2.v" in
+  let vcold =
+    rpc conn (lvs_req_ext ~id:4 ~ref_format:"verilog" nand_cif nand_v)
+  in
+  let vwarm =
+    rpc conn (lvs_req_ext ~id:5 ~ref_format:"verilog" nand_cif nand_v)
+  in
+  let jvc = jparse vcold and jvw = jparse vwarm in
+  check "verilog lvs: cold ok, not cached"
+    (jbool (jget jvc "ok") && not (jbool (jget jvc "cached")));
+  check "verilog lvs: warm ok, cached"
+    (jbool (jget jvw "ok") && jbool (jget jvw "cached"));
+  check_s "verilog lvs: warm result byte-identical to cold"
+    (result_fragment vwarm) (result_fragment vcold);
+  check "verilog lvs: verdict clean"
+    (jstr (jget (jget jvc "result") "verdict") = "clean");
+  (* max_findings caps per-code finding floods (cap + overflow note) *)
+  let count_findings j =
+    match jget (jget j "result") "findings" with
+    | Json.Arr l -> List.length l
+    | _ -> -1
+  in
+  let contains hay needle =
+    let n = String.length needle in
+    let rec go i =
+      i + n <= String.length hay
+      && (String.sub hay i n = needle || go (i + 1))
+    in
+    go 0
+  in
+  let flood_ref =
+    let b = Buffer.create 1024 in
+    for k = 1 to 30 do
+      Buffer.add_string b
+        (Printf.sprintf "M%d D%d G%d S%d 0 ENH L=5U W=5U\n" k k k k)
+    done;
+    Buffer.add_string b ".END\n";
+    Buffer.contents b
+  in
+  let fullr = rpc conn (lvs_req_ext ~id:6 inverter_cif flood_ref) in
+  let cappedr =
+    jparse (rpc conn (lvs_req_ext ~id:7 ~max_findings:2 inverter_cif flood_ref))
+  in
+  let full = jparse fullr in
+  check "max_findings: default cap already truncates the flood"
+    (contains fullr "more lvs-missing-device findings");
+  check "max_findings: tighter cap shrinks the findings array"
+    (count_findings cappedr < count_findings full);
+  check "max_findings: verdict unchanged by the cap"
+    (jstr (jget (jget cappedr "result") "verdict") = "mismatch");
+  (* invalid knob values are bad requests, not crashes *)
+  let badf =
+    jparse (rpc conn (lvs_req_ext ~id:8 ~ref_format:"edif" nand_cif nand_v))
+  in
+  check "lvs: unknown ref_format -> bad-request" (err_code badf = "bad-request");
+  let badn =
+    jparse (rpc conn (lvs_req_ext ~id:9 ~max_findings:(-2) nand_cif flood_ref))
+  in
+  check "lvs: negative max_findings -> bad-request"
+    (err_code badn = "bad-request");
+  close_conn conn;
+  shutdown_daemon pid sock
+
+(* ------------------------------------------------------------------ *)
 (* 4. Deadline expiry cancels a large extraction; daemon stays up     *)
 
 let test_deadline () =
@@ -810,6 +929,7 @@ let () =
   test_once_garbage ();
   test_socket_extract ();
   test_socket_lvs ();
+  test_socket_lvs_hier ();
   test_deadline ();
   test_corruption "cache-torn-write";
   test_corruption "cache-bit-flip";

@@ -1,8 +1,10 @@
 #!/bin/sh
-# CI performance step: compare a fresh `bench --table extract` run
-# against the checked-in BENCH_extract.json and fail when any chip's
-# flat-extraction wall time (wall_j1_seconds) regressed more than the
-# threshold (default 15%, see bench/main.exe --gate).
+# CI performance step: compare a fresh `bench --table extract --table
+# lvs --table serve` run against the checked-in BENCH_extract.json and
+# fail when any gated wall time regressed more than the threshold
+# (default 15%, see bench/main.exe --gate): flat-extraction wall
+# (wall_j1_seconds) per chip, flat and hierarchical LVS compare walls
+# per workload, and warm serve-cache hits per chip.
 #
 # Wall times at the gate's small scale are milliseconds, so a failing
 # comparison is retried before it counts: transient scheduler noise
@@ -55,7 +57,8 @@ fi
 
 if [ ! -f "$BASELINE" ]; then
   echo "bench_gate: no baseline at $BASELINE — generating one; commit it to arm the gate"
-  "$BENCH" --table extract --scale "$SCALE" --reps "$REPS" --json "$BASELINE" >/dev/null
+  "$BENCH" --table extract --table lvs --table serve --scale "$SCALE" \
+    --reps "$REPS" --json "$BASELINE" >/dev/null
   exit 0
 fi
 
@@ -65,7 +68,8 @@ trap 'rm -f "$fresh" "$log"' EXIT
 
 attempt=1
 while [ "$attempt" -le "$RETRIES" ]; do
-  if "$BENCH" --table extract --scale "$SCALE" --reps "$REPS" --json "$fresh" \
+  if "$BENCH" --table extract --table lvs --table serve --scale "$SCALE" \
+    --reps "$REPS" --json "$fresh" \
     --gate "$BASELINE" --gate-threshold "$THRESHOLD" >"$log" 2>&1; then
     grep -v '^chip scale' "$log" | sed -n '/regression gate/,$p'
     echo "bench_gate: passed (attempt $attempt/$RETRIES)"

@@ -1,7 +1,7 @@
 (* ace — flat edge-based circuit extraction: CIF in, CMU wirelist out. *)
 
-let run input output geometry spice name quantum stats jobs strict max_errors
-    diag_format trace =
+let run input output geometry spice name quantum stats jobs tile strict
+    max_errors diag_format trace =
   Cli_common.setup_trace trace;
   let loaded = Cli_common.load ~strict ~max_errors ~quantum input in
   match loaded.Cli_common.design with
@@ -19,13 +19,23 @@ let run input output geometry spice name quantum stats jobs strict max_errors
         prerr_endline "ace: -j must be at least 1";
         exit 2
       end;
+      let tile =
+        match tile with
+        | None -> None
+        | Some spec -> (
+            match Ace_core.Parallel.tile_of_string spec with
+            | Ok g -> Some g
+            | Error msg ->
+                prerr_endline ("ace: " ^ msg);
+                exit 2)
+      in
       (* geometry output is per-net box lists, which the shard stitcher
          does not carry through the hierarchy: -g forces a flat run *)
-      let jobs = if geometry then 1 else jobs in
+      let jobs, tile = if geometry then (1, None) else (jobs, tile) in
       let t0 = Unix.gettimeofday () in
       let circuit, run_stats =
-        if jobs > 1 then
-          Ace_core.Parallel.extract_with_stats ~jobs ~name design
+        if jobs > 1 || tile <> None then
+          Ace_core.Parallel.extract_with_stats ~jobs ?tile ~name design
         else
           let circuit, st =
             Ace_core.Extractor.extract_with_stats ~emit_geometry:geometry
@@ -61,18 +71,21 @@ let run input output geometry spice name quantum stats jobs strict max_errors
           run_stats.boxes run_stats.stops run_stats.max_active elapsed
           (float_of_int devs /. elapsed)
           (float_of_int run_stats.boxes /. elapsed);
-        if run_stats.Ace_core.Parallel.jobs > 1 then begin
+        if run_stats.Ace_core.Parallel.shards <> [] then begin
           Printf.eprintf
-            "parallel: %d shards, stitch %.3f s, balance %.2f\n"
-            run_stats.Ace_core.Parallel.jobs run_stats.stitch_seconds
+            "parallel: %d workers, %d tiles, stitch %.3f s, balance %.2f\n"
+            run_stats.Ace_core.Parallel.jobs
+            (List.length run_stats.Ace_core.Parallel.shards)
+            run_stats.stitch_seconds
             (Ace_core.Parallel.balance run_stats);
           List.iteri
             (fun i (s : Ace_core.Parallel.shard) ->
               Printf.eprintf
-                "  shard %d: x [%d, %d), %d boxes, %d stops, %d devices \
-                 (+%d partial), %.3f s\n"
+                "  tile %d: x [%d, %d) y [%d, %d), %d boxes, %d stops, %d \
+                 devices (+%d partial), %.3f s\n"
                 (i + 1) s.s_window.Ace_geom.Box.l s.s_window.Ace_geom.Box.r
-                s.s_boxes s.s_stops s.s_devices s.s_partials s.s_seconds)
+                s.s_window.Ace_geom.Box.b s.s_window.Ace_geom.Box.t s.s_boxes
+                s.s_stops s.s_devices s.s_partials s.s_seconds)
             run_stats.shards
         end;
         Format.eprintf "layout: %a@." Ace_cif.Stats.pp
@@ -109,17 +122,29 @@ let jobs =
     value & opt int 1
     & info [ "j"; "jobs" ] ~docv:"N"
         ~doc:
-          "Extract with $(docv) parallel shards: the chip is split into \
-           $(docv) full-height vertical strips, each extracted on its own \
-           domain, and the strip wirelists are stitched across the seams.  \
-           The result is equivalent to the default flat run ($(b,-j 1)).")
+          "Extract over $(docv) worker domains.  Without $(b,--tile) the \
+           chip splits into $(docv) full-height vertical strips; tiles are \
+           scheduled by work-stealing and the per-tile wirelists are \
+           stitched across the seams.  The output is byte-identical to the \
+           default flat run ($(b,-j 1)).")
+
+let tile =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "tile" ] ~docv:"CxR"
+        ~doc:
+          "Split the chip into an explicit $(docv) grid of tiles (e.g. \
+           $(b,4x2) is four columns by two rows) instead of $(b,-j) \
+           vertical strips.  Engages the tiled path even at $(b,-j 1); the \
+           output is byte-identical for every grid.")
 
 let cmd =
   Cmd.v
     (Cmd.info "ace" ~doc:"Flat edge-based NMOS circuit extractor (Gupta, DAC 1983)")
     Term.(
       const run $ input $ output $ geometry $ spice $ part_name $ quantum
-      $ stats $ jobs $ Cli_common.strict_t $ Cli_common.max_errors_t
+      $ stats $ jobs $ tile $ Cli_common.strict_t $ Cli_common.max_errors_t
       $ Cli_common.diag_format_t $ Cli_common.trace_t)
 
 let () = exit (Cmd.eval cmd)

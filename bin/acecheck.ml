@@ -6,7 +6,7 @@ module Lint = Ace_lint
 
 (* Returns the circuit (None = unrecoverable), the CIF design when the
    input was a layout (needed for --hier), plus front-end diagnostics. *)
-let load ~strict ~max_errors ~jobs path =
+let load ~strict ~max_errors ~jobs ~tile path =
   match Cli_common.read_input path with
   | Error d -> (None, None, "", [ d ])
   | Ok text ->
@@ -15,7 +15,7 @@ let load ~strict ~max_errors ~jobs path =
         | None, diags -> (None, None, text, diags)
         | Some design, diags ->
             let name = Filename.basename path in
-            ( Some (Ace_core.Parallel.extract ~jobs ~name design),
+            ( Some (Ace_core.Parallel.extract ~jobs ?tile ~name design),
               Some design,
               text,
               diags )
@@ -75,15 +75,25 @@ let sarif_rules () =
 
 let run input vdd gnd verbose timing flow hier stats strict max_errors
     diag_format rules_file rule_overrides baseline_file write_baseline
-    list_rules jobs trace =
+    list_rules jobs tile trace =
   Cli_common.setup_trace trace;
   if list_rules then begin
     print_rules ();
     exit 0
   end;
   if jobs < 1 then fail_usage "-j must be at least 1";
+  let tile =
+    match tile with
+    | None -> None
+    | Some spec -> (
+        match Ace_core.Parallel.tile_of_string spec with
+        | Ok g -> Some g
+        | Error msg -> fail_usage msg)
+  in
   let config = build_config rules_file rule_overrides in
-  let circuit, design, source, diags = load ~strict ~max_errors ~jobs input in
+  let circuit, design, source, diags =
+    load ~strict ~max_errors ~jobs ~tile input
+  in
   let report = Cli_common.report ~format:diag_format ~tool:"acecheck" ~uri:input in
   match circuit with
   | None ->
@@ -301,8 +311,17 @@ let jobs =
     value & opt int 1
     & info [ "j"; "jobs" ] ~docv:"N"
         ~doc:
-          "Extract CIF input with $(docv) parallel shards before checking \
+          "Extract CIF input over $(docv) worker domains before checking \
            (see $(b,ace -j)); ignored for wirelist input.")
+
+let tile =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "tile" ] ~docv:"CxR"
+        ~doc:
+          "Tile grid for the extraction (see $(b,ace --tile)); ignored for \
+           wirelist input.")
 
 let cmd =
   Cmd.v
@@ -314,6 +333,6 @@ let cmd =
       const run $ input $ vdd $ gnd $ verbose $ timing $ flow $ hier $ stats
       $ Cli_common.strict_t $ Cli_common.max_errors_t
       $ Cli_common.diag_format_t $ rules_file $ rule_overrides $ baseline_file
-      $ write_baseline $ list_rules $ jobs $ Cli_common.trace_t)
+      $ write_baseline $ list_rules $ jobs $ tile $ Cli_common.trace_t)
 
 let () = exit (Cmd.eval cmd)

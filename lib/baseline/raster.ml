@@ -265,6 +265,7 @@ let extract_raw ~grid boxes labels =
       Ace_core.Engine.nets;
       net_names = !net_names;
       net_locations;
+      net_phase = Hashtbl.create 1;
       net_geometry = Hashtbl.create 1;
       devices;
       boundary_nets = [];

@@ -146,6 +146,7 @@ type raw = {
   nets : Union_find.t;
   net_names : (int * string) list;
   net_locations : (int, Point.t) Hashtbl.t;
+  net_phase : (int, int) Hashtbl.t;
   net_geometry : (int, (Layer.t * Box.t) list) Hashtbl.t;
   devices : (int * device_data) list;
   boundary_nets : boundary_span list;
@@ -286,13 +287,13 @@ let arena_merge a nb =
   done;
   a.alen <- a.alen + nb.alen
 
-(* Merged x-intervals of an arena: one pass over the sorted boxes,
-   coalescing overlapping or abutting spans and dropping degenerate ones —
-   exactly [Interval.of_spans] minus its sort. *)
-let intervals_of_arena a =
-  if a.alen = 0 then []
-  else begin
-    let acc = ref [] in
+(* Merged x-intervals of an arena, written into a reusable flat vector:
+   one pass over the sorted boxes, coalescing overlapping or abutting
+   spans and dropping degenerate ones — [Interval.of_spans] minus its
+   sort, minus its allocation. *)
+let ivec_of_arena dst a =
+  Ivec.clear dst;
+  if a.alen > 0 then begin
     let lo = ref a.aal.(0) and hi = ref a.aar.(0) in
     for i = 1 to a.alen - 1 do
       let l = a.aal.(i) and r = a.aar.(i) in
@@ -300,67 +301,23 @@ let intervals_of_arena a =
         if r > !hi then hi := r
       end
       else begin
-        if !lo < !hi then acc := { Interval.lo = !lo; hi = !hi } :: !acc;
+        if !lo < !hi then Ivec.push dst !lo !hi;
         lo := l;
         hi := r
       end
     done;
-    if !lo < !hi then acc := { Interval.lo = !lo; hi = !hi } :: !acc;
-    List.rev !acc
+    if !lo < !hi then Ivec.push dst !lo !hi
   end
 
-(* Assign ids to the intervals of the current strip by overlap with the
-   previous strip's tagged intervals; fresh id when nothing overlaps. *)
-let assign prev cur ~fresh ~union =
-  let rec drop (c : Interval.span) = function
-    | ((ps : Interval.span), _) :: tl when ps.hi <= c.lo -> drop c tl
-    | l -> l
+(* First tagged span containing [x], scanning left to right. *)
+let find_net_at (v : Ivec.tagged) x =
+  let rec go i =
+    if i >= v.Ivec.tlen then None
+    else if v.Ivec.tlo.(i) <= x && x < v.Ivec.thi.(i) then
+      Some v.Ivec.ttag.(i)
+    else go (i + 1)
   in
-  let rec collect (c : Interval.span) l acc =
-    match l with
-    | ((ps : Interval.span), pe) :: tl when ps.lo < c.hi -> collect c tl (pe :: acc)
-    | _ -> List.rev acc
-  in
-  let rec go prev cur acc =
-    match cur with
-    | [] -> List.rev acc
-    | c :: cs ->
-        let prev = drop c prev in
-        let id =
-          match collect c prev [] with
-          | [] -> fresh c
-          | first :: rest ->
-              List.iter (fun e -> union first e) rest;
-              first
-        in
-        go prev cs ((c, id) :: acc)
-  in
-  go prev cur []
-
-(* Overlap pairs between a tagged list and a plain interval list; calls
-   [f id span overlap_len] for each strict overlap. *)
-let iter_overlaps tagged plain ~f =
-  let rec go tagged plain =
-    match (tagged, plain) with
-    | [], _ | _, [] -> ()
-    | ((ts : Interval.span), id) :: ttl, (ps : Interval.span) :: ptl ->
-        let len = Interval.span_overlap_length ts ps in
-        if len > 0 then f id ps len;
-        if ts.hi < ps.hi then go ttl plain else go tagged ptl
-  in
-  go tagged plain
-
-(* Overlap pairs between two tagged lists. *)
-let iter_tagged_overlaps a b ~f =
-  let rec go a b =
-    match (a, b) with
-    | [], _ | _, [] -> ()
-    | ((sa : Interval.span), ia) :: atl, ((sb : Interval.span), ib) :: btl ->
-        let len = Interval.span_overlap_length sa sb in
-        if len > 0 then f ia ib len (max sa.lo sb.lo);
-        if sa.hi < sb.hi then go atl b else go a btl
-  in
-  go a b
+  go 0
 
 let run ?(cancel = Cancel.never) config source ~labels =
   Trace.with_span "engine.run" @@ fun () ->
@@ -379,6 +336,7 @@ let run ?(cancel = Cancel.never) config source ~labels =
   let dev_uf = Union_find.create () in
   let net_names = ref [] in
   let net_locations = Hashtbl.create 256 in
+  let net_phase = Hashtbl.create 256 in
   let net_geometry = Hashtbl.create 256 in
   let warnings = ref [] in
   let warn fmt = Format.kasprintf (fun m -> warnings := m :: !warnings) fmt in
@@ -410,10 +368,32 @@ let run ?(cancel = Cancel.never) config source ~labels =
   let active = Array.init Layer.count (fun _ -> arena_create ()) in
   (* per-layer newcomer batches, reset between stops *)
   let incoming_scratch = Array.init Layer.count (fun _ -> arena_create ()) in
-  let prev_diff = ref []
-  and prev_poly = ref []
-  and prev_metal = ref []
-  and prev_chan = ref [] in
+  (* The devices phase's working set: a fixed pool of flat interval
+     vectors reused across every strip (Ivec), so the per-strip algebra
+     allocates nothing in steady state.  The four tagged tracks are
+     double-buffered — [assign] reads prev and writes cur, and the
+     references swap at the end of the strip. *)
+  let diff_raw = Ivec.create ()
+  and poly_raw = Ivec.create ()
+  and metal_raw = Ivec.create ()
+  and cut_raw = Ivec.create ()
+  and buried_raw = Ivec.create ()
+  and implant_raw = Ivec.create () in
+  let gate_overlap = Ivec.create ()
+  and channel_all = Ivec.create ()
+  and buried_contact = Ivec.create ()
+  and diff_cond = Ivec.create () in
+  let prev_diff = ref (Ivec.tagged_create ())
+  and cur_diff = ref (Ivec.tagged_create ())
+  and prev_poly = ref (Ivec.tagged_create ())
+  and cur_poly = ref (Ivec.tagged_create ())
+  and prev_metal = ref (Ivec.tagged_create ())
+  and cur_metal = ref (Ivec.tagged_create ())
+  and prev_chan = ref (Ivec.tagged_create ())
+  and cur_chan = ref (Ivec.tagged_create ()) in
+  let cut_bound = Ivec.tagged_create () in
+  (* reusable id buffer for the via bridging rule *)
+  let connect_buf = ref (Array.make 16 0) in
   let pending_labels = ref labels in
   let stops = ref 0 and max_active = ref 0 in
   let clip bx =
@@ -421,9 +401,18 @@ let run ?(cancel = Cancel.never) config source ~labels =
     | None -> Some bx
     | Some w -> Box.clip bx ~window:w
   in
-  let fresh_net (span : Interval.span) y =
+  (* The creation point is (span lo, top of the creating strip): the
+     strip top at creation is always a transition edge of the net's own
+     geometry (a clipped box top, or the bottom of the poly/buried box
+     whose end exposed the span), never an unrelated global stop — so a
+     window-mode scan over a tile records the same creation key as the
+     flat scan.  The phase rank orders same-strip creations the way the
+     assignment code below runs them; together (y desc, phase asc,
+     x asc) is exactly element-creation order. *)
+  let fresh_net ~phase lo y =
     let e = Union_find.fresh nets in
-    Hashtbl.replace net_locations e (Point.make span.lo y);
+    Hashtbl.replace net_locations e (Point.make lo y);
+    Hashtbl.replace net_phase e phase;
     e
   in
   let union_nets a b =
@@ -432,12 +421,7 @@ let run ?(cancel = Cancel.never) config source ~labels =
     if Union_find.class_count nets < before then
       Trace.incr Trace.Counter.Net_merges
   in
-  let fresh_dev (span : Interval.span) y =
-    let e = Union_find.fresh dev_uf in
-    ignore span;
-    ignore y;
-    e
-  in
+  let fresh_dev _lo _hi = Union_find.fresh dev_uf in
   let union_devs a b = ignore (Union_find.union dev_uf a b) in
 
   let record_boundary_tracks strip_bottom strip_top tracks chan =
@@ -450,16 +434,16 @@ let run ?(cancel = Cancel.never) config source ~labels =
              never vertically, so its interface spans live on the vertical
              faces only. *)
           let horizontal_faces = not (Layer.equal layer Layer.Contact) in
-          List.iter
-            (fun ((s : Interval.span), id) ->
-              if s.lo = w.Box.l then
+          Ivec.iter_tagged tagged ~f:(fun lo hi id ->
+              if lo = w.Box.l then
                 boundary_nets :=
                   { bface = West; bspan = yspan; blayer = layer; bnet = id }
                   :: !boundary_nets;
-              if s.hi = w.Box.r then
+              if hi = w.Box.r then
                 boundary_nets :=
                   { bface = East; bspan = yspan; blayer = layer; bnet = id }
                   :: !boundary_nets;
+              let s = { Interval.lo; hi } in
               if horizontal_faces && strip_top = w.Box.t then
                 boundary_nets :=
                   { bface = North; bspan = s; blayer = layer; bnet = id }
@@ -468,21 +452,18 @@ let run ?(cancel = Cancel.never) config source ~labels =
                 boundary_nets :=
                   { bface = South; bspan = s; blayer = layer; bnet = id }
                   :: !boundary_nets)
-            tagged
         in
         List.iter (fun (layer, tagged) -> record_track layer tagged) tracks;
-        List.iter
-          (fun ((s : Interval.span), dev) ->
+        Ivec.iter_tagged chan ~f:(fun lo hi dev ->
             let mark face span =
               Hashtbl.replace dev_boundary dev ();
               boundary_channels :=
                 { cface = face; cspan = span; cdev = dev } :: !boundary_channels
             in
-            if s.lo = w.Box.l then mark West yspan;
-            if s.hi = w.Box.r then mark East yspan;
-            if strip_top = w.Box.t then mark North s;
-            if strip_bottom = w.Box.b then mark South s)
-          chan
+            if lo = w.Box.l then mark West yspan;
+            if hi = w.Box.r then mark East yspan;
+            if strip_top = w.Box.t then mark North { Interval.lo; hi };
+            if strip_bottom = w.Box.b then mark South { Interval.lo; hi })
   in
 
   let process_strip ~bottom ~top =
@@ -490,113 +471,146 @@ let run ?(cancel = Cancel.never) config source ~labels =
     (* walking the active lists into merged strip intervals is the paper's
        "updating the data structures" work; device/net computation below is
        charged separately *)
-    let diff_raw, poly_raw, metal_raw, cut_raw, buried_raw, implant_raw =
-      Timing.charge timing Timing.List_update (fun () ->
-          let layer_intervals lyr =
-            intervals_of_arena active.(Layer.index lyr)
-          in
-          ( layer_intervals Layer.Diffusion,
-            layer_intervals Layer.Poly,
-            layer_intervals Layer.Metal,
-            layer_intervals Layer.Contact,
-            layer_intervals Layer.Buried,
-            layer_intervals Layer.Implant ))
-    in
+    Timing.charge timing Timing.List_update (fun () ->
+        let layer_intervals dst lyr =
+          ivec_of_arena dst active.(Layer.index lyr)
+        in
+        layer_intervals diff_raw Layer.Diffusion;
+        layer_intervals poly_raw Layer.Poly;
+        layer_intervals metal_raw Layer.Metal;
+        layer_intervals cut_raw Layer.Contact;
+        layer_intervals buried_raw Layer.Buried;
+        layer_intervals implant_raw Layer.Implant);
     Timing.charge timing Timing.Devices (fun () ->
-        let gate_overlap = Interval.inter diff_raw poly_raw in
-        let channel_all = Interval.diff gate_overlap buried_raw in
-        let buried_contact = Interval.inter gate_overlap buried_raw in
-        let diff_cond = Interval.diff diff_raw channel_all in
+        Ivec.inter_into ~dst:gate_overlap diff_raw poly_raw;
+        Ivec.diff_into ~dst:channel_all gate_overlap buried_raw;
+        Ivec.inter_into ~dst:buried_contact gate_overlap buried_raw;
+        Ivec.diff_into ~dst:diff_cond diff_raw channel_all;
         (* net assignment by vertical overlap with the previous strip *)
-        let new_diff =
-          assign !prev_diff diff_cond
-            ~fresh:(fun s -> fresh_net s bottom)
-            ~union:union_nets
-        in
-        let new_poly =
-          assign !prev_poly poly_raw
-            ~fresh:(fun s -> fresh_net s bottom)
-            ~union:union_nets
-        in
-        let new_metal =
-          assign !prev_metal metal_raw
-            ~fresh:(fun s -> fresh_net s bottom)
-            ~union:union_nets
-        in
-        let new_chan =
-          assign !prev_chan channel_all
-            ~fresh:(fun s -> fresh_dev s bottom)
-            ~union:union_devs
-        in
-        (* channel contributions *)
-        List.iter
-          (fun ((s : Interval.span), dev) ->
-            let len = s.hi - s.lo in
-            accumulate dev_area dev (len * height);
-            let over_implant = Interval.overlap_length [ s ] implant_raw in
-            if over_implant > 0 then accumulate dev_implant dev (over_implant * height);
-            grow_bbox dev (Box.make ~l:s.lo ~b:bottom ~r:s.hi ~t:top);
-            if config.emit_geometry then
-              add_geometry dev_geometry dev (Box.make ~l:s.lo ~b:bottom ~r:s.hi ~t:top))
-          new_chan;
+        Ivec.assign ~prev:!prev_diff ~cur:diff_cond ~dst:!cur_diff
+          ~fresh:(fun lo _ -> fresh_net ~phase:0 lo top)
+          ~union:union_nets;
+        Ivec.assign ~prev:!prev_poly ~cur:poly_raw ~dst:!cur_poly
+          ~fresh:(fun lo _ -> fresh_net ~phase:1 lo top)
+          ~union:union_nets;
+        Ivec.assign ~prev:!prev_metal ~cur:metal_raw ~dst:!cur_metal
+          ~fresh:(fun lo _ -> fresh_net ~phase:2 lo top)
+          ~union:union_nets;
+        Ivec.assign ~prev:!prev_chan ~cur:channel_all ~dst:!cur_chan
+          ~fresh:fresh_dev ~union:union_devs;
+        let new_diff = !cur_diff
+        and new_poly = !cur_poly
+        and new_metal = !cur_metal
+        and new_chan = !cur_chan in
+        (* channel contributions; the implant cursor rides along the
+           ascending channel spans *)
+        let ic = ref 0 in
+        for k = 0 to new_chan.Ivec.tlen - 1 do
+          let lo = new_chan.Ivec.tlo.(k)
+          and hi = new_chan.Ivec.thi.(k)
+          and dev = new_chan.Ivec.ttag.(k) in
+          accumulate dev_area dev ((hi - lo) * height);
+          while
+            !ic < implant_raw.Ivec.len && implant_raw.Ivec.hi.(!ic) <= lo
+          do
+            incr ic
+          done;
+          let over = ref 0 and j = ref !ic in
+          while !j < implant_raw.Ivec.len && implant_raw.Ivec.lo.(!j) < hi do
+            over :=
+              !over
+              + min hi implant_raw.Ivec.hi.(!j)
+              - max lo implant_raw.Ivec.lo.(!j);
+            incr j
+          done;
+          if !over > 0 then accumulate dev_implant dev (!over * height);
+          grow_bbox dev (Box.make ~l:lo ~b:bottom ~r:hi ~t:top);
+          if config.emit_geometry then
+            add_geometry dev_geometry dev (Box.make ~l:lo ~b:bottom ~r:hi ~t:top)
+        done;
         (* gate nets: the poly interval covering each channel interval *)
-        iter_tagged_overlaps new_chan new_poly ~f:(fun dev poly_net _len _lo ->
+        Ivec.iter_tagged_overlaps new_chan new_poly
+          ~f:(fun dev poly_net _len _lo ->
             dev_gates := (dev, poly_net) :: !dev_gates);
         (* same-strip source/drain contacts: vertical edges where channel and
            conducting diffusion abut *)
-        let rec adjacency chans diffs =
-          match (chans, diffs) with
-          | [], _ | _, [] -> ()
-          | ((c : Interval.span), dev) :: ctl, ((d : Interval.span), net) :: dtl ->
-              if d.hi <= c.lo then begin
-                if d.hi = c.lo then
-                  dev_edges :=
-                    (dev, net, height, Point.make c.lo bottom, side_left)
-                    :: !dev_edges;
-                adjacency chans dtl
-              end
-              else begin
-                (* disjoint tracks: here d.lo >= c.hi *)
-                if d.lo = c.hi then
-                  dev_edges :=
-                    (dev, net, height, Point.make c.hi bottom, side_right)
-                    :: !dev_edges;
-                adjacency ctl diffs
-              end
+        let rec adjacency ci di =
+          if ci < new_chan.Ivec.tlen && di < new_diff.Ivec.tlen then begin
+            let clo = new_chan.Ivec.tlo.(ci)
+            and chi = new_chan.Ivec.thi.(ci)
+            and dev = new_chan.Ivec.ttag.(ci) in
+            let dlo = new_diff.Ivec.tlo.(di)
+            and dhi = new_diff.Ivec.thi.(di)
+            and net = new_diff.Ivec.ttag.(di) in
+            if dhi <= clo then begin
+              if dhi = clo then
+                dev_edges :=
+                  (dev, net, height, Point.make clo bottom, side_left)
+                  :: !dev_edges;
+              adjacency ci (di + 1)
+            end
+            else begin
+              (* disjoint tracks: here dlo >= chi *)
+              if dlo = chi then
+                dev_edges :=
+                  (dev, net, height, Point.make chi bottom, side_right)
+                  :: !dev_edges;
+              adjacency (ci + 1) di
+            end
+          end
         in
-        adjacency new_chan new_diff;
+        adjacency 0 0;
         (* cross-strip source/drain contacts along the strip boundary *)
-        iter_tagged_overlaps new_chan !prev_diff ~f:(fun dev net len lo ->
+        Ivec.iter_tagged_overlaps new_chan !prev_diff ~f:(fun dev net len lo ->
             dev_edges :=
               (dev, net, len, Point.make lo top, side_above) :: !dev_edges);
-        iter_tagged_overlaps !prev_chan new_diff ~f:(fun dev net len lo ->
+        Ivec.iter_tagged_overlaps !prev_chan new_diff ~f:(fun dev net len lo ->
             dev_edges :=
               (dev, net, len, Point.make lo top, side_below) :: !dev_edges);
         (* contact cuts connect metal/poly/diffusion; buried contacts connect
-           poly and diffusion *)
-        let connect_through vias tracks =
-          List.iter
-            (fun (via : Interval.span) ->
-              let found = ref [] in
-              List.iter
-                (fun tagged ->
-                  iter_overlaps tagged [ via ] ~f:(fun id _ _ -> found := id :: !found))
-                tracks;
-              match !found with
-              | [] | [ _ ] -> ()
-              | first :: rest -> List.iter (fun e -> union_nets first e) rest)
-            vias
+           poly and diffusion.  Each track keeps a cursor that only advances
+           (vias ascend), so a strip's bridging is linear overall; the ids
+           under one via are collected into a reusable buffer and unioned in
+           the same order the list walk used (last-found first). *)
+        let connect_through (vias : Ivec.t) (tracks : Ivec.tagged array) =
+          let cursors = Array.make (Array.length tracks) 0 in
+          for v = 0 to vias.Ivec.len - 1 do
+            let vlo = vias.Ivec.lo.(v) and vhi = vias.Ivec.hi.(v) in
+            let count = ref 0 in
+            Array.iteri
+              (fun ti (t : Ivec.tagged) ->
+                let c = ref cursors.(ti) in
+                while !c < t.Ivec.tlen && t.Ivec.thi.(!c) <= vlo do incr c done;
+                cursors.(ti) <- !c;
+                let j = ref !c in
+                while !j < t.Ivec.tlen && t.Ivec.tlo.(!j) < vhi do
+                  if !count = Array.length !connect_buf then begin
+                    let b = Array.make (2 * !count) 0 in
+                    Array.blit !connect_buf 0 b 0 !count;
+                    connect_buf := b
+                  end;
+                  !connect_buf.(!count) <- t.Ivec.ttag.(!j);
+                  incr count;
+                  incr j
+                done)
+              tracks;
+            if !count >= 2 then begin
+              let buf = !connect_buf in
+              let first = buf.(!count - 1) in
+              for k = !count - 2 downto 0 do
+                union_nets first buf.(k)
+              done
+            end
+          done
         in
-        connect_through cut_raw [ new_metal; new_poly; new_diff ];
-        connect_through buried_contact [ new_poly; new_diff ];
+        connect_through cut_raw [| new_metal; new_poly; new_diff |];
+        connect_through buried_contact [| new_poly; new_diff |];
         (* net geometry *)
         if config.emit_geometry then begin
           let record layer tagged =
-            List.iter
-              (fun ((s : Interval.span), net) ->
+            Ivec.iter_tagged tagged ~f:(fun lo hi net ->
                 add_geometry net_geometry net
-                  (layer, Box.make ~l:s.lo ~b:bottom ~r:s.hi ~t:top))
-              tagged
+                  (layer, Box.make ~l:lo ~b:bottom ~r:hi ~t:top))
           in
           record Layer.Diffusion new_diff;
           record Layer.Poly new_poly;
@@ -609,12 +623,6 @@ let run ?(cancel = Cancel.never) config source ~labels =
             when lab.position.Point.y >= bottom && lab.position.Point.y < top ->
               pending_labels := rest;
               let x = lab.position.Point.x in
-              let find_in tagged =
-                List.find_map
-                  (fun ((s : Interval.span), id) ->
-                    if s.lo <= x && x < s.hi then Some id else None)
-                  tagged
-              in
               let tracks =
                 match lab.layer with
                 | Some Layer.Metal -> [ new_metal ]
@@ -624,7 +632,7 @@ let run ?(cancel = Cancel.never) config source ~labels =
                 | None ->
                     [ new_metal; new_poly; new_diff ]
               in
-              (match List.find_map find_in tracks with
+              (match List.find_map (fun t -> find_net_at t x) tracks with
               | Some net -> net_names := (net, lab.name) :: !net_names
               | None ->
                   warn "label %S at (%d,%d) touches no conducting geometry" lab.name
@@ -652,34 +660,45 @@ let run ?(cancel = Cancel.never) config source ~labels =
            cut spanning three windows with nothing under its middle third —
            cannot arise, because guillotine cuts never pass through the
            interior of a merged cut extent. *)
-        let cut_tagged =
-          if config.window = None then []
-          else
-            List.filter_map
-              (fun (via : Interval.span) ->
-                let found = ref None in
-                List.iter
-                  (fun tagged ->
-                    iter_overlaps tagged [ via ] ~f:(fun id _ _ ->
-                        if !found = None then found := Some id))
-                  [ new_metal; new_poly; new_diff ];
-                match !found with
-                | Some id -> Some (via, id)
-                | None -> None)
-              cut_raw
-        in
+        Ivec.tagged_clear cut_bound;
+        if config.window <> None then begin
+          let conductors = [| new_metal; new_poly; new_diff |] in
+          let cursors = Array.make (Array.length conductors) 0 in
+          for v = 0 to cut_raw.Ivec.len - 1 do
+            let vlo = cut_raw.Ivec.lo.(v) and vhi = cut_raw.Ivec.hi.(v) in
+            let found = ref (-1) in
+            Array.iteri
+              (fun ti (t : Ivec.tagged) ->
+                if !found < 0 then begin
+                  let c = ref cursors.(ti) in
+                  while !c < t.Ivec.tlen && t.Ivec.thi.(!c) <= vlo do
+                    incr c
+                  done;
+                  cursors.(ti) <- !c;
+                  if !c < t.Ivec.tlen && t.Ivec.tlo.(!c) < vhi then
+                    found := t.Ivec.ttag.(!c)
+                end)
+              conductors;
+            if !found >= 0 then Ivec.tagged_push cut_bound vlo vhi !found
+          done
+        end;
         record_boundary_tracks bottom top
           [
             (Layer.Diffusion, new_diff);
             (Layer.Poly, new_poly);
             (Layer.Metal, new_metal);
-            (Layer.Contact, cut_tagged);
+            (Layer.Contact, cut_bound);
           ]
           new_chan;
-        prev_diff := new_diff;
-        prev_poly := new_poly;
-        prev_metal := new_metal;
-        prev_chan := new_chan)
+        let swap a b =
+          let t = !a in
+          a := !b;
+          b := t
+        in
+        swap prev_diff cur_diff;
+        swap prev_poly cur_poly;
+        swap prev_metal cur_metal;
+        swap prev_chan cur_chan)
   in
 
   let count_active () =
@@ -834,6 +853,7 @@ let run ?(cancel = Cancel.never) config source ~labels =
     nets;
     net_names = !net_names;
     net_locations;
+    net_phase;
     net_geometry =
       (let tbl = Hashtbl.create 64 in
        Hashtbl.iter (fun k r -> Hashtbl.replace tbl k !r) net_geometry;

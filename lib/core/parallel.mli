@@ -1,86 +1,111 @@
 open Ace_geom
 open Ace_netlist
 
-(** Domain-parallel sharded extraction.
+(** Domain-parallel tiled extraction.
 
-    The chip's bounding box is partitioned into N full-height vertical
-    strips; each strip runs the ordinary scanline engine in window mode on
-    its own OCaml 5 domain, over its own lazy front-end stream clipped to
-    the strip ({!Engine.source_clipped}) — so no domain ever materializes
-    the chip, and peak memory per domain stays proportional to its strip's
-    scanline population.  The per-strip results become HEXT fragments
-    ({!Fragment.leaf_of_raw}) and are stitched left to right with
-    {!Fragment.compose} — exactly the seam logic the hierarchical
-    extractor uses: boundary-net spans unify across the shared face,
-    partial transistors knit by channel-span overlap, and seam
-    source/drain contacts are added where a channel ends on the seam.
-    Flattening the resulting two-level hierarchy yields a circuit
-    equivalent to the flat extractor's (same nets, names, devices and
-    sizes; net numbering is canonicalized by comparison, see [wlcmp]).
+    The chip's bounding box is partitioned into a [cols] x [rows] grid
+    of tiles; each tile runs the ordinary scanline engine in window mode
+    over its own lazy front-end stream clipped to the tile
+    ({!Engine.source_clipped}) — so no domain ever materializes the
+    chip, and peak memory per domain stays proportional to its tile's
+    scanline population.  Tiles are scheduled over [jobs] worker domains
+    by per-domain Chase–Lev work-stealing deques: each worker starts
+    with a contiguous block of tiles and an idle worker steals half of a
+    victim's visible tiles.  The per-tile results become HEXT fragments
+    ({!Fragment.leaf_of_raw}) and are stitched with {!Fragment.compose}
+    — exactly the seam logic the hierarchical extractor uses — along
+    both axes: each column composes bottom-to-top, then the columns
+    compose left-to-right.  A final canonicalization pass rebuilds the
+    flat extractor's net numbering from the engine's intrinsic creation
+    keys ({!Engine.raw.net_locations} / [net_phase]) and re-sorts
+    devices with the flat comparator, so the output is {e
+    byte-identical} to {!Extractor.extract} for every grid, worker
+    count, and steal schedule (see DESIGN.md, "Work-stealing
+    determinism").
 
-    With [jobs <= 1], no geometry, or a chip too narrow to split, this
-    falls back to {!Extractor.extract_with_stats} — a [-j 1] run {e is}
-    the flat extractor. *)
+    With no geometry or a grid that degenerates to a single tile, this
+    falls back to {!Extractor.extract_with_stats} — a [-j 1] run without
+    [--tile] {e is} the flat extractor. *)
 
-(** Per-strip telemetry. *)
+(** Per-tile telemetry. *)
 type shard = {
-  s_window : Box.t;  (** the strip, chip coordinates *)
-  s_boxes : int;  (** clipped boxes the strip's engine processed *)
+  s_window : Box.t;  (** the tile, chip coordinates *)
+  s_boxes : int;  (** clipped boxes the tile's engine processed *)
   s_stops : int;  (** scanline stops *)
   s_max_active : int;  (** peak scanline population *)
-  s_seconds : float;  (** wall time of the whole shard (stream + scan) *)
-  s_timing : Timing.t;  (** per-phase split of the shard's engine run *)
-  s_devices : int;  (** transistors completed inside the strip *)
-  s_partials : int;  (** partial transistors open at the strip boundary *)
+  s_seconds : float;  (** wall time of the whole tile (stream + scan) *)
+  s_timing : Timing.t;  (** per-phase split of the tile's engine run *)
+  s_devices : int;  (** transistors completed inside the tile *)
+  s_partials : int;  (** partial transistors open at the tile boundary *)
   s_counters : int array;
-      (** the shard's own {!Ace_trace.Trace.Counter} contributions,
+      (** the tile's own {!Ace_trace.Trace.Counter} contributions,
           [Counter.index]-indexed (its trace track starts at zero) *)
 }
 
 type stats = {
-  jobs : int;  (** shards actually run (≤ requested [jobs]) *)
-  shards : shard list;  (** empty for a flat fallback run *)
+  jobs : int;  (** worker domains used (≤ requested [jobs], ≤ tiles) *)
+  shards : shard list;
+      (** per tile, column-major — left-to-right, bottom-to-top within a
+          column; empty for a flat fallback run *)
   stitch_seconds : float;  (** composing + flattening, after the join *)
   boxes : int;  (** the design's flat box count (the papers' N) *)
-  stops : int;  (** total stops over all shards *)
-  max_active : int;  (** max over shards *)
+  stops : int;  (** total stops over all tiles *)
+  max_active : int;  (** max over tiles *)
   timing : Timing.t;
-      (** phase-wise sum over shards plus the stitch phase — CPU time, not
-          wall time: shards overlap in wall clock *)
+      (** phase-wise sum over tiles plus the stitch phase — CPU time, not
+          wall time: tiles overlap in wall clock *)
   warnings : Ace_diag.Diag.t list;
 }
 
 (** Slowest shard over the mean shard time: 1.0 = perfectly balanced. *)
 val balance : stats -> float
 
-(** The strip partition used for a given [jobs] request (exposed for
-    tests): adjacent, full-height, covering the box exactly, at most
-    [jobs] strips and never wider than one strip per x unit. *)
+(** [tile_windows ~cols ~rows bb] partitions [bb] into a grid of
+    near-equal tiles, indexed [column].(row) — columns left to right,
+    rows bottom to top.  Width remainder spreads over the leftmost
+    columns, height remainder over the bottom rows.  Clamped: at most
+    one column per x unit and one row per y unit, at least one of each;
+    tiles are adjacent and cover the box exactly. *)
+val tile_windows : cols:int -> rows:int -> Box.t -> Box.t array array
+
+(** Full-height vertical strips: [tile_windows ~cols:jobs ~rows:1],
+    flattened.  The partition the [-j]-only path uses. *)
 val windows : jobs:int -> Box.t -> Box.t array
 
-(** [extract_with_stats ?sequential ?jobs ?name design]: [sequential]
-    (default false) runs the shards one after another in the calling
-    domain instead of spawning — identical shard/stitch code path and
-    output.  Benches use it on hosts with fewer cores than [jobs], where
-    timeslicing inflates every spawned shard's wall clock, to get
-    uncontended per-shard timings; tests use it for simpler failure
-    traces.
+(** Parse a "COLSxROWS" grid spec (e.g. ["4x2"]), both ≥ 1. *)
+val tile_of_string : string -> (int * int, string) result
 
-    [cancel] is threaded into every shard's engine run; a deadline trip
-    raises {!Cancel.Cancelled} out of this call.  [on_shard] is invoked
-    with the shard index at the start of each shard's work, on that
-    shard's domain (fault injection and tests hook it; default no-op).
+(** [extract_with_stats ?sequential ?jobs ?tile ?name design]:
 
-    If any shard's work raises — including [on_shard], and including on a
+    [tile] gives the grid explicitly as [(cols, rows)]; default is
+    [(jobs, 1)] — classic vertical strips.  A multi-tile grid engages
+    the tiled path even at [jobs = 1] (useful for testing seams without
+    domains).
+
+    [sequential] (default false) runs the tiles one after another in the
+    calling domain instead of scheduling over spawned workers —
+    identical tile/stitch code path and output.  Benches use it on hosts
+    with fewer cores than [jobs], where timeslicing inflates every
+    spawned tile's wall clock, to get uncontended per-tile timings;
+    tests use it for simpler failure traces.
+
+    [cancel] is threaded into every tile's engine run and checked in the
+    scheduler's steal loop; a deadline trip raises {!Cancel.Cancelled}
+    out of this call.  [on_shard] is invoked with the tile index at the
+    start of each tile's work, on whichever domain runs it (fault
+    injection and tests hook it; default no-op).
+
+    If any tile's work raises — including [on_shard], and including on a
     spawned domain — every sibling domain is still joined before the
     exception propagates, so no domain is leaked and the calling process
-    stays consistent; the lowest-indexed shard's exception wins, with its
+    stays consistent; the lowest-indexed tile's exception wins, with its
     original backtrace. *)
 val extract_with_stats :
   ?sequential:bool ->
   ?cancel:Cancel.t ->
   ?on_shard:(int -> unit) ->
   ?jobs:int ->
+  ?tile:int * int ->
   ?name:string ->
   Ace_cif.Design.t ->
   Circuit.t * stats
@@ -90,6 +115,7 @@ val extract :
   ?cancel:Cancel.t ->
   ?on_shard:(int -> unit) ->
   ?jobs:int ->
+  ?tile:int * int ->
   ?name:string ->
   Ace_cif.Design.t ->
   Circuit.t

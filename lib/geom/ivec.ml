@@ -1,0 +1,181 @@
+(* Flat-arena interval vectors: the allocation-free counterpart of
+   [Interval.t] used by the scanline engine's per-strip `devices` algebra.
+   A vector is a pair (triple, tagged) of parallel int arrays reused
+   across strips — operations write into caller-owned destinations, so the
+   steady-state scan allocates no cons cell per interval (the same
+   discipline PR 8 gave the active lists).  Semantics match the list
+   module exactly; the qcheck equivalence properties in test_geom pin
+   them together. *)
+
+type t = { mutable lo : int array; mutable hi : int array; mutable len : int }
+
+type tagged = {
+  mutable tlo : int array;
+  mutable thi : int array;
+  mutable ttag : int array;
+  mutable tlen : int;
+}
+
+let create ?(cap = 16) () =
+  let cap = max cap 1 in
+  { lo = Array.make cap 0; hi = Array.make cap 0; len = 0 }
+
+let clear v = v.len <- 0
+
+let reserve v extra =
+  let need = v.len + extra in
+  if need > Array.length v.lo then begin
+    let cap = max need (2 * Array.length v.lo) in
+    let grow src =
+      let dst = Array.make cap 0 in
+      Array.blit src 0 dst 0 v.len;
+      dst
+    in
+    v.lo <- grow v.lo;
+    v.hi <- grow v.hi
+  end
+
+let push v lo hi =
+  reserve v 1;
+  let i = v.len in
+  v.lo.(i) <- lo;
+  v.hi.(i) <- hi;
+  v.len <- i + 1
+
+let to_list v =
+  let acc = ref [] in
+  for i = v.len - 1 downto 0 do
+    acc := { Interval.lo = v.lo.(i); hi = v.hi.(i) } :: !acc
+  done;
+  !acc
+
+let of_list (ivl : Interval.t) =
+  let v = create ~cap:(max 1 (List.length ivl)) () in
+  List.iter (fun (s : Interval.span) -> push v s.lo s.hi) ivl;
+  v
+
+let total_length v =
+  let acc = ref 0 in
+  for i = 0 to v.len - 1 do
+    acc := !acc + v.hi.(i) - v.lo.(i)
+  done;
+  !acc
+
+let tagged_create ?(cap = 16) () =
+  let cap = max cap 1 in
+  {
+    tlo = Array.make cap 0;
+    thi = Array.make cap 0;
+    ttag = Array.make cap 0;
+    tlen = 0;
+  }
+
+let tagged_clear v = v.tlen <- 0
+
+let tagged_reserve v extra =
+  let need = v.tlen + extra in
+  if need > Array.length v.tlo then begin
+    let cap = max need (2 * Array.length v.tlo) in
+    let grow src =
+      let dst = Array.make cap 0 in
+      Array.blit src 0 dst 0 v.tlen;
+      dst
+    in
+    v.tlo <- grow v.tlo;
+    v.thi <- grow v.thi;
+    v.ttag <- grow v.ttag
+  end
+
+let tagged_push v lo hi tag =
+  tagged_reserve v 1;
+  let i = v.tlen in
+  v.tlo.(i) <- lo;
+  v.thi.(i) <- hi;
+  v.ttag.(i) <- tag;
+  v.tlen <- i + 1
+
+let tagged_to_list v =
+  let acc = ref [] in
+  for i = v.tlen - 1 downto 0 do
+    acc := ({ Interval.lo = v.tlo.(i); hi = v.thi.(i) }, v.ttag.(i)) :: !acc
+  done;
+  !acc
+
+let tagged_of_list l =
+  let v = tagged_create ~cap:(max 1 (List.length l)) () in
+  List.iter (fun ((s : Interval.span), tag) -> tagged_push v s.lo s.hi tag) l;
+  v
+
+let inter_into ~dst a b =
+  clear dst;
+  let i = ref 0 and j = ref 0 in
+  while !i < a.len && !j < b.len do
+    let lo = max a.lo.(!i) b.lo.(!j) and hi = min a.hi.(!i) b.hi.(!j) in
+    if lo < hi then push dst lo hi;
+    if a.hi.(!i) < b.hi.(!j) then incr i else incr j
+  done
+
+let diff_into ~dst a b =
+  clear dst;
+  (* [j] is the first b-span whose end lies beyond the current a-span's
+     start; it only ever advances (a is sorted), but the scan below must
+     not consume a b-span that also clips the next a-span. *)
+  let j = ref 0 in
+  for i = 0 to a.len - 1 do
+    let alo = a.lo.(i) and ahi = a.hi.(i) in
+    while !j < b.len && b.hi.(!j) <= alo do incr j done;
+    let cur = ref alo and k = ref !j in
+    while !k < b.len && b.lo.(!k) < ahi do
+      if b.lo.(!k) > !cur then push dst !cur b.lo.(!k);
+      if b.hi.(!k) > !cur then cur := b.hi.(!k);
+      incr k
+    done;
+    if !cur < ahi then push dst !cur ahi
+  done
+
+let overlap_length a b =
+  let acc = ref 0 and i = ref 0 and j = ref 0 in
+  while !i < a.len && !j < b.len do
+    let o = min a.hi.(!i) b.hi.(!j) - max a.lo.(!i) b.lo.(!j) in
+    if o > 0 then acc := !acc + o;
+    if a.hi.(!i) < b.hi.(!j) then incr i else incr j
+  done;
+  !acc
+
+(* Id assignment by vertical overlap with the previous strip — the arena
+   counterpart of the engine's list-based [assign]: for each current span,
+   the first overlapping previous span donates its id (every further
+   overlapping one is unioned into it, in left-to-right order, exactly as
+   the list walk did); a span with no overlap gets [fresh lo hi]. *)
+let assign ~prev ~cur ~dst ~fresh ~union =
+  tagged_clear dst;
+  let p = ref 0 in
+  for c = 0 to cur.len - 1 do
+    let clo = cur.lo.(c) and chi = cur.hi.(c) in
+    while !p < prev.tlen && prev.thi.(!p) <= clo do incr p done;
+    let first = ref (-1) and k = ref !p in
+    while !k < prev.tlen && prev.tlo.(!k) < chi do
+      let id = prev.ttag.(!k) in
+      if !first < 0 then first := id else union !first id;
+      incr k
+    done;
+    let id = if !first < 0 then fresh clo chi else !first in
+    tagged_push dst clo chi id
+  done
+
+(* Overlap pairs between two tagged vectors, ascending; [f ia ib len lo]
+   for each strict overlap — same visit order and tie-breaking as the
+   list-based walk (ties on the right edge advance [b]). *)
+let iter_tagged_overlaps a b ~f =
+  let i = ref 0 and j = ref 0 in
+  while !i < a.tlen && !j < b.tlen do
+    let lo = max a.tlo.(!i) b.tlo.(!j) in
+    let len = min a.thi.(!i) b.thi.(!j) - lo in
+    if len > 0 then f a.ttag.(!i) b.ttag.(!j) len lo;
+    if a.thi.(!i) < b.thi.(!j) then incr i else incr j
+  done
+
+let iter_tagged v ~f =
+  for i = 0 to v.tlen - 1 do
+    f v.tlo.(i) v.thi.(i) v.ttag.(i)
+  done

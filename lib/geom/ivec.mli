@@ -1,0 +1,78 @@
+(** Flat-arena interval vectors.
+
+    The allocation-free counterpart of {!Interval.t} for the scanline
+    engine's per-strip `devices` algebra: canonical interval sets stored
+    as parallel int arrays, with set operations writing into caller-owned,
+    reusable destination vectors.  In steady state the engine recycles a
+    fixed pool of these across strips, so the devices phase allocates no
+    cons cell per interval.
+
+    Every operation assumes — and produces — the same canonical form as
+    {!Interval}: spans sorted by [lo], pairwise disjoint; plain vectors
+    are additionally non-abutting.  Semantics are pinned to the list
+    module by qcheck equivalence properties (test_geom).
+
+    The record fields are exposed for zero-overhead reads on the engine's
+    hot path; treat them as read-only outside this module and mutate only
+    through the operations below. *)
+
+type t = { mutable lo : int array; mutable hi : int array; mutable len : int }
+(** A canonical interval set: span [i] is [\[lo.(i), hi.(i))], for
+    [i < len]. *)
+
+type tagged = {
+  mutable tlo : int array;
+  mutable thi : int array;
+  mutable ttag : int array;
+  mutable tlen : int;
+}
+(** A sorted, disjoint span set with an id per span (net or device
+    class) — the engine's per-layer strip tracks. *)
+
+val create : ?cap:int -> unit -> t
+val clear : t -> unit
+
+val push : t -> int -> int -> unit
+(** Append one span; the caller maintains canonical order. *)
+
+val to_list : t -> Interval.t
+val of_list : Interval.t -> t
+val total_length : t -> int
+
+val tagged_create : ?cap:int -> unit -> tagged
+val tagged_clear : tagged -> unit
+val tagged_push : tagged -> int -> int -> int -> unit
+val tagged_to_list : tagged -> (Interval.span * int) list
+val tagged_of_list : (Interval.span * int) list -> tagged
+
+val inter_into : dst:t -> t -> t -> unit
+(** [inter_into ~dst a b]: [dst] becomes the intersection of [a] and [b]
+    ([Interval.inter]).  [dst] must be distinct from [a] and [b]. *)
+
+val diff_into : dst:t -> t -> t -> unit
+(** [diff_into ~dst a b]: [dst] becomes [a] minus [b] ([Interval.diff]).
+    [dst] must be distinct from [a] and [b]. *)
+
+val overlap_length : t -> t -> int
+(** Total length of the intersection, without building it. *)
+
+val assign :
+  prev:tagged ->
+  cur:t ->
+  dst:tagged ->
+  fresh:(int -> int -> int) ->
+  union:(int -> int -> unit) ->
+  unit
+(** [assign ~prev ~cur ~dst ~fresh ~union] tags each span of [cur] by
+    overlap with the previous strip's tagged spans: the first overlapping
+    span donates its id and every further overlapping one is passed to
+    [union first other] in ascending order; a span overlapping nothing
+    gets [fresh lo hi].  [dst] must be distinct from [prev]. *)
+
+val iter_tagged_overlaps :
+  tagged -> tagged -> f:(int -> int -> int -> int -> unit) -> unit
+(** [iter_tagged_overlaps a b ~f] calls [f ida idb len lo] for every
+    strictly-overlapping span pair, in ascending order. *)
+
+val iter_tagged : tagged -> f:(int -> int -> int -> unit) -> unit
+(** [iter_tagged v ~f] calls [f lo hi tag] on each span in order. *)

@@ -35,6 +35,7 @@ type request = {
   cif : string option;
   name : string;
   jobs : int option;
+  tile : (int * int) option;
   deadline_ms : int option;
   use_cache : bool;
   vdd : string option;
@@ -76,6 +77,15 @@ let parse line =
         let* cif = field_string j "cif" in
         let* name = field_string j "name" in
         let* jobs = field_int j "jobs" in
+        let* tile =
+          let* s = field_string j "tile" in
+          match s with
+          | None -> Ok None
+          | Some s -> (
+              match Ace_core.Parallel.tile_of_string s with
+              | Ok g -> Ok (Some g)
+              | Error e -> Error e)
+        in
         let* deadline_ms = field_int j "deadline_ms" in
         let* use_cache = field_bool j "cache" in
         let* vdd = field_string j "vdd" in
@@ -94,6 +104,7 @@ let parse line =
                 cif;
                 name = Option.value name ~default:"chip";
                 jobs;
+                tile;
                 deadline_ms;
                 use_cache = Option.value use_cache ~default:true;
                 vdd;

@@ -51,7 +51,11 @@ type request = {
   op : string;
   cif : string option;  (** the layout, as CIF text *)
   name : string;  (** wirelist part name, default ["chip"] *)
-  jobs : int option;  (** shard-count override, clamped by the server *)
+  jobs : int option;  (** worker-count override, clamped by the server *)
+  tile : (int * int) option;
+      (** the ["tile"] field, a ["COLSxROWS"] string: explicit extraction
+          tile grid (wirelists are byte-identical for every grid; only
+          telemetry and warning framing vary) *)
   deadline_ms : int option;  (** per-request deadline *)
   use_cache : bool;  (** default [true] *)
   vdd : string option;  (** rail-name override for lint/flow/lvs *)

@@ -95,13 +95,13 @@ let with_extract_lock t cancel f =
   acquire ();
   Fun.protect ~finally:(fun () -> Mutex.unlock t.extract_lock) f
 
-let run_extract t ~cancel ~jobs ~name design =
+let run_extract t ~cancel ~jobs ~tile ~name design =
   let on_shard idx =
     if t.config.faults.Faults.shard_raise && idx > 0 then
       failwith (Printf.sprintf "injected shard fault (shard %d)" idx)
   in
   with_extract_lock t cancel @@ fun () ->
-  Parallel.extract_with_stats ~cancel ~on_shard ~jobs ~name design
+  Parallel.extract_with_stats ~cancel ~on_shard ~jobs ?tile ~name design
 
 (* The cached payload: the complete per-op result object, so a warm
    reply can splice it verbatim.  Byte-identity between warm and cold
@@ -124,7 +124,14 @@ let circuit_of_payload payload =
           try Some (Wirelist.of_string wl) with _ -> None)
       | _ -> None)
 
-let cache_key design ~name ~jobs =
+(* The tile grid is part of the key: the wirelist is grid-invariant,
+   but the cached payload also carries the warnings, whose shard framing
+   ("shard i/n: ...") depends on the grid. *)
+let tile_tag = function
+  | None -> "-"
+  | Some (c, r) -> Printf.sprintf "%dx%d" c r
+
+let cache_key design ~name ~jobs ~tile =
   let canonical = Ace_cif.Writer.to_string (Ace_cif.Design.ast design) in
   Cache.fnv1a64_hex
     (String.concat "\x00"
@@ -133,14 +140,15 @@ let cache_key design ~name ~jobs =
          string_of_int (Ace_cif.Design.quantum design);
          name;
          string_of_int jobs;
+         tile_tag tile;
          canonical;
        ])
 
 (* (payload, cached?).  Cache misses — including quarantined corrupt
    entries — fall through to a recomputation that heals the cache. *)
-let obtain_payload t ~cancel ~use_cache ~jobs ~name design =
+let obtain_payload t ~cancel ~use_cache ~jobs ~tile ~name design =
   let cache = if use_cache then t.config.cache else None in
-  let key = Option.map (fun _ -> cache_key design ~name ~jobs) cache in
+  let key = Option.map (fun _ -> cache_key design ~name ~jobs ~tile) cache in
   let hit =
     match (cache, key) with
     | Some c, Some k -> Cache.find c k
@@ -149,7 +157,7 @@ let obtain_payload t ~cancel ~use_cache ~jobs ~name design =
   match hit with
   | Some payload -> (payload, true)
   | None ->
-      let circuit, stats = run_extract t ~cancel ~jobs ~name design in
+      let circuit, stats = run_extract t ~cancel ~jobs ~tile ~name design in
       let payload = payload_of_circuit circuit stats.Parallel.warnings in
       (match (cache, key) with
       | Some c, Some k -> Cache.store c k payload
@@ -159,9 +167,9 @@ let obtain_payload t ~cancel ~use_cache ~jobs ~name design =
 (* Like [obtain_payload] but materializes the circuit (lint/flow).  A
    warm payload round-trips through the wirelist reader; the reader
    failing on our own checksummed output degrades to a recompute. *)
-let obtain_circuit t ~cancel ~use_cache ~jobs ~name design =
+let obtain_circuit t ~cancel ~use_cache ~jobs ~tile ~name design =
   let cache = if use_cache then t.config.cache else None in
-  let key = Option.map (fun _ -> cache_key design ~name ~jobs) cache in
+  let key = Option.map (fun _ -> cache_key design ~name ~jobs ~tile) cache in
   let hit =
     match (cache, key) with
     | Some c, Some k -> Option.bind (Cache.find c k) circuit_of_payload
@@ -170,7 +178,7 @@ let obtain_circuit t ~cancel ~use_cache ~jobs ~name design =
   match hit with
   | Some circuit -> (circuit, true)
   | None ->
-      let circuit, _ = run_extract t ~cancel ~jobs ~name design in
+      let circuit, _ = run_extract t ~cancel ~jobs ~tile ~name design in
       (circuit, false)
 
 let front_end cif =
@@ -193,13 +201,13 @@ let request_params t (r : Proto.request) =
     if deadline_ms > 0 then Cancel.with_deadline_ms deadline_ms
     else Cancel.never
   in
-  (jobs, cancel)
+  (jobs, r.Proto.tile, cancel)
 
 let do_extract t (r : Proto.request) cif =
-  let jobs, cancel = request_params t r in
+  let jobs, tile, cancel = request_params t r in
   let design, diags = front_end cif in
   let payload, cached =
-    obtain_payload t ~cancel ~use_cache:r.Proto.use_cache ~jobs
+    obtain_payload t ~cancel ~use_cache:r.Proto.use_cache ~jobs ~tile
       ~name:r.Proto.name design
   in
   Proto.ok ~id:r.Proto.id ~op:"extract"
@@ -210,10 +218,10 @@ let do_extract t (r : Proto.request) cif =
     ]
 
 let do_lint t (r : Proto.request) cif =
-  let jobs, cancel = request_params t r in
+  let jobs, tile, cancel = request_params t r in
   let design, diags = front_end cif in
   let circuit, cached =
-    obtain_circuit t ~cancel ~use_cache:r.Proto.use_cache ~jobs
+    obtain_circuit t ~cancel ~use_cache:r.Proto.use_cache ~jobs ~tile
       ~name:r.Proto.name design
   in
   let vdd = Option.value r.Proto.vdd ~default:t.config.vdd in
@@ -241,10 +249,10 @@ let do_lint t (r : Proto.request) cif =
     ]
 
 let do_flow t (r : Proto.request) cif =
-  let jobs, cancel = request_params t r in
+  let jobs, tile, cancel = request_params t r in
   let design, diags = front_end cif in
   let circuit, cached =
-    obtain_circuit t ~cancel ~use_cache:r.Proto.use_cache ~jobs
+    obtain_circuit t ~cancel ~use_cache:r.Proto.use_cache ~jobs ~tile
       ~name:r.Proto.name design
   in
   let vdd_name = Option.value r.Proto.vdd ~default:t.config.vdd in
@@ -286,8 +294,8 @@ let do_flow t (r : Proto.request) cif =
    change the verdict.  The finding diagnostics are rendered with
    Diag.to_json, the exact lines `acelvs --diag-format=json` prints, so
    clients can diff daemon replies against one-shot runs byte for byte. *)
-let lvs_cache_key design ~name ~jobs ~reference ~vdd ~gnd ~hier ~ref_format
-    ~max_findings =
+let lvs_cache_key design ~name ~jobs ~tile ~reference ~vdd ~gnd ~hier
+    ~ref_format ~max_findings =
   let canonical = Ace_cif.Writer.to_string (Ace_cif.Design.ast design) in
   Cache.fnv1a64_hex
     (String.concat "\x00"
@@ -297,6 +305,7 @@ let lvs_cache_key design ~name ~jobs ~reference ~vdd ~gnd ~hier ~ref_format
          string_of_int (Ace_cif.Design.quantum design);
          name;
          string_of_int jobs;
+         tile_tag tile;
          vdd;
          gnd;
          string_of_bool hier;
@@ -306,8 +315,8 @@ let lvs_cache_key design ~name ~jobs ~reference ~vdd ~gnd ~hier ~ref_format
          canonical;
        ])
 
-let lvs_payload t ~cancel ~use_cache ~jobs ~name ~vdd ~gnd ~hier ~ref_format
-    ~max_findings design reference_text =
+let lvs_payload t ~cancel ~use_cache ~jobs ~tile ~name ~vdd ~gnd ~hier
+    ~ref_format ~max_findings design reference_text =
   let loaded =
     match ref_format with
     | "verilog" ->
@@ -341,7 +350,9 @@ let lvs_payload t ~cancel ~use_cache ~jobs ~name ~vdd ~gnd ~hier ~ref_format
           (hr.Ace_lvs.Hier.r, Some hr)
         end
         else begin
-          let circuit, _ = obtain_circuit t ~cancel ~use_cache ~jobs ~name design in
+          let circuit, _ =
+            obtain_circuit t ~cancel ~use_cache ~jobs ~tile ~name design
+          in
           ( Ace_lvs.Match.run ~cancel ~vdd ~gnd ~max_findings ~layout:circuit
               ~reference (),
             None )
@@ -392,7 +403,7 @@ let do_lvs t (r : Proto.request) cif =
       Proto.error ~id:r.Proto.id ~code:Proto.err_bad_request
         "missing field \"ref\""
   | Some reference_text -> (
-      let jobs, cancel = request_params t r in
+      let jobs, tile, cancel = request_params t r in
       let design, diags = front_end cif in
       let vdd = Option.value r.Proto.vdd ~default:t.config.vdd in
       let gnd = Option.value r.Proto.gnd ~default:t.config.gnd in
@@ -410,7 +421,7 @@ let do_lvs t (r : Proto.request) cif =
       let key =
         Option.map
           (fun _ ->
-            lvs_cache_key design ~name:r.Proto.name ~jobs
+            lvs_cache_key design ~name:r.Proto.name ~jobs ~tile
               ~reference:reference_text ~vdd ~gnd ~hier ~ref_format
               ~max_findings)
           cache
@@ -425,7 +436,7 @@ let do_lvs t (r : Proto.request) cif =
         | Some payload -> Ok (payload, true)
         | None -> (
             match
-              lvs_payload t ~cancel ~use_cache:r.Proto.use_cache ~jobs
+              lvs_payload t ~cancel ~use_cache:r.Proto.use_cache ~jobs ~tile
                 ~name:r.Proto.name ~vdd ~gnd ~hier ~ref_format ~max_findings
                 design reference_text
             with

@@ -37,8 +37,12 @@ module Counter = struct
     | Lvs_matches
     | Lvs_cell_matches
     | Lvs_cell_hits
+    | Tiles_extracted
+    | Tile_steals
+    | Seam_merges_h
+    | Seam_merges_v
 
-  let cardinal = 21
+  let cardinal = 25
 
   let index = function
     | Boxes_popped -> 0
@@ -62,6 +66,10 @@ module Counter = struct
     | Lvs_matches -> 18
     | Lvs_cell_matches -> 19
     | Lvs_cell_hits -> 20
+    | Tiles_extracted -> 21
+    | Tile_steals -> 22
+    | Seam_merges_h -> 23
+    | Seam_merges_v -> 24
 
   let all =
     [
@@ -86,6 +94,10 @@ module Counter = struct
       Lvs_matches;
       Lvs_cell_matches;
       Lvs_cell_hits;
+      Tiles_extracted;
+      Tile_steals;
+      Seam_merges_h;
+      Seam_merges_v;
     ]
 
   let slug = function
@@ -110,6 +122,10 @@ module Counter = struct
     | Lvs_matches -> "lvs_matches"
     | Lvs_cell_matches -> "lvs_cell_matches"
     | Lvs_cell_hits -> "lvs_cell_hits"
+    | Tiles_extracted -> "tiles_extracted"
+    | Tile_steals -> "tile_steals"
+    | Seam_merges_h -> "seam_merges_h"
+    | Seam_merges_v -> "seam_merges_v"
 
   let describe = function
     | Boxes_popped -> "boxes delivered by the lazy front-end stream"
@@ -133,6 +149,10 @@ module Counter = struct
     | Lvs_matches -> "devices paired across the two LVS netlists"
     | Lvs_cell_matches -> "distinct LVS cell summaries compared"
     | Lvs_cell_hits -> "LVS cell instances served from the summary memo"
+    | Tiles_extracted -> "tiles extracted by the sharded scheduler"
+    | Tile_steals -> "tiles obtained by work stealing from another domain"
+    | Seam_merges_h -> "fragment compositions across vertical seams (left|right)"
+    | Seam_merges_v -> "fragment compositions across horizontal seams (bottom|top)"
 end
 
 (* --- clock --- *)

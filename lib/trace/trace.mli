@@ -29,6 +29,10 @@ module Counter : sig
     | Lvs_matches  (** devices paired across the two LVS netlists *)
     | Lvs_cell_matches  (** distinct LVS cell summaries compared *)
     | Lvs_cell_hits  (** LVS cell instances served from the summary memo *)
+    | Tiles_extracted  (** tiles extracted by the sharded scheduler *)
+    | Tile_steals  (** tiles obtained by work stealing from another domain *)
+    | Seam_merges_h  (** fragment compositions across vertical seams *)
+    | Seam_merges_v  (** fragment compositions across horizontal seams *)
 
   val cardinal : int
   val index : t -> int

@@ -34,7 +34,12 @@
    8. hierarchical LVS agreement — the structural-Verilog reference
       parser is total on raw fuzz text, and on every input HEXT can
       extract hierarchically, the hierarchical comparator returns
-      exactly the flat comparator's verdict.
+      exactly the flat comparator's verdict;
+   9. tiled-extraction identity — every extractable input, re-extracted
+      through the tiled parallel path under an input-seeded random tile
+      grid, yields a wirelist byte-identical to the flat extractor's
+      (hence identical output and exit code for any -j/--tile the CLI
+      could choose).
 
    Runs as a bounded smoke test under `dune runtest` (fixed seed, ~500
    inputs, well under 5 s).  Set ACE_FUZZ_N / ACE_FUZZ_SEED to scale it
@@ -250,6 +255,30 @@ let hier_agrees input design =
                     fail_input "hierarchical and flat LVS verdicts differ"
                       input (Failure "disagreement"))))
 
+(* property 9: the tiled parallel extractor is byte-equal to the flat
+   one on anything the flat one can extract.  The grid and worker count
+   are seeded from the input bytes, so the corpus as a whole sweeps
+   ragged multi-row grids while each individual input stays
+   reproducible.  The steal schedule is whatever the machine does that
+   run — the property asserts it cannot matter. *)
+let tiled_agrees input design flat_wl =
+  let h = Hashtbl.hash input in
+  let cols = 1 + (h mod 4)
+  and rows = 1 + (h / 4 mod 4)
+  and jobs = 1 + (h / 16 mod 3) in
+  match Ace_core.Parallel.extract ~jobs ~tile:(cols, rows) ~name:"fuzz" design with
+  | exception e ->
+      fail_input
+        (Printf.sprintf "tiled extract (%dx%d -j%d) raised where flat succeeded"
+           cols rows jobs)
+        input e
+  | tiled ->
+      if Ace_netlist.Wirelist.to_string tiled <> flat_wl then
+        fail_input
+          (Printf.sprintf "tiled wirelist (%dx%d -j%d) differs from flat" cols
+             rows jobs)
+          input (Failure "disagreement")
+
 (* property 3: the lint battery is total over whatever the extractor
    produces.  Extraction failures on fuzz garbage are tolerated (and the
    design is size-guarded so pathological inputs cannot stall the run),
@@ -271,6 +300,7 @@ let lint_total input pdiags design =
         | exception e -> fail_input "lint raised" input e);
         lvs_self input circuit;
         hier_agrees input design;
+        tiled_agrees input design (Ace_netlist.Wirelist.to_string circuit);
         traced_transparent input pdiags design
           (Ace_netlist.Wirelist.to_string circuit);
         (* property 3b: the flow analysis is total on any extracted

@@ -152,6 +152,124 @@ let prop_overlap_length =
       Interval.overlap_length a b = Interval.total_length (Interval.inter a b))
 
 (* ------------------------------------------------------------------ *)
+(* Ivec: flat arena interval vectors vs the list reference              *)
+(* ------------------------------------------------------------------ *)
+
+(* The engine's per-strip devices algebra runs on flat arena vectors
+   (Ivec); these properties pin every arena operation to the list-based
+   Interval reference on random span sets.  gen_spans freely generates
+   empty, adjacent and coalescing spans, so the edge cases (zero-length
+   input, abutting spans merged by of_spans, multi-way coalescing) are
+   all exercised. *)
+
+(* the list-based assignment walk the engine used before the arena port,
+   kept here verbatim as the executable specification *)
+let list_assign prev cur ~fresh ~union =
+  let rec drop (c : Interval.span) = function
+    | ((ps : Interval.span), _) :: tl when ps.hi <= c.lo -> drop c tl
+    | l -> l
+  in
+  let rec collect (c : Interval.span) l acc =
+    match l with
+    | ((ps : Interval.span), pe) :: tl when ps.lo < c.hi ->
+        collect c tl (pe :: acc)
+    | _ -> List.rev acc
+  in
+  let rec go prev cur acc =
+    match cur with
+    | [] -> List.rev acc
+    | c :: cs ->
+        let prev = drop c prev in
+        let id =
+          match collect c prev [] with
+          | [] -> fresh c
+          | first :: rest ->
+              List.iter (fun e -> union first e) rest;
+              first
+        in
+        go prev cs ((c, id) :: acc)
+  in
+  go prev cur []
+
+let list_iter_tagged_overlaps a b ~f =
+  let rec go a b =
+    match (a, b) with
+    | [], _ | _, [] -> ()
+    | ((sa : Interval.span), ia) :: atl, ((sb : Interval.span), ib) :: btl ->
+        let len = Interval.span_overlap_length sa sb in
+        if len > 0 then f ia ib len (max sa.lo sb.lo);
+        if sa.hi < sb.hi then go atl b else go a btl
+  in
+  go a b
+
+let prop_ivec_inter_diff =
+  Tutil.qtest ~count:500 "ivec inter/diff/overlap agree with Interval"
+    QCheck2.Gen.(pair gen_spans gen_spans)
+    (fun (sa, sb) ->
+      let a = Interval.of_spans sa and b = Interval.of_spans sb in
+      let va = Ivec.of_list a and vb = Ivec.of_list b in
+      let dst = Ivec.create ~cap:1 () in
+      Ivec.inter_into ~dst va vb;
+      let inter_ok = Interval.equal (Ivec.to_list dst) (Interval.inter a b) in
+      Ivec.diff_into ~dst va vb;
+      let diff_ok = Interval.equal (Ivec.to_list dst) (Interval.diff a b) in
+      (* destinations are recycled across strips: a second write into the
+         same scratch must not be polluted by the first *)
+      Ivec.inter_into ~dst va vb;
+      let reuse_ok = Interval.equal (Ivec.to_list dst) (Interval.inter a b) in
+      inter_ok && diff_ok && reuse_ok
+      && Ivec.overlap_length va vb = Interval.overlap_length a b
+      && Ivec.total_length va = Interval.total_length a
+      && Interval.equal (Ivec.to_list va) a)
+
+let prop_ivec_assign =
+  Tutil.qtest ~count:500 "ivec assign matches the list reference"
+    QCheck2.Gen.(pair gen_spans gen_spans)
+    (fun (sp, sc) ->
+      let prev_spans = Interval.of_spans sp
+      and cur = Interval.of_spans sc in
+      (* the same fresh/union *sequence* must be observed, not just the
+         same tagging: the engine's net numbering and union order ride on
+         it *)
+      let prev = List.mapi (fun i s -> (s, 100 + i)) prev_spans in
+      let ev_ref = ref [] and next_ref = ref 0 in
+      let out_ref =
+        list_assign prev cur
+          ~fresh:(fun (s : Interval.span) ->
+            ev_ref := `Fresh (s.lo, s.hi) :: !ev_ref;
+            let id = !next_ref in
+            incr next_ref;
+            id)
+          ~union:(fun a b -> ev_ref := `Union (a, b) :: !ev_ref)
+      in
+      let ev_vec = ref [] and next_vec = ref 0 in
+      let dst = Ivec.tagged_create ~cap:1 () in
+      Ivec.assign
+        ~prev:(Ivec.tagged_of_list prev)
+        ~cur:(Ivec.of_list cur) ~dst
+        ~fresh:(fun lo hi ->
+          ev_vec := `Fresh (lo, hi) :: !ev_vec;
+          let id = !next_vec in
+          incr next_vec;
+          id)
+        ~union:(fun a b -> ev_vec := `Union (a, b) :: !ev_vec);
+      out_ref = Ivec.tagged_to_list dst && !ev_ref = !ev_vec)
+
+let prop_ivec_tagged_overlaps =
+  Tutil.qtest ~count:500 "ivec tagged-overlap walk matches the list walk"
+    QCheck2.Gen.(pair gen_spans gen_spans)
+    (fun (sa, sb) ->
+      let a = List.mapi (fun i s -> (s, i)) (Interval.of_spans sa)
+      and b = List.mapi (fun i s -> (s, 50 + i)) (Interval.of_spans sb) in
+      let visits_ref = ref [] in
+      list_iter_tagged_overlaps a b ~f:(fun ia ib len lo ->
+          visits_ref := (ia, ib, len, lo) :: !visits_ref);
+      let visits_vec = ref [] in
+      Ivec.iter_tagged_overlaps (Ivec.tagged_of_list a) (Ivec.tagged_of_list b)
+        ~f:(fun ia ib len lo -> visits_vec := (ia, ib, len, lo) :: !visits_vec);
+      !visits_ref = !visits_vec)
+
+(* ------------------------------------------------------------------ *)
 (* Transform                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -330,6 +448,12 @@ let () =
           prop_interval_canonical;
           prop_interval_algebra;
           prop_overlap_length;
+        ] );
+      ( "ivec",
+        [
+          prop_ivec_inter_diff;
+          prop_ivec_assign;
+          prop_ivec_tagged_overlaps;
         ] );
       ( "transform",
         [

@@ -66,6 +66,85 @@ let prop_windows =
       strips_tile bb wins && Array.length wins <= jobs)
 
 (* ------------------------------------------------------------------ *)
+(* 2-D tile grids                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let grid_tiles (bb : Box.t) grid =
+  let cols = Array.length grid in
+  cols >= 1
+  && Array.for_all (fun col -> Array.length col = Array.length grid.(0)) grid
+  && (* columns adjacent, spanning [bb.l, bb.r) *)
+  grid.(0).(0).Box.l = bb.l
+  && grid.(cols - 1).(0).Box.r = bb.r
+  && Array.for_all
+       (fun i -> grid.(i).(0).Box.r = grid.(i + 1).(0).Box.l)
+       (Array.init (cols - 1) Fun.id)
+  && Array.for_all
+       (fun col ->
+         let rows = Array.length col in
+         (* rows adjacent bottom to top, spanning [bb.b, bb.t) *)
+         col.(0).Box.b = bb.b
+         && col.(rows - 1).Box.t = bb.t
+         && Array.for_all
+              (fun j -> col.(j).Box.t = col.(j + 1).Box.b)
+              (Array.init (rows - 1) Fun.id)
+         && (* every tile shares its column's x-range and is non-empty *)
+         Array.for_all
+           (fun (w : Box.t) ->
+             w.l = col.(0).Box.l && w.r = col.(0).Box.r && w.l < w.r
+             && w.b < w.t)
+           col)
+       grid
+
+let test_tile_windows () =
+  let bb = Box.make ~l:(-7) ~b:3 ~r:100 ~t:50 in
+  List.iter
+    (fun (cols, rows) ->
+      let grid = Parallel.tile_windows ~cols ~rows bb in
+      check "tiles the box" true (grid_tiles bb grid);
+      check "at most cols" true (Array.length grid <= cols);
+      check "at most rows" true (Array.length grid.(0) <= rows))
+    [ (1, 1); (2, 2); (3, 4); (7, 5); (16, 16) ];
+  (* a 3x2 chip clamps a 5x5 request to one tile per unit *)
+  let tiny = Box.make ~l:0 ~b:0 ~r:3 ~t:2 in
+  let grid = Parallel.tile_windows ~cols:5 ~rows:5 tiny in
+  check_int "clamped cols" 3 (Array.length grid);
+  check_int "clamped rows" 2 (Array.length grid.(0));
+  check "clamped grid tiles" true (grid_tiles tiny grid);
+  (* strips are the 1-row special case of the grid *)
+  let strips = Parallel.windows ~jobs:4 bb in
+  let grid = Parallel.tile_windows ~cols:4 ~rows:1 bb in
+  check "windows = 1-row grid" true
+    (Array.to_list strips = Array.to_list (Array.map (fun c -> c.(0)) grid))
+
+let prop_tile_windows =
+  Tutil.qtest ~count:200 "tile grids tile any box"
+    QCheck2.Gen.(
+      let* l = int_range (-50) 50 in
+      let* b = int_range (-50) 50 in
+      let* w = int_range 1 120 in
+      let* h = int_range 1 120 in
+      let* cols = int_range 1 9 in
+      let* rows = int_range 1 9 in
+      return (Box.make ~l ~b ~r:(l + w) ~t:(b + h), cols, rows))
+    (fun (bb, cols, rows) ->
+      let grid = Parallel.tile_windows ~cols ~rows bb in
+      grid_tiles bb grid
+      && Array.length grid <= cols
+      && Array.length grid.(0) <= rows)
+
+let test_tile_of_string () =
+  check "4x2 parses" true (Parallel.tile_of_string "4x2" = Ok (4, 2));
+  check "1x1 parses" true (Parallel.tile_of_string "1x1" = Ok (1, 1));
+  List.iter
+    (fun s ->
+      check
+        (Printf.sprintf "%S rejected" s)
+        true
+        (Result.is_error (Parallel.tile_of_string s)))
+    [ ""; "4"; "x"; "4x"; "x2"; "0x2"; "4x0"; "-1x2"; "4x2x1"; "a xb" ]
+
+(* ------------------------------------------------------------------ *)
 (* Stream regressions: exhaustion guard, FIFO ties, window filter       *)
 (* ------------------------------------------------------------------ *)
 
@@ -262,6 +341,74 @@ let test_deterministic_and_sequential () =
     = Ace_netlist.Wirelist.to_string
         (Parallel.extract ~sequential:true ~jobs:4 design))
 
+(* The canonicalization pass makes tiled output *byte-identical* to the
+   flat extractor — not just electrically equivalent — for any grid and
+   any worker count (and therefore any steal schedule: workers only
+   decide who computes a tile, never what lands in its result slot). *)
+let test_tiled_byte_identity () =
+  List.iter
+    (fun file ->
+      let design = data_design file in
+      let flat_wl = Ace_netlist.Wirelist.to_string (flat design) in
+      List.iter
+        (fun (cols, rows) ->
+          List.iter
+            (fun jobs ->
+              let wl =
+                Ace_netlist.Wirelist.to_string
+                  (Parallel.extract ~jobs ~tile:(cols, rows) design)
+              in
+              check
+                (Printf.sprintf "%s %dx%d -j%d = flat" file cols rows jobs)
+                true
+                (wl = flat_wl))
+            [ 1; 4 ])
+        [ (1, 2); (2, 2); (3, 2); (4, 4); (1, 7) ])
+    [ "inverter.cif"; "chain4.cif"; "mesh4x4.cif"; "shapes.cif" ]
+
+(* A transistor channel cut by a *horizontal* seam: vertical diffusion
+   crossed by vertical poly makes a channel spanning y 6..14; a 1x2 grid
+   over the 0..20 chip puts its seam at y 10, through the channel.  The
+   two partial halves must knit across the seam and the result must be
+   byte-identical to the flat run. *)
+let test_horizontal_seam_device () =
+  let d =
+    design_of
+      {
+        Ace_cif.Ast.symbols = [];
+        top_level =
+          [
+            bar Layer.Diffusion ~l:4 ~b:0 ~r:8 ~t:20;
+            bar Layer.Poly ~l:2 ~b:6 ~r:10 ~t:14;
+          ];
+      }
+  in
+  let flat_c = flat d in
+  check_int "one transistor" 1 (Array.length flat_c.Ace_netlist.Circuit.devices);
+  let tiled, st = Parallel.extract_with_stats ~tile:(1, 2) d in
+  check "tiled = flat bytes" true
+    (Ace_netlist.Wirelist.to_string tiled
+    = Ace_netlist.Wirelist.to_string flat_c);
+  check_int "two tiles" 2 (List.length st.Parallel.shards);
+  (* the channel really was cut: both tiles held a partial device *)
+  List.iter
+    (fun (s : Parallel.shard) -> check_int "partial in tile" 1 s.s_partials)
+    st.Parallel.shards
+
+let prop_tiled_byte_identity =
+  Tutil.qtest ~count:60 "tiled ≡ flat bytes on random designs and grids"
+    QCheck2.Gen.(
+      let* ast = Tutil.gen_design in
+      let* cols = int_range 1 4 in
+      let* rows = int_range 1 4 in
+      let* jobs = int_range 1 4 in
+      return (ast, cols, rows, jobs))
+    (fun (ast, cols, rows, jobs) ->
+      let design = design_of ast in
+      Ace_netlist.Wirelist.to_string
+        (Parallel.extract ~jobs ~tile:(cols, rows) design)
+      = Ace_netlist.Wirelist.to_string (flat design))
+
 let test_stats () =
   let design = data_design "mesh4x4.cif" in
   let _, st = Parallel.extract_with_stats ~jobs:4 design in
@@ -281,7 +428,22 @@ let test_stats () =
   (* the flat fallback is the flat extractor *)
   let _, st1 = Parallel.extract_with_stats ~jobs:1 design in
   check_int "flat fallback: no shards" 0 (List.length st1.Parallel.shards);
-  check "flat fallback: no stitch" true (st1.Parallel.stitch_seconds = 0.0)
+  check "flat fallback: no stitch" true (st1.Parallel.stitch_seconds = 0.0);
+  (* an explicit grid engages the tiled path even at -j1, capping the
+     worker count at the tile count *)
+  let _, st22 = Parallel.extract_with_stats ~jobs:1 ~tile:(2, 2) design in
+  check_int "2x2 grid: four tiles" 4 (List.length st22.Parallel.shards);
+  check_int "2x2 grid at -j1: one worker" 1 st22.Parallel.jobs;
+  check "2x2 tiles are not full height" true
+    (List.exists
+       (fun (s : Parallel.shard) ->
+         s.s_window.Box.b <> bb.Box.b || s.s_window.Box.t <> bb.Box.t)
+       st22.Parallel.shards);
+  let _, st8 = Parallel.extract_with_stats ~jobs:8 ~tile:(2, 2) design in
+  check_int "workers capped at tiles" 4 st8.Parallel.jobs;
+  (* a 1x1 grid falls back to the flat extractor *)
+  let _, st11 = Parallel.extract_with_stats ~jobs:4 ~tile:(1, 1) design in
+  check_int "1x1 grid: flat fallback" 0 (List.length st11.Parallel.shards)
 
 (* A shard that raises (via the on_shard hook, including on a spawned
    domain) must neither wedge the join nor leak domains: the exception
@@ -327,6 +489,9 @@ let () =
           Alcotest.test_case "tile" `Quick test_windows_tile;
           Alcotest.test_case "narrow chip" `Quick test_windows_narrow;
           prop_windows;
+          Alcotest.test_case "2-D grid" `Quick test_tile_windows;
+          prop_tile_windows;
+          Alcotest.test_case "tile_of_string" `Quick test_tile_of_string;
         ] );
       ( "stream",
         [
@@ -347,6 +512,11 @@ let () =
           Alcotest.test_case "workloads" `Quick test_workload_equivalence;
           Alcotest.test_case "determinism" `Quick
             test_deterministic_and_sequential;
+          Alcotest.test_case "tiled byte identity" `Quick
+            test_tiled_byte_identity;
+          Alcotest.test_case "horizontal seam device" `Quick
+            test_horizontal_seam_device;
+          prop_tiled_byte_identity;
           Alcotest.test_case "stats" `Quick test_stats;
           Alcotest.test_case "raising shard joins" `Quick
             test_shard_raise_joins;

@@ -250,7 +250,7 @@ let chain_cif n =
 let ram_cif side =
   Ace_cif.Writer.to_string (Chips.ram_array ~rows:side ~cols:side ())
 
-let extract_req ?(id = 1) ?jobs ?deadline_ms ?(cache = true) cif =
+let extract_req ?(id = 1) ?jobs ?tile ?deadline_ms ?(cache = true) cif =
   let fields =
     [
       ("id", Serve.Proto.int id);
@@ -258,6 +258,7 @@ let extract_req ?(id = 1) ?jobs ?deadline_ms ?(cache = true) cif =
       ("cif", Serve.Proto.str cif);
     ]
     @ (match jobs with Some j -> [ ("jobs", Serve.Proto.int j) ] | None -> [])
+    @ (match tile with Some t -> [ ("tile", Serve.Proto.str t) ] | None -> [])
     @ (match deadline_ms with
       | Some ms -> [ ("deadline_ms", Serve.Proto.int ms) ]
       | None -> [])
@@ -358,6 +359,17 @@ let test_socket_extract () =
   check_s "extract: daemon wirelist = -j1 one-shot wirelist"
     (jstr (jget (jget jc "result") "wirelist"))
     (reference_wirelist inverter_cif);
+  (* a tiled request is a cache miss (the grid is in the key) but its
+     wirelist is byte-identical: tiling is invisible in the output *)
+  let tiled = jparse (rpc conn (extract_req ~id:7 ~tile:"2x2" inverter_cif)) in
+  check "extract: tiled reply ok, not cached"
+    (jbool (jget tiled "ok") && not (jbool (jget tiled "cached")));
+  check_s "extract: tiled wirelist = -j1 one-shot wirelist"
+    (jstr (jget (jget tiled "result") "wirelist"))
+    (reference_wirelist inverter_cif);
+  let bad = jparse (rpc conn (extract_req ~id:8 ~tile:"0x2" inverter_cif)) in
+  check "extract: malformed tile -> bad-request"
+    (err_code bad = "bad-request");
   (* lint and flow ride the same cache *)
   let lint =
     jparse
@@ -624,6 +636,30 @@ let test_deadline () =
       [ 30; 60; 120 ]
   in
   check "deadline: a 5ms deadline trips on a big chip" tripped;
+  (* the tiled path polls the same token in every tile scan and in the
+     scheduler's steal loop: a short deadline on a tiled request trips
+     just as promptly *)
+  let tiled_tripped =
+    List.exists
+      (fun side ->
+        let t0 = Unix.gettimeofday () in
+        let reply =
+          jparse
+            (rpc conn
+               (extract_req ~id:(100 + side) ~tile:"3x3" ~deadline_ms:5
+                  (ram_cif side)))
+        in
+        let elapsed_ms = int_of_float ((Unix.gettimeofday () -. t0) *. 1000.) in
+        if jbool (jget reply "ok") then false
+        else begin
+          check "deadline: tiled error code is deadline-exceeded"
+            (err_code reply = "deadline-exceeded");
+          check "deadline: tiled reply came back promptly" (elapsed_ms < 2000);
+          true
+        end)
+      [ 30; 60; 120 ]
+  in
+  check "deadline: a 5ms deadline trips on a tiled extract" tiled_tripped;
   let pong = jparse (rpc conn {|{"id":9,"op":"ping"}|}) in
   check "deadline: daemon healthy afterwards" (jbool (jget pong "pong"));
   let ok = jparse (rpc conn (extract_req ~id:10 inverter_cif)) in
@@ -685,8 +721,18 @@ let test_shard_raise () =
     (String.length (jstr (jget (jget reply "error") "fingerprint")) = 16);
   let pong = jparse (rpc conn {|{"id":2,"op":"ping"}|}) in
   check "shard-raise: daemon survives its shard" (jbool (jget pong "pong"));
+  (* a 2x2 grid over 2 workers: the injected fault fires in whichever
+     tile with index > 0 runs first — owned or stolen — and must
+     propagate as the same typed error with every domain joined *)
+  let tiled =
+    jparse (rpc conn (extract_req ~id:3 ~jobs:2 ~tile:"2x2" inverter_cif))
+  in
+  check "shard-raise: tiled request -> internal-error"
+    ((not (jbool (jget tiled "ok"))) && err_code tiled = "internal-error");
+  let pong2 = jparse (rpc conn {|{"id":4,"op":"ping"}|}) in
+  check "shard-raise: daemon survives a raising tile" (jbool (jget pong2 "pong"));
   (* a -j1 request takes the flat path: no spawned shard, no injection *)
-  let flat = jparse (rpc conn (extract_req ~id:3 ~jobs:1 inverter_cif)) in
+  let flat = jparse (rpc conn (extract_req ~id:5 ~jobs:1 inverter_cif)) in
   check "shard-raise: flat fallback still works" (jbool (jget flat "ok"));
   close_conn conn;
   shutdown_daemon pid sock

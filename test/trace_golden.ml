@@ -3,7 +3,11 @@
    Default mode: parse a CIF file, extract it with -j 4 under a recording
    session, and print the *zeroed* Chrome trace-event JSON (wall times,
    pids and allocation figures zeroed; counter values real) so the output
-   is byte-stable and can be diffed against a committed golden.
+   is byte-stable and can be diffed against a committed golden.  The
+   extraction runs the tiled path in sequential mode: the tile/stitch
+   code and every per-tile counter are identical to the scheduled run,
+   but the steal count (which depends on domain start-up timing) is
+   deterministically zero.
 
    `--validate FILE.json` mode: structurally validate an exported trace
    (valid JSON, traceEvents present, per-track monotone timestamps,
@@ -34,7 +38,8 @@ let golden path =
     Ace_cif.Design.of_ast (Ace_cif.Parser.parse_file path)
   in
   ignore
-    (Ace_core.Parallel.extract ~jobs:4 ~name:(Filename.basename path) design);
+    (Ace_core.Parallel.extract ~sequential:true ~jobs:4
+       ~name:(Filename.basename path) design);
   let session = Trace.stop () in
   print_string (Chrome.render ~zero:true session)
 

@@ -3,8 +3,11 @@
 # lvs --table serve` run against the checked-in BENCH_extract.json and
 # fail when any gated wall time regressed more than the threshold
 # (default 15%, see bench/main.exe --gate): flat-extraction wall
-# (wall_j1_seconds) per chip, flat and hierarchical LVS compare walls
-# per workload, and warm serve-cache hits per chip.
+# (wall_j1_seconds) per chip, the devices-phase wall within it
+# (devices_phase_j1_seconds), the 2-D tiled slowest-tile+stitch projection
+# (projected_wall_tiled_seconds),
+# flat and hierarchical LVS compare walls per workload, and warm
+# serve-cache hits per chip.
 #
 # Wall times at the gate's small scale are milliseconds, so a failing
 # comparison is retried before it counts: transient scheduler noise
